@@ -1,0 +1,86 @@
+// Ablation: the per-chain one-entry cache (paper §3.4's closing pitfall).
+//
+// "The hit ratio is only part of the story; this is just one example where
+// the miss penalty dominates the hit ratio." This bench measures exactly
+// what the per-chain cache buys, per workload and chain count: with short
+// chains the cache's absolute saving is small even when it hits; with one
+// chain (BSD-shaped) the cache is worthless for OLTP and dominant for
+// bulk.
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "report/table.h"
+#include "sim/bulk_workload.h"
+#include "sim/polling_workload.h"
+#include "sim/replay.h"
+#include "sim/tpca_workload.h"
+
+namespace {
+
+using namespace tcpdemux;
+
+sim::Trace tpca_trace() {
+  sim::TpcaWorkloadParams p;
+  p.users = 2000;
+  p.duration = 150.0;
+  return generate_tpca_trace(p);
+}
+
+sim::Trace bulk_trace() {
+  sim::BulkWorkloadParams p;
+  p.connections = 16;
+  p.duration = 4.0;
+  p.train_gap_mean = 0.02;
+  return generate_bulk_trace(p);
+}
+
+sim::Trace polling_trace() {
+  sim::PollingWorkloadParams p;
+  p.terminals = 2000;
+  p.period = 10.0;
+  p.duration = 30.0;
+  return generate_polling_trace(p);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: per-chain one-entry cache on/off ===\n\n";
+
+  const struct {
+    const char* name;
+    sim::Trace trace;
+  } kWorkloads[] = {
+      {"TPC/A (2000 users)", tpca_trace()},
+      {"bulk transfer (16 conns)", bulk_trace()},
+      {"polling (2000 terminals)", polling_trace()},
+  };
+
+  for (const auto& [name, trace] : kWorkloads) {
+    std::cout << "--- workload: " << name << " ---\n";
+    report::Table table({"chains", "with cache", "hit rate", "without cache",
+                         "cache saves"});
+    for (const std::uint32_t h : {1u, 19u, 101u}) {
+      const auto with = bench::replay(
+          trace,
+          bench::config_of("sequent:" + std::to_string(h) + ":crc32"));
+      const auto without = bench::replay(
+          trace, bench::config_of("sequent:" + std::to_string(h) +
+                                  ":crc32:nocache"));
+      const double saved = without.overall.mean() - with.overall.mean();
+      table.add_row({std::to_string(h), report::fmt(with.overall.mean(), 2),
+                     report::fmt(100.0 * with.hit_rate(), 1) + "%",
+                     report::fmt(without.overall.mean(), 2),
+                     report::fmt(saved, 2) + " PCBs"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "takeaway: for OLTP the hit ratio is tiny and the saving "
+               "per hit shrinks as chains multiply -- hashing, not "
+               "caching, does the work; the cache still pays for packet "
+               "trains\n";
+  return 0;
+}

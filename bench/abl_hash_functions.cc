@@ -1,0 +1,86 @@
+// Ablation: hash-function quality over realistic client populations.
+//
+// The paper (§3.5) waves at [Jai89]/[McK91] for "efficient hash functions
+// for protocol addresses". This bench makes the choice concrete: chain
+// balance and resulting lookup cost for seven candidate hashes over four
+// client address/port layouts, including one adversarial to the historical
+// BSD additive hash.
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/hash_quality.h"
+#include "report/table.h"
+#include "sim/address_space.h"
+#include "sim/tpca_workload.h"
+
+int main() {
+  using namespace tcpdemux;
+  constexpr std::uint32_t kClients = 2000;
+  constexpr std::uint32_t kChains = 19;
+
+  std::cout << "=== Ablation: flow-key hash functions (N = " << kClients
+            << ", H = " << kChains << ") ===\n";
+
+  const struct {
+    sim::ClientPattern pattern;
+    const char* name;
+  } kPatterns[] = {
+      {sim::ClientPattern::kSequentialHosts, "sequential LAN hosts"},
+      {sim::ClientPattern::kConcentrators, "terminal concentrators"},
+      {sim::ClientPattern::kRandom, "random internet clients"},
+      {sim::ClientPattern::kAdversarialForModulo, "adversarial (anti-sum)"},
+  };
+
+  for (const auto& [pattern, pattern_name] : kPatterns) {
+    sim::AddressSpaceParams ap;
+    ap.clients = kClients;
+    ap.pattern = pattern;
+    const auto keys = sim::make_client_keys(ap);
+
+    std::cout << "\n--- population: " << pattern_name << " ---\n";
+    report::Table table({"hash", "max chain", "empty", "stddev",
+                         "chi^2 (dof 18)", "expected scan"});
+    for (const net::HasherKind kind : net::kAllHashers) {
+      const auto q = net::evaluate_hash_quality(kind, keys, kChains);
+      table.add_row({std::string(net::hasher_name(kind)),
+                     std::to_string(q.max_chain),
+                     std::to_string(q.empty_chains),
+                     report::fmt(q.stddev_chain, 1),
+                     report::fmt(q.chi_squared, 1),
+                     report::fmt(q.expected_search, 1)});
+    }
+    table.print(std::cout);
+  }
+
+  // End-to-end effect: Sequent TPC/A cost per hasher on the concentrator
+  // population (the realistic hard case).
+  std::cout << "\n--- end-to-end: Sequent(H=19) TPC/A cost by hash, "
+               "concentrator clients ---\n";
+  sim::TpcaWorkloadParams tp;
+  tp.users = kClients;
+  tp.duration = 150.0;
+  const sim::Trace trace = sim::generate_tpca_trace(tp);
+  sim::AddressSpaceParams ap;
+  ap.clients = kClients;
+  ap.pattern = sim::ClientPattern::kConcentrators;
+  const auto keys = sim::make_client_keys(ap);
+
+  report::Table table({"hash", "mean PCBs examined", "uniform-chain ideal"});
+  const double ideal = 0.5 * (kClients / static_cast<double>(kChains)) + 1.0;
+  for (const net::HasherKind kind : net::kAllHashers) {
+    core::DemuxConfig config;
+    config.algorithm = core::Algorithm::kSequent;
+    config.chains = kChains;
+    config.hasher = kind;
+    const auto demuxer = core::make_demuxer(config);
+    const auto r = sim::replay_trace(trace, keys, *demuxer);
+    table.add_row({std::string(net::hasher_name(kind)),
+                   report::fmt(r.overall.mean(), 1),
+                   report::fmt(ideal, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ntakeaway: any mixing hash works; additive folds collapse "
+               "on structured populations, which is why H was prime (19) "
+               "in the Sequent product\n";
+  return 0;
+}

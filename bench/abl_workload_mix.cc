@@ -1,0 +1,77 @@
+// Ablation: every algorithm against every traffic class.
+//
+// The paper's framing (§1): BSD's cache was built for packet trains; OLTP
+// has none; polling is MTF's nemesis. This matrix shows each algorithm's
+// mean examined PCBs and cache hit rate per workload, plus the mixed
+// OLTP+bulk case a real 1992 server actually saw.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "report/table.h"
+#include "sim/bulk_workload.h"
+#include "sim/polling_workload.h"
+#include "sim/replay.h"
+#include "sim/tpca_workload.h"
+
+int main() {
+  using namespace tcpdemux;
+
+  sim::TpcaWorkloadParams tp;
+  tp.users = 1000;
+  tp.duration = 150.0;
+  sim::Trace tpca = generate_tpca_trace(tp);
+
+  sim::BulkWorkloadParams bp;
+  bp.connections = 8;
+  bp.duration = 4.0;
+  bp.train_gap_mean = 0.02;
+  sim::Trace bulk = generate_bulk_trace(bp);
+
+  sim::PollingWorkloadParams pp;
+  pp.terminals = 1000;
+  pp.period = 10.0;
+  pp.duration = 40.0;
+  sim::Trace polling = generate_polling_trace(pp);
+
+  sim::Trace mixed = tpca;  // copy
+  sim::BulkWorkloadParams mp;
+  mp.connections = 4;
+  mp.duration = 150.0;
+  mp.train_gap_mean = 0.1;
+  mixed.merge(generate_bulk_trace(mp));
+
+  const struct {
+    const char* name;
+    const sim::Trace* trace;
+  } kWorkloads[] = {{"TPC/A 1000u", &tpca},
+                    {"bulk x8", &bulk},
+                    {"polling 1000t", &polling},
+                    {"mixed OLTP+bulk", &mixed}};
+  const std::vector<std::string> kAlgos = {
+      "bsd", "mtf", "srcache", "sequent:19:crc32", "sequent:101:crc32",
+      "hashed_mtf:19:crc32", "connection_id"};
+
+  std::cout << "=== Ablation: algorithm x workload matrix ===\n\n";
+  std::cout << "mean PCBs examined per received packet (cache hit rate)\n\n";
+
+  std::vector<std::string> headers = {"algorithm"};
+  for (const auto& w : kWorkloads) headers.emplace_back(w.name);
+  report::Table table(headers);
+  for (const std::string& spec : kAlgos) {
+    std::vector<std::string> row = {spec};
+    for (const auto& w : kWorkloads) {
+      const auto r = bench::replay(*w.trace, bench::config_of(spec));
+      row.push_back(report::fmt(r.overall.mean(), 1) + " (" +
+                    report::fmt(100.0 * r.hit_rate(), 0) + "%)");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: BSD wins only on bulk; MTF collapses on "
+               "polling; Sequent is near-flat everywhere; connection-ID is "
+               "the unreachable lower bound the paper argues is not worth "
+               "protocol surgery\n";
+  return 0;
+}

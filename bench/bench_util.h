@@ -1,0 +1,61 @@
+// Shared helpers for the table/figure benches: standard TPC/A runs and
+// paper-vs-model-vs-simulation formatting.
+#ifndef TCPDEMUX_BENCH_BENCH_UTIL_H_
+#define TCPDEMUX_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/demux_registry.h"
+#include "sim/replay.h"
+#include "sim/tpca_workload.h"
+
+namespace tcpdemux::bench {
+
+struct TpcaRun {
+  std::uint32_t users = 2000;
+  double response_time = 0.2;
+  double rtt = 0.001;
+  double duration = 200.0;
+  double warmup = 20.0;
+  bool open_loop = true;      // match the paper's analysis assumptions
+  bool truncate_think = false;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the TPC/A trace for `run` and replays it through a freshly
+/// constructed demuxer described by `config`.
+inline sim::ReplayResult run_tpca(const TpcaRun& run,
+                                  const core::DemuxConfig& config) {
+  sim::TpcaWorkloadParams p;
+  p.users = run.users;
+  p.response_time = run.response_time;
+  p.rtt = run.rtt;
+  p.duration = run.duration;
+  p.warmup = run.warmup;
+  p.open_loop = run.open_loop;
+  p.truncate_think = run.truncate_think;
+  p.seed = run.seed;
+  const sim::Trace trace = sim::generate_tpca_trace(p);
+  const auto demuxer = core::make_demuxer(config);
+  return sim::replay_trace(trace, *demuxer);
+}
+
+/// Replays one pre-generated trace through a fresh demuxer (use when
+/// several algorithms must see the identical arrival stream).
+inline sim::ReplayResult replay(const sim::Trace& trace,
+                                const core::DemuxConfig& config) {
+  const auto demuxer = core::make_demuxer(config);
+  return sim::replay_trace(trace, *demuxer);
+}
+
+inline core::DemuxConfig config_of(std::string_view spec) {
+  const auto config = core::parse_demux_spec(spec);
+  if (!config) throw std::invalid_argument("bad demux spec");
+  return *config;
+}
+
+}  // namespace tcpdemux::bench
+
+#endif  // TCPDEMUX_BENCH_BENCH_UTIL_H_

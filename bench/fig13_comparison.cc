@@ -1,0 +1,25 @@
+// Figure 13: comparison of TCP demultiplexing algorithms, 0-10,000 TPC/A
+// connections.
+//
+// Lines as in the paper: BSD; Crowcroft move-to-front at R = 1.0, 0.5, and
+// 0.2 s ("MTF 1.0" etc.); Partridge/Pink send-receive cache at D = 1 ms
+// ("SR 1"); and the Sequent algorithm (H = 19, R = 0.2 s). The expected
+// shape: BSD ~N/2 on top, SR 1 approaching it from below, the MTF family
+// in between, Sequent an order of magnitude below everything.
+#include "fig_compare.h"
+
+int main() {
+  using namespace tcpdemux::bench;
+  run_figure(
+      "Figure 13: comparison of TCP demultiplexing algorithms",
+      {
+          {"BSD", 'B', "bsd", 0.2, 0.001, bsd_line},
+          {"MTF 1.0", '1', "mtf", 1.0, 0.001, mtf_line},
+          {"MTF 0.5", '5', "mtf", 0.5, 0.001, mtf_line},
+          {"MTF 0.2", '2', "mtf", 0.2, 0.001, mtf_line},
+          {"SR 1", 'S', "srcache", 0.2, 0.001, sr_line},
+          {"SEQUENT", 'Q', "sequent:19:crc32", 0.2, 0.001, sequent_line},
+      },
+      10000, 500, {1000, 2000, 4000});
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 14: detail of Figure 13 over 0-1,000 TPC/A connections, adding
+// the "SR 10" line (send/receive cache at D = 10 ms).
+//
+// The expected shape: at small populations the send/receive cache with a
+// fast network ("SR 1") beats BSD clearly and the 10 ms variant tracks BSD
+// closely; the crossovers between the MTF family and the SR lines fall in
+// the few-hundred-connection range; Sequent hugs the bottom axis.
+#include "fig_compare.h"
+
+int main() {
+  using namespace tcpdemux::bench;
+  run_figure(
+      "Figure 14: comparison detail (0-1,000 connections)",
+      {
+          {"BSD", 'B', "bsd", 0.2, 0.001, bsd_line},
+          {"SR 10", 'T', "srcache", 0.2, 0.010, sr_line},
+          {"MTF 1.0", '1', "mtf", 1.0, 0.001, mtf_line},
+          {"MTF 0.5", '5', "mtf", 0.5, 0.001, mtf_line},
+          {"MTF 0.2", '2', "mtf", 0.2, 0.001, mtf_line},
+          {"SR 1", 'S', "srcache", 0.2, 0.001, sr_line},
+          {"SEQUENT", 'Q', "sequent:19:crc32", 0.2, 0.001, sequent_line},
+      },
+      1000, 50, {200, 600, 1000});
+  return 0;
+}

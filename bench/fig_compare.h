@@ -1,0 +1,110 @@
+// Shared driver for Figures 13 and 14: expected PCB search cost versus the
+// number of TPC/A connections, for every algorithm the paper plots.
+#ifndef TCPDEMUX_BENCH_FIG_COMPARE_H_
+#define TCPDEMUX_BENCH_FIG_COMPARE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytic/bsd_model.h"
+#include "analytic/crowcroft_model.h"
+#include "analytic/sequent_model.h"
+#include "analytic/srcache_model.h"
+#include "bench_util.h"
+#include "report/ascii_plot.h"
+#include "report/table.h"
+
+namespace tcpdemux::bench {
+
+struct FigureLine {
+  std::string label;
+  char glyph;
+  std::string demux_spec;          ///< for simulated points
+  double response_time = 0.2;      ///< R used by this line's model
+  double rtt = 0.001;              ///< D used by this line's model
+  double (*model)(double users, double response_time, double rtt);
+};
+
+inline double bsd_line(double n, double, double) {
+  return analytic::bsd_cost(n);
+}
+inline double mtf_line(double n, double r, double) {
+  return 0.5 * (analytic::crowcroft_entry_cost(n, 0.1, r) +
+                analytic::crowcroft_ack_cost(n, 0.1, r));
+}
+inline double sr_line(double n, double r, double d) {
+  return analytic::SrCacheModel{}
+      .search_cost(analytic::TpcaParams{n, 0.1, r, d})
+      .overall;
+}
+inline double sequent_line(double n, double r, double) {
+  return analytic::sequent_cost_exact(n, 19, 0.1, r);
+}
+
+/// Prints the model table and ASCII plot for a user sweep, with simulated
+/// points at `sim_users` population sizes (kept small enough that every
+/// bench finishes in seconds).
+inline void run_figure(const std::string& title,
+                       const std::vector<FigureLine>& lines,
+                       std::uint32_t max_users, std::uint32_t step,
+                       const std::vector<std::uint32_t>& sim_users) {
+  std::cout << "=== " << title << " ===\n\n";
+
+  // Model table + series.
+  std::vector<std::string> headers = {"users"};
+  for (const FigureLine& line : lines) headers.push_back(line.label);
+  report::Table table(headers);
+  std::vector<report::Series> series;
+  for (const FigureLine& line : lines) {
+    series.push_back(report::Series{line.label, line.glyph, {}, {}});
+  }
+  for (std::uint32_t n = step; n <= max_users; n += step) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const double y =
+          lines[i].model(n, lines[i].response_time, lines[i].rtt);
+      row.push_back(report::fmt(y, 1));
+      series[i].x.push_back(n);
+      series[i].y.push_back(y);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << '\n';
+  report::PlotOptions opts;
+  opts.title = title + " (analytic models)";
+  opts.x_label = "number of TPC/A TCP connections";
+  plot(std::cout, series, opts);
+
+  // Simulation check-points: identical trace per population, one replay
+  // per algorithm.
+  std::cout << "\nsimulated check-points (same trace per population):\n";
+  std::vector<std::string> sim_headers = {"users"};
+  for (const FigureLine& line : lines) {
+    sim_headers.push_back(line.label + " model");
+    sim_headers.push_back(line.label + " sim");
+  }
+  report::Table sim_table(sim_headers);
+  for (const std::uint32_t n : sim_users) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const FigureLine& line : lines) {
+      TpcaRun run;
+      run.users = n;
+      run.response_time = line.response_time;
+      run.rtt = line.rtt;
+      run.duration = n >= 2000 ? 60.0 : 150.0;
+      const auto r = run_tpca(run, config_of(line.demux_spec));
+      row.push_back(
+          report::fmt(line.model(n, line.response_time, line.rtt), 1));
+      row.push_back(report::fmt(r.overall.mean(), 1));
+    }
+    sim_table.add_row(std::move(row));
+  }
+  sim_table.print(std::cout);
+}
+
+}  // namespace tcpdemux::bench
+
+#endif  // TCPDEMUX_BENCH_FIG_COMPARE_H_

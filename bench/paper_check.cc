@@ -1,0 +1,127 @@
+// Self-verifying reproduction summary: every number the paper prints,
+// recomputed and checked against tolerance in one run. Exits non-zero if
+// any artifact drifts — EXPERIMENTS.md, executable.
+#include <cstdlib>
+#include <iostream>
+
+#include "analytic/bsd_model.h"
+#include "analytic/crowcroft_model.h"
+#include "analytic/sequent_model.h"
+#include "analytic/srcache_model.h"
+#include "bench_util.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace tcpdemux;
+
+struct Check {
+  const char* artifact;
+  double paper;
+  double ours;
+  double tolerance;  // absolute
+};
+
+}  // namespace
+
+int main() {
+  using analytic::TpcaParams;
+  constexpr double kN = 2000;
+  constexpr double kA = 0.1;
+
+  std::cout << "=== Paper check: McKenney & Dove 1992, every published "
+               "number ===\n\n";
+
+  std::vector<Check> checks;
+  // §3.1 BSD.
+  checks.push_back({"Eq 1: BSD cost, N=2000", 1001.0,
+                    analytic::bsd_cost(kN), 0.1});
+  // §3.2 Crowcroft (paper convention: PCBs preceding the target).
+  const double kResponses[] = {0.2, 0.5, 1.0, 2.0};
+  const double kPaperEntry[] = {1019, 1045, 1086, 1150};
+  const double kPaperAck[] = {78, 190, 362, 659};
+  const double kPaperOverall[] = {549, 618, 724, 904};
+  for (int i = 0; i < 4; ++i) {
+    const double entry =
+        analytic::crowcroft_entry_cost(kN, kA, kResponses[i]);
+    const double ack = analytic::crowcroft_ack_cost(kN, kA, kResponses[i]);
+    checks.push_back({"sec 3.2: MTF entry", kPaperEntry[i], entry, 1.1});
+    checks.push_back({"sec 3.2: MTF ack", kPaperAck[i], ack, 0.5});
+    checks.push_back(
+        {"sec 3.2: MTF overall", kPaperOverall[i], 0.5 * (entry + ack), 0.6});
+  }
+  // §3.3 Partridge/Pink.
+  const double kDelays[] = {0.001, 0.010, 0.100};
+  const double kPaperSr[] = {667, 993, 1002};
+  for (int i = 0; i < 3; ++i) {
+    checks.push_back(
+        {"sec 3.3: SR overall", kPaperSr[i],
+         analytic::SrCacheModel{}
+             .search_cost(TpcaParams{kN, kA, 0.2, kDelays[i]})
+             .overall,
+         0.7});
+  }
+  // §3.4 Sequent.
+  checks.push_back({"Eq 22: Sequent exact, H=19", 53.0,
+                    analytic::sequent_cost_exact(kN, 19, kA, 0.2), 0.05});
+  checks.push_back({"Eq 19: Sequent approx, H=19", 53.6,
+                    analytic::sequent_cost_approx(kN, 19), 0.05});
+  checks.push_back({"Eq 20: quiet probability, H=19 (%)", 1.5,
+                    100.0 * analytic::sequent_quiet_probability(kN, 19, kA,
+                                                                0.2),
+                    0.1});
+  checks.push_back({"sec 3.5: Sequent H=100 (< 9)", 8.5,
+                    analytic::sequent_cost_exact(kN, 100, kA, 0.2), 0.5});
+
+  // Simulation spot-checks against the paper's headline numbers.
+  bench::TpcaRun run;
+  run.users = 2000;
+  run.duration = 150.0;
+  const double sim_bsd =
+      bench::run_tpca(run, bench::config_of("bsd")).overall.mean();
+  checks.push_back({"simulated BSD, N=2000", 1001.0, sim_bsd, 25.0});
+  const double sim_seq =
+      bench::run_tpca(run, bench::config_of("sequent:19:crc32"))
+          .overall.mean();
+  checks.push_back({"simulated Sequent(19), N=2000", 53.0, sim_seq, 3.0});
+
+  report::Table table({"artifact", "paper", "ours", "delta", "verdict"});
+  int failures = 0;
+  for (const Check& c : checks) {
+    const double delta = c.ours - c.paper;
+    const bool ok = std::abs(delta) <= c.tolerance;
+    if (!ok) ++failures;
+    table.add_row({c.artifact, report::fmt(c.paper, 1),
+                   report::fmt(c.ours, 1), report::fmt(delta, 2),
+                   ok ? "PASS" : "FAIL"});
+  }
+  table.print(std::cout);
+
+  // Qualitative figure claims.
+  const auto at = [&](double n, auto&& f) { return f(n); };
+  const double n10k = 10000;
+  const double bsd = analytic::bsd_cost(n10k);
+  const double sr1 = analytic::SrCacheModel{}
+                         .search_cost(TpcaParams{n10k, kA, 0.2, 0.001})
+                         .overall;
+  const double mtf10 =
+      analytic::CrowcroftModel{}
+          .search_cost(TpcaParams{n10k, kA, 1.0, 0.001})
+          .overall;
+  const double mtf02 =
+      analytic::CrowcroftModel{}
+          .search_cost(TpcaParams{n10k, kA, 0.2, 0.001})
+          .overall;
+  const double seq = analytic::sequent_cost_exact(n10k, 19, kA, 0.2);
+  const bool fig13 = bsd > sr1 && sr1 > mtf10 && mtf10 > mtf02 &&
+                     mtf02 > 10.0 * seq;
+  std::cout << "\nFigure 13 ordering at N=10,000 (BSD > SR1 > MTF1.0 > "
+               "MTF0.2 > 10x Sequent): "
+            << (fig13 ? "PASS" : "FAIL") << '\n';
+  if (!fig13) ++failures;
+  (void)at;
+
+  std::cout << "\n" << (failures == 0 ? "ALL CHECKS PASS" : "FAILURES!")
+            << " (" << checks.size() + 1 << " artifacts)\n";
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

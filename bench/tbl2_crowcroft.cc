@@ -1,0 +1,61 @@
+// Table T2 (paper §3.2): Crowcroft's move-to-front list under TPC/A.
+//
+// Paper values for N = 2000, response times 0.2 / 0.5 / 1.0 / 2.0 s:
+//   transaction entry: 1019 / 1045 / 1086 / 1150 PCBs
+//   response ack:        78 /  190 /  362 /  659 PCBs
+//   overall:            549 /  618 /  724 /  904 PCBs
+// plus the deterministic-think-time worst case (point-of-sale polling):
+// a full scan of all N PCBs per entry.
+#include <iostream>
+
+#include "analytic/crowcroft_model.h"
+#include "bench_util.h"
+#include "report/table.h"
+#include "sim/polling_workload.h"
+#include "sim/replay.h"
+
+int main() {
+  using namespace tcpdemux;
+  constexpr double kUsers = 2000;
+  constexpr double kRate = 0.1;
+
+  std::cout << "=== T2 (sec 3.2): move-to-front list, N = 2000 ===\n"
+            << "(model counts PCBs preceding the target, as the paper "
+               "does; the\n simulated column counts the found PCB too, "
+               "hence ~+1)\n\n";
+
+  report::Table table({"R (s)", "entry model", "entry sim", "ack model",
+                       "ack sim", "overall model", "overall sim",
+                       "paper overall"});
+  const double paper_overall[] = {549, 618, 724, 904};
+  int i = 0;
+  for (const double resp : {0.2, 0.5, 1.0, 2.0}) {
+    bench::TpcaRun run;
+    run.users = 2000;
+    run.response_time = resp;
+    run.duration = 120.0;
+    const auto r = bench::run_tpca(run, bench::config_of("mtf"));
+    const double entry = analytic::crowcroft_entry_cost(kUsers, kRate, resp);
+    const double ack = analytic::crowcroft_ack_cost(kUsers, kRate, resp);
+    table.add_row({report::fmt(resp, 1), report::fmt(entry, 1),
+                   report::fmt(r.data.mean(), 1), report::fmt(ack, 1),
+                   report::fmt(r.ack.mean(), 1),
+                   report::fmt(0.5 * (entry + ack), 1),
+                   report::fmt(r.overall.mean(), 1),
+                   report::fmt(paper_overall[i++], 0)});
+  }
+  table.print(std::cout);
+
+  // Worst case: deterministic rotation (point-of-sale terminals).
+  sim::PollingWorkloadParams p;
+  p.terminals = 2000;
+  p.period = 10.0;
+  p.duration = 40.0;
+  const auto demuxer = core::make_demuxer(bench::config_of("mtf"));
+  const auto polling =
+      sim::replay_trace(sim::generate_polling_trace(p), *demuxer);
+  std::cout << "\ndeterministic think time (polling, N=2000): entry scan = "
+            << report::fmt(polling.data.mean(), 1)
+            << " PCBs (paper: all 2000)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table T3 (paper §3.3): Partridge & Pink's last-sent/last-received cache.
+//
+// Paper values for N = 2000, R = 0.2 s: overall 667 / 993 / 1002 PCBs for
+// round-trip delays of 1 / 10 / 100 ms, with N1, N2, Na the per-case
+// components of Equations 11, 14, and 16, combined by Equation 7 as
+// (N1 + N2 + Na) / 2. Also demonstrated: the §3.3.4 claim that the result
+// is extremely insensitive to R.
+#include <iostream>
+
+#include "analytic/srcache_model.h"
+#include "bench_util.h"
+#include "report/table.h"
+
+int main() {
+  using namespace tcpdemux;
+  constexpr double kUsers = 2000;
+  constexpr double kRate = 0.1;
+  constexpr double kResponse = 0.2;
+
+  std::cout << "=== T3 (sec 3.3): send/receive cache, N = 2000, R = 0.2 s "
+               "===\n\n";
+
+  report::Table table({"D", "N1+N2 (txn)", "Na (ack)", "overall model",
+                       "overall sim", "paper"});
+  const double paper[] = {667, 993, 1002};
+  int i = 0;
+  for (const double d : {0.001, 0.010, 0.100}) {
+    const double n12 = analytic::srcache_n1(kUsers, kRate, kResponse, d) +
+                       analytic::srcache_n2(kUsers, kRate, kResponse, d);
+    const double na = analytic::srcache_na(kUsers, kRate, d);
+    bench::TpcaRun run;
+    run.users = 2000;
+    run.response_time = kResponse;
+    run.rtt = d;
+    run.duration = 120.0;
+    const auto r = bench::run_tpca(run, bench::config_of("srcache"));
+    table.add_row({report::fmt(d * 1000.0, 0) + " ms", report::fmt(n12, 1),
+                   report::fmt(na, 1), report::fmt(0.5 * (n12 + na), 1),
+                   report::fmt(r.overall.mean(), 1),
+                   report::fmt(paper[i++], 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ninsensitivity to R (model, D = 1 ms):\n";
+  report::Table rt({"R (s)", "overall model"});
+  const analytic::SrCacheModel model;
+  for (const double resp : {0.1, 0.2, 0.5, 1.0, 2.0}) {
+    rt.add_row({report::fmt(resp, 1),
+                report::fmt(model
+                                .search_cost(analytic::TpcaParams{
+                                    kUsers, kRate, resp, 0.001})
+                                .overall,
+                            1)});
+  }
+  rt.print(std::cout);
+  std::cout << "\npaper: 'extremely insensitive to the value of R for large "
+               "values of N'\n";
+  return 0;
+}

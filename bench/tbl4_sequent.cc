@@ -1,0 +1,57 @@
+// Table T4 (paper §3.4): the Sequent hashed-chain algorithm.
+//
+// Paper values for N = 2000, R = 0.2 s:
+//   H = 19:  Eq 22 exact 53.0 PCBs; Eq 19 approximation 53.6 (~1% error);
+//            quiet-interval probability ~1.5%
+//   H = 51:  quiet probability ~21%; approximation error > 10%
+//   H = 100: cost drops below 9 PCBs
+#include <iostream>
+
+#include "analytic/bsd_model.h"
+#include "analytic/sequent_model.h"
+#include "bench_util.h"
+#include "report/table.h"
+
+int main() {
+  using namespace tcpdemux;
+  constexpr double kUsers = 2000;
+  constexpr double kRate = 0.1;
+  constexpr double kResponse = 0.2;
+
+  std::cout << "=== T4 (sec 3.4): Sequent hash chains, N = 2000, R = 0.2 s "
+               "===\n\n";
+
+  report::Table table({"H", "Eq 19 approx", "Eq 22 exact", "quiet prob p",
+                       "simulated", "sim hit rate"});
+  for (const std::uint32_t h : {19u, 51u, 100u}) {
+    bench::TpcaRun run;
+    run.users = 2000;
+    run.duration = 200.0;
+    const auto r = bench::run_tpca(
+        run, bench::config_of("sequent:" + std::to_string(h) + ":crc32"));
+    table.add_row(
+        {std::to_string(h),
+         report::fmt(analytic::sequent_cost_approx(kUsers, h), 1),
+         report::fmt(analytic::sequent_cost_exact(kUsers, h, kRate,
+                                                  kResponse),
+                     1),
+         report::fmt(100.0 * analytic::sequent_quiet_probability(
+                                 kUsers, h, kRate, kResponse),
+                     1) +
+             "%",
+         report::fmt(r.overall.mean(), 1),
+         report::fmt(100.0 * r.hit_rate(), 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper: H=19 -> 53.0 exact / 53.6 approx / p~1.5%;  "
+               "H=51 -> p~21%;  H=100 -> <9 PCBs\n";
+
+  const double bsd = analytic::bsd_cost(kUsers);
+  const double seq = analytic::sequent_cost_exact(kUsers, 19, kRate,
+                                                  kResponse);
+  std::cout << "\norder-of-magnitude claim: BSD " << report::fmt(bsd, 0)
+            << " / Sequent(19) " << report::fmt(seq, 1) << " = "
+            << report::fmt(bsd / seq, 1) << "x\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Wall-clock cost of the flow-key hash functions (google-benchmark).
+//
+// §3.5: "The only added cost of the Sequent algorithm over BSD is the
+// memory required for the hash-chain headers and the computation of the
+// hash function itself." This bench shows that computation is nanoseconds
+// for every candidate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/hashers.h"
+#include "sim/address_space.h"
+
+namespace {
+
+using namespace tcpdemux;
+
+void run_hash_bench(benchmark::State& state, net::HasherKind kind) {
+  sim::AddressSpaceParams ap;
+  ap.clients = 1024;
+  ap.pattern = sim::ClientPattern::kRandom;
+  const auto keys = sim::make_client_keys(ap);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::hash_flow(kind, keys[i]));
+    i = (i + 1) & 1023;
+  }
+}
+
+void BM_BsdModulo(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kBsdModulo);
+}
+void BM_XorFold(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kXorFold);
+}
+void BM_AddFold(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kAddFold);
+}
+void BM_Multiplicative(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kMultiplicative);
+}
+void BM_Crc32(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kCrc32);
+}
+void BM_Jenkins(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kJenkins);
+}
+void BM_Toeplitz(benchmark::State& s) {
+  run_hash_bench(s, net::HasherKind::kToeplitz);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BsdModulo);
+BENCHMARK(BM_XorFold);
+BENCHMARK(BM_AddFold);
+BENCHMARK(BM_Multiplicative);
+BENCHMARK(BM_Crc32);
+BENCHMARK(BM_Jenkins);
+BENCHMARK(BM_Toeplitz);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Wall-clock lookup cost (google-benchmark): validates the paper's premise
+// that PCBs-examined is a faithful surrogate for lookup time.
+//
+// Each benchmark pre-populates a demuxer with N PCBs and replays a
+// TPC/A-distributed arrival sequence; the Counters report both ns/lookup
+// (google-benchmark's own timing) and the mean PCBs examined, so their
+// proportionality is visible directly in the output.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/demux_registry.h"
+#include "sim/address_space.h"
+#include "sim/tpca_workload.h"
+
+namespace {
+
+using namespace tcpdemux;
+
+struct LookupFixture {
+  std::unique_ptr<core::Demuxer> demuxer;
+  std::vector<net::FlowKey> keys;
+  std::vector<std::pair<std::uint32_t, core::SegmentKind>> sequence;
+
+  LookupFixture(const std::string& spec, std::uint32_t users) {
+    demuxer = core::make_demuxer(*core::parse_demux_spec(spec));
+    sim::AddressSpaceParams ap;
+    ap.clients = users;
+    keys = sim::make_client_keys(ap);
+    for (const auto& k : keys) demuxer->insert(k);
+
+    sim::TpcaWorkloadParams tp;
+    tp.users = users;
+    tp.duration = 50.0;
+    for (const auto& e : sim::generate_tpca_trace(tp).events) {
+      if (e.kind == sim::TraceEventKind::kTransmit) continue;
+      sequence.emplace_back(e.conn,
+                            e.kind == sim::TraceEventKind::kArrivalData
+                                ? core::SegmentKind::kData
+                                : core::SegmentKind::kAck);
+    }
+  }
+};
+
+void run_lookup_bench(benchmark::State& state, const std::string& spec) {
+  const auto users = static_cast<std::uint32_t>(state.range(0));
+  LookupFixture fx(spec, users);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [conn, kind] = fx.sequence[i];
+    const auto r = fx.demuxer->lookup(fx.keys[conn], kind);
+    benchmark::DoNotOptimize(r.pcb);
+    if (++i == fx.sequence.size()) i = 0;
+  }
+  state.counters["pcbs_examined"] = benchmark::Counter(
+      fx.demuxer->stats().mean_examined());
+  state.counters["hit_rate"] =
+      benchmark::Counter(fx.demuxer->stats().hit_rate());
+}
+
+void BM_Bsd(benchmark::State& state) { run_lookup_bench(state, "bsd"); }
+void BM_Mtf(benchmark::State& state) { run_lookup_bench(state, "mtf"); }
+void BM_SrCache(benchmark::State& state) {
+  run_lookup_bench(state, "srcache");
+}
+void BM_Sequent19(benchmark::State& state) {
+  run_lookup_bench(state, "sequent:19:crc32");
+}
+void BM_Sequent101(benchmark::State& state) {
+  run_lookup_bench(state, "sequent:101:crc32");
+}
+void BM_HashedMtf19(benchmark::State& state) {
+  run_lookup_bench(state, "hashed_mtf:19:crc32");
+}
+void BM_ConnectionId(benchmark::State& state) {
+  run_lookup_bench(state, "connection_id");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Bsd)->Arg(200)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_Mtf)->Arg(200)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_SrCache)->Arg(200)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_Sequent19)->Arg(200)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_Sequent101)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_HashedMtf19)->Arg(2000)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ConnectionId)->Arg(2000)->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Multiprocessor scaling (google-benchmark ->Threads): per-chain lock
+// striping vs one global lock.
+//
+// The paper grew out of Sequent's parallel TCP [Dov90]: on an SMP, hash
+// chains partition the lock as well as the search. On a multi-core host,
+// expect the striped demuxer's per-lookup time to stay roughly flat as
+// threads multiply while the globally locked variants inflate with
+// contention; on a single-core host (threads merely time-slice) the
+// numbers stay flat for all variants and only the BSD-vs-hashed scan-cost
+// gap shows.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/bsd_list.h"
+#include "core/concurrent_demuxer.h"
+#include "core/sequent_hash.h"
+#include "sim/address_space.h"
+
+namespace {
+
+using namespace tcpdemux;
+
+constexpr std::uint32_t kConnections = 2000;
+
+std::vector<net::FlowKey> shared_keys() {
+  sim::AddressSpaceParams ap;
+  ap.clients = kConnections;
+  return sim::make_client_keys(ap);
+}
+
+std::unique_ptr<core::ConcurrentSequentDemuxer> make_striped(
+    std::uint32_t chains) {
+  auto d = std::make_unique<core::ConcurrentSequentDemuxer>(
+      core::ConcurrentSequentDemuxer::Options{chains,
+                                              net::HasherKind::kCrc32, true});
+  for (const auto& k : shared_keys()) d->insert(k);
+  return d;
+}
+
+core::ConcurrentSequentDemuxer& striped_instance(std::uint32_t chains) {
+  static const auto d19 = make_striped(19);
+  static const auto d101 = make_striped(101);
+  return chains == 19 ? *d19 : *d101;
+}
+
+std::unique_ptr<core::GloballyLockedDemuxer> make_locked(
+    std::unique_ptr<core::Demuxer> inner) {
+  auto locked =
+      std::make_unique<core::GloballyLockedDemuxer>(std::move(inner));
+  for (const auto& k : shared_keys()) locked->insert(k);
+  return locked;
+}
+
+core::GloballyLockedDemuxer& locked_bsd_instance() {
+  static const auto d = make_locked(std::make_unique<core::BsdListDemuxer>());
+  return *d;
+}
+
+core::GloballyLockedDemuxer& locked_sequent_instance() {
+  static const auto d = make_locked(std::make_unique<core::SequentDemuxer>(
+      core::SequentDemuxer::Options{19, net::HasherKind::kCrc32, true}));
+  return *d;
+}
+
+// Per-thread deterministic key sequence.
+std::uint32_t next_index(std::uint32_t& state) {
+  state = state * 1664525u + 1013904223u;
+  return state % kConnections;
+}
+
+void BM_StripedSequent19(benchmark::State& state) {
+  auto& d = striped_instance(19);
+  static const auto keys = shared_keys();
+  std::uint32_t prng =
+      static_cast<std::uint32_t>(state.thread_index() + 1) * 2654435761u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.lookup(keys[next_index(prng)]).pcb);
+  }
+}
+
+void BM_StripedSequent101(benchmark::State& state) {
+  auto& d = striped_instance(101);
+  static const auto keys = shared_keys();
+  std::uint32_t prng =
+      static_cast<std::uint32_t>(state.thread_index() + 1) * 2654435761u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.lookup(keys[next_index(prng)]).pcb);
+  }
+}
+
+void BM_GlobalLockSequent19(benchmark::State& state) {
+  auto& d = locked_sequent_instance();
+  static const auto keys = shared_keys();
+  std::uint32_t prng =
+      static_cast<std::uint32_t>(state.thread_index() + 1) * 2654435761u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.lookup(keys[next_index(prng)]).pcb);
+  }
+}
+
+void BM_GlobalLockBsd(benchmark::State& state) {
+  auto& d = locked_bsd_instance();
+  static const auto keys = shared_keys();
+  std::uint32_t prng =
+      static_cast<std::uint32_t>(state.thread_index() + 1) * 2654435761u;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.lookup(keys[next_index(prng)]).pcb);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StripedSequent19)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_StripedSequent101)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_GlobalLockSequent19)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_GlobalLockBsd)->Threads(1)->Threads(4)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Bulk transfer: the packet-train traffic the BSD one-entry cache was
+// built for (paper §1), versus the OLTP traffic that defeats it.
+//
+// Replays two generated workloads — a handful of bulk connections sending
+// back-to-back segment trains, and a 1,000-user TPC/A population — through
+// both the BSD algorithm and the Sequent algorithm, printing the hit rates
+// and examined-PCB costs side by side. This is the paper's introduction in
+// one screen of output.
+#include <iostream>
+
+#include "core/demux_registry.h"
+#include "report/table.h"
+#include "sim/bulk_workload.h"
+#include "sim/replay.h"
+#include "sim/tpca_workload.h"
+
+int main() {
+  using namespace tcpdemux;
+
+  // Workload A: four bulk connections, 16-segment trains.
+  sim::BulkWorkloadParams bulk_params;
+  bulk_params.connections = 4;
+  bulk_params.train_length = 16;
+  bulk_params.train_gap_mean = 0.02;
+  bulk_params.duration = 5.0;
+  const sim::Trace bulk = generate_bulk_trace(bulk_params);
+
+  // Workload B: 1,000 TPC/A users entering transactions.
+  sim::TpcaWorkloadParams oltp_params;
+  oltp_params.users = 1000;
+  oltp_params.duration = 120.0;
+  const sim::Trace oltp = generate_tpca_trace(oltp_params);
+
+  report::Table table({"workload", "algorithm", "mean PCBs examined",
+                       "cache hit rate", "p99 examined"});
+  for (const auto& [name, trace] :
+       {std::pair<const char*, const sim::Trace*>{"bulk trains", &bulk},
+        {"TPC/A 1000u", &oltp}}) {
+    for (const char* spec : {"bsd", "sequent:19:crc32"}) {
+      const auto demuxer = core::make_demuxer(*core::parse_demux_spec(spec));
+      const auto r = sim::replay_trace(*trace, *demuxer);
+      table.add_row({name, spec, report::fmt(r.overall.mean(), 2),
+                     report::fmt(100.0 * r.hit_rate(), 1) + "%",
+                     std::to_string(r.overall.percentile(0.99))});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading the table:\n"
+      << "  * on packet trains the BSD cache hits nearly always -- the\n"
+      << "    4.3-Reno optimization was the right call for bulk data;\n"
+      << "  * on OLTP traffic its hit rate collapses to ~1/N and every\n"
+      << "    packet scans half the PCB list;\n"
+      << "  * the hashed demultiplexer is within a whisker of the cache\n"
+      << "    on trains AND an order of magnitude cheaper on OLTP.\n";
+  return 0;
+}

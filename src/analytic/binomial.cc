@@ -1,0 +1,32 @@
+#include "analytic/binomial.h"
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return -HUGE_VAL;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) noexcept {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_binomial_coefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_mean_by_sum(std::uint64_t n, double p) noexcept {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += static_cast<double>(i) * binomial_pmf(n, i, p);
+  }
+  return sum;
+}
+
+}  // namespace tcpdemux::analytic

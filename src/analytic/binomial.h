@@ -1,0 +1,35 @@
+// Numerically stable binomial sums for the paper's Equation 3.
+//
+// Equation 3 computes the expected number of the other N-1 users entering
+// at least one transaction during an interval: a binomial-weighted average
+//   sum_{i=0}^{N-1} i * C(N-1, i) * p^i * (1-p)^{N-1-i}
+// which is exactly the mean of Binomial(N-1, p), i.e. (N-1)p. We provide
+// both the literal log-space sum (stable to n ~ 1e5) and the closed form so
+// tests can confirm the simplification the models rely on.
+#ifndef TCPDEMUX_ANALYTIC_BINOMIAL_H_
+#define TCPDEMUX_ANALYTIC_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace tcpdemux::analytic {
+
+/// log C(n, k), via lgamma.
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n,
+                                              std::uint64_t k) noexcept;
+
+/// Binomial(n, p) probability mass at k, computed in log space.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, std::uint64_t k,
+                                  double p) noexcept;
+
+/// The literal Equation 3 sum: E[#successes] over Binomial(n, p), summed
+/// term by term in log space.
+[[nodiscard]] double binomial_mean_by_sum(std::uint64_t n, double p) noexcept;
+
+/// Closed form of the same quantity: n * p.
+[[nodiscard]] inline double binomial_mean(std::uint64_t n, double p) noexcept {
+  return static_cast<double>(n) * p;
+}
+
+}  // namespace tcpdemux::analytic
+
+#endif  // TCPDEMUX_ANALYTIC_BINOMIAL_H_

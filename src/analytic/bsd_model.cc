@@ -1,0 +1,38 @@
+#include "analytic/bsd_model.h"
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+
+double expected_users_entering(double users, double rate,
+                               double interval) noexcept {
+  // Equation 3 collapses to the binomial mean: (N-1) * F(T), with F the
+  // exponential CDF (Equation 2). See analytic/binomial.h for the literal
+  // sum, which tests confirm is identical.
+  if (users <= 1.0) return 0.0;
+  return (users - 1.0) * (1.0 - std::exp(-rate * interval));
+}
+
+double bsd_cost(double users) noexcept {
+  if (users <= 0.0) return 0.0;
+  return 1.0 + (users * users - 1.0) / (2.0 * users);
+}
+
+double bsd_packet_train_probability(double users, double rate,
+                                    double response_time) noexcept {
+  if (users <= 1.0) return 1.0;
+  return std::exp(-2.0 * rate * response_time * (users - 1.0));
+}
+
+SearchCost BsdModel::search_cost(const TpcaParams& params) const {
+  // The cache hit rate is 1/N regardless of packet class (packet trains
+  // essentially never happen; see bsd_packet_train_probability), so both
+  // classes cost Equation 1.
+  SearchCost cost;
+  cost.txn_entry = bsd_cost(params.users);
+  cost.ack = bsd_cost(params.users);
+  cost.overall = 0.5 * (cost.txn_entry + cost.ack);
+  return cost;
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,59 @@
+#include "analytic/crowcroft_model.h"
+
+#include <cmath>
+
+#include "analytic/integrate.h"
+
+namespace tcpdemux::analytic {
+
+double crowcroft_entry_cost(double users, double rate,
+                            double response_time) noexcept {
+  if (users <= 1.0) return 0.0;
+  const double a = rate;
+  const double r = response_time;
+  // Integral of a e^{-aT} (1 - e^{-2aT}) dT over [0, R]:
+  const double below = (1.0 - std::exp(-a * r)) -
+                       (1.0 - std::exp(-3.0 * a * r)) / 3.0;
+  // Integral of a e^{-aT} (1 - e^{-a(T+R)}) dT over [R, inf):
+  const double above = std::exp(-a * r) - 0.5 * std::exp(-3.0 * a * r);
+  return (users - 1.0) * (below + above);
+}
+
+double crowcroft_entry_cost_numeric(double users, double rate,
+                                    double response_time) {
+  if (users <= 1.0) return 0.0;
+  const double a = rate;
+  const double r = response_time;
+  const double n1 = users - 1.0;
+  // Equation 5 with Equation 3 in closed (binomial-mean) form; the window
+  // is 2T while the think time is below R and T + R above it.
+  const auto below = [=](double t) {
+    return a * std::exp(-a * t) * n1 * (1.0 - std::exp(-2.0 * a * t));
+  };
+  const auto above = [=](double t) {
+    return a * std::exp(-a * t) * n1 * (1.0 - std::exp(-a * (t + r)));
+  };
+  return integrate(below, 0.0, r) + integrate_to_infinity(above, r);
+}
+
+double crowcroft_ack_cost(double users, double rate,
+                          double response_time) noexcept {
+  if (users <= 1.0) return 0.0;
+  return (users - 1.0) * (1.0 - std::exp(-2.0 * rate * response_time));
+}
+
+double crowcroft_deterministic_cost(double users) noexcept {
+  return users;
+}
+
+SearchCost CrowcroftModel::search_cost(const TpcaParams& params) const {
+  SearchCost cost;
+  cost.txn_entry =
+      crowcroft_entry_cost(params.users, params.rate, params.response_time);
+  cost.ack =
+      crowcroft_ack_cost(params.users, params.rate, params.response_time);
+  cost.overall = 0.5 * (cost.txn_entry + cost.ack);
+  return cost;
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,44 @@
+// Exponential-distribution helpers used throughout the paper's analysis
+// (§2–§3): pdf/cdf and the truncated negative-exponential think-time
+// distribution the TPC/A rules prescribe.
+#ifndef TCPDEMUX_ANALYTIC_EXP_MATH_H_
+#define TCPDEMUX_ANALYTIC_EXP_MATH_H_
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+
+/// Density of Exp(rate) at t (0 for t < 0).
+[[nodiscard]] inline double exp_pdf(double rate, double t) noexcept {
+  return t < 0.0 ? 0.0 : rate * std::exp(-rate * t);
+}
+
+/// CDF of Exp(rate): P(X <= t) = 1 - e^{-rate t}  (paper Equation 2).
+[[nodiscard]] inline double exp_cdf(double rate, double t) noexcept {
+  return t < 0.0 ? 0.0 : 1.0 - std::exp(-rate * t);
+}
+
+/// P(X > t) for Exp(rate).
+[[nodiscard]] inline double exp_sf(double rate, double t) noexcept {
+  return t < 0.0 ? 1.0 : std::exp(-rate * t);
+}
+
+/// Fraction of probability mass an Exp(mean) distribution carries above the
+/// TPC/A truncation point `cap` — the paper (§3) argues this is negligible
+/// (0.004% of values for cap = 10x mean).
+[[nodiscard]] inline double truncated_tail_mass(double mean,
+                                                double cap) noexcept {
+  return std::exp(-cap / mean);
+}
+
+/// Mean of Exp(mean) truncated (re-drawn) at `cap`:
+/// E[X | X <= cap] = mean - cap * e^{-cap/mean} / (1 - e^{-cap/mean}).
+[[nodiscard]] inline double truncated_exp_mean(double mean,
+                                               double cap) noexcept {
+  const double q = std::exp(-cap / mean);
+  return mean - cap * q / (1.0 - q);
+}
+
+}  // namespace tcpdemux::analytic
+
+#endif  // TCPDEMUX_ANALYTIC_EXP_MATH_H_

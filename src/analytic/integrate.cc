@@ -1,0 +1,56 @@
+#include "analytic/integrate.h"
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+namespace {
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double b,
+                double fa, double fm, double fb, double whole, double tol,
+                int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 const IntegrateOptions& options) {
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  const double whole = simpson(fa, fm, fb, a, b);
+  return adaptive(f, a, b, fa, fm, fb, whole, options.abs_tolerance,
+                  options.max_depth);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             const IntegrateOptions& options) {
+  // t = a + u/(1-u); dt = du/(1-u)^2. As u -> 1 the weight diverges but the
+  // exponential decay of f dominates; evaluate the endpoint as 0.
+  const auto g = [&f, a](double u) -> double {
+    if (u >= 1.0) return 0.0;
+    const double one_minus = 1.0 - u;
+    const double t = a + u / one_minus;
+    return f(t) / (one_minus * one_minus);
+  };
+  return integrate(g, 0.0, 1.0, options);
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,44 @@
+// Common interface of the paper's analytic PCB-search-cost models.
+//
+// Every model answers: under TPC/A traffic with the given parameters, how
+// many PCBs does the algorithm examine on average for (a) a transaction
+// query, (b) a transport-level acknowledgement, and (c) overall (the server
+// receives one of each per transaction, so overall = their mean)?
+#ifndef TCPDEMUX_ANALYTIC_MODEL_H_
+#define TCPDEMUX_ANALYTIC_MODEL_H_
+
+#include <string>
+
+namespace tcpdemux::analytic {
+
+/// TPC/A traffic parameters as the paper's analysis uses them.
+struct TpcaParams {
+  double users = 2000.0;        ///< N (>= 10x the transaction rate)
+  double rate = 0.1;            ///< a: per-user transaction rate, 1/s
+  double response_time = 0.2;   ///< R: client-observed response time, s
+  double rtt = 0.001;           ///< D: network round-trip time, s
+};
+
+/// Expected PCBs examined per received packet, by packet class.
+struct SearchCost {
+  double txn_entry = 0.0;  ///< arriving transaction query
+  double ack = 0.0;        ///< arriving transport-level acknowledgement
+  double overall = 0.0;    ///< mean of the two (equal arrival shares)
+};
+
+class AnalyticModel {
+ public:
+  virtual ~AnalyticModel() = default;
+  [[nodiscard]] virtual SearchCost search_cost(
+      const TpcaParams& params) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// N(T), paper Equation 3 (closed form): the expected number of the other
+/// N-1 users to enter at least one transaction during an interval T.
+[[nodiscard]] double expected_users_entering(double users, double rate,
+                                             double interval) noexcept;
+
+}  // namespace tcpdemux::analytic
+
+#endif  // TCPDEMUX_ANALYTIC_MODEL_H_

@@ -1,0 +1,49 @@
+#include "analytic/sequent_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/bsd_model.h"
+
+namespace tcpdemux::analytic {
+
+double sequent_cost_approx(double users, double chains) noexcept {
+  if (users <= 0.0) return 0.0;
+  return std::max(1.0, bsd_cost(users / chains));
+}
+
+double sequent_quiet_probability(double users, double chains, double rate,
+                                 double response_time) noexcept {
+  const double per_chain = users / chains;
+  if (per_chain <= 1.0) return 1.0;
+  return std::exp(-2.0 * rate * response_time * (per_chain - 1.0));
+}
+
+double sequent_ack_cost(double users, double chains, double rate,
+                        double response_time) noexcept {
+  const double m = users / chains;
+  const double p =
+      sequent_quiet_probability(users, chains, rate, response_time);
+  return std::max(1.0, p + (1.0 - p) * (m + 1.0) / 2.0);
+}
+
+double sequent_cost_exact(double users, double chains, double rate,
+                          double response_time) noexcept {
+  return 0.5 * (sequent_cost_approx(users, chains) +
+                sequent_ack_cost(users, chains, rate, response_time));
+}
+
+SearchCost SequentModel::search_cost(const TpcaParams& params) const {
+  SearchCost cost;
+  cost.txn_entry = sequent_cost_approx(params.users, chains_);
+  cost.ack = sequent_ack_cost(params.users, chains_, params.rate,
+                              params.response_time);
+  cost.overall = 0.5 * (cost.txn_entry + cost.ack);
+  return cost;
+}
+
+std::string SequentModel::name() const {
+  return "sequent(h=" + std::to_string(static_cast<int>(chains_)) + ")";
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,77 @@
+#include "analytic/solvers.h"
+
+#include "analytic/sequent_model.h"
+
+namespace tcpdemux::analytic {
+
+std::optional<std::uint32_t> sequent_chains_for_target(double users,
+                                                       double rate,
+                                                       double response_time,
+                                                       double target_cost) {
+  if (target_cost < 1.0) return std::nullopt;
+  // Cost is non-increasing in H (see SequentModel tests); binary-search
+  // the smallest adequate H in [1, users] — beyond N chains the cost is
+  // already its floor of 1.
+  std::uint32_t lo = 1;
+  std::uint32_t hi = static_cast<std::uint32_t>(users) + 1;
+  if (sequent_cost_exact(users, hi, rate, response_time) > target_cost) {
+    return std::nullopt;
+  }
+  if (sequent_cost_exact(users, lo, rate, response_time) <= target_cost) {
+    return lo;
+  }
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (sequent_cost_exact(users, mid, rate, response_time) <= target_cost) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double sequent_users_for_target(double chains, double rate,
+                                double response_time, double target_cost) {
+  if (sequent_cost_exact(1.0, chains, rate, response_time) > target_cost) {
+    return 0.0;
+  }
+  double lo = 1.0;
+  double hi = 2.0;
+  while (sequent_cost_exact(hi, chains, rate, response_time) <=
+         target_cost) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e9) return hi;  // effectively unbounded
+  }
+  while (hi - lo > 1.0) {
+    const double mid = 0.5 * (lo + hi);
+    if (sequent_cost_exact(mid, chains, rate, response_time) <=
+        target_cost) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<double> crossover_population(
+    const std::function<double(double)>& cost_a,
+    const std::function<double(double)>& cost_b, double lo, double hi,
+    double tolerance) {
+  const auto diff = [&](double n) { return cost_a(n) - cost_b(n); };
+  if (diff(lo) >= 0.0) return lo;  // a never led
+  if (diff(hi) < 0.0) return std::nullopt;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (diff(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,42 @@
+// Inverse and crossover solvers over the paper's models — the questions a
+// capacity planner asks of §3's equations.
+//
+//   * How many chains do I need to keep PCB lookup under X reads?
+//   * How many users can a given configuration carry at that budget?
+//   * At what population does algorithm A stop beating algorithm B?
+//     (Figure 14's crossovers, located precisely.)
+#ifndef TCPDEMUX_ANALYTIC_SOLVERS_H_
+#define TCPDEMUX_ANALYTIC_SOLVERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace tcpdemux::analytic {
+
+/// Smallest chain count H such that the Sequent algorithm's exact cost
+/// (Equation 22) is <= `target_cost` for the given population. Returns
+/// nullopt if even one PCB per chain cannot meet the target (i.e.
+/// target < 1).
+[[nodiscard]] std::optional<std::uint32_t> sequent_chains_for_target(
+    double users, double rate, double response_time, double target_cost);
+
+/// Largest user population the configuration carries at or under
+/// `target_cost` (Equation 22 is monotone increasing in N). Returns 0 if
+/// even one user exceeds the target.
+[[nodiscard]] double sequent_users_for_target(double chains, double rate,
+                                              double response_time,
+                                              double target_cost);
+
+/// Finds a crossover population: the smallest N in [lo, hi] where
+/// cost_a(N) >= cost_b(N), given that a is cheaper at lo. Both cost
+/// functions must be continuous; the difference must change sign at most
+/// once in the bracket. Returns nullopt if a stays cheaper through hi.
+[[nodiscard]] std::optional<double> crossover_population(
+    const std::function<double(double)>& cost_a,
+    const std::function<double(double)>& cost_b, double lo, double hi,
+    double tolerance = 0.5);
+
+}  // namespace tcpdemux::analytic
+
+#endif  // TCPDEMUX_ANALYTIC_SOLVERS_H_

@@ -1,0 +1,82 @@
+#include "analytic/srcache_model.h"
+
+#include <cmath>
+
+#include "analytic/integrate.h"
+
+namespace tcpdemux::analytic {
+namespace {
+
+/// Expected examined PCBs given cache-survival probability `p`:
+/// p * 1 + (1 - p) * (N + 5) / 2.
+double cost_given_survival(double users, double p) noexcept {
+  const double miss = (users + 5.0) / 2.0;
+  return p + (1.0 - p) * miss;
+}
+
+}  // namespace
+
+double srcache_n1(double users, double rate, double response_time,
+                  double rtt) noexcept {
+  const double n = users;
+  const double a = rate;
+  const double s = response_time + rtt;
+  // Integral over T in [S, inf) of a e^{-aT} * cost(p1(T)), with
+  // p1(T) = e^{-a(T+S)(N-1)}  (Equation 8). See header for the result.
+  return (n + 5.0) / 2.0 * std::exp(-a * s) -
+         (n + 3.0) / (2.0 * n) * std::exp(-a * s * (2.0 * n - 1.0));
+}
+
+double srcache_n2(double users, double rate, double response_time,
+                  double rtt) noexcept {
+  const double n = users;
+  const double a = rate;
+  const double s = response_time + rtt;
+  // Integral over T in [0, S) of a e^{-aT} * cost(p2(T)), with
+  // p2(T) = e^{-2aT(N-1)}  (Equation 12).
+  return (n + 5.0) / 2.0 * (1.0 - std::exp(-a * s)) -
+         (n + 3.0) / (2.0 * (2.0 * n - 1.0)) *
+             (1.0 - std::exp(-a * s * (2.0 * n - 1.0)));
+}
+
+double srcache_na(double users, double rate, double rtt) noexcept {
+  // Equation 15/16: Craig has two windows of duration D to flush the
+  // send-side cache; survival probability e^{-2aD(N-1)}.
+  const double p = std::exp(-2.0 * rate * rtt * (users - 1.0));
+  return cost_given_survival(users, p);
+}
+
+double srcache_n1_numeric(double users, double rate, double response_time,
+                          double rtt) {
+  const double a = rate;
+  const double s = response_time + rtt;
+  const auto f = [=](double t) {
+    const double p = std::exp(-a * (t + s) * (users - 1.0));
+    return a * std::exp(-a * t) * cost_given_survival(users, p);
+  };
+  return integrate_to_infinity(f, s);
+}
+
+double srcache_n2_numeric(double users, double rate, double response_time,
+                          double rtt) {
+  const double a = rate;
+  const double s = response_time + rtt;
+  const auto f = [=](double t) {
+    const double p = std::exp(-2.0 * a * t * (users - 1.0));
+    return a * std::exp(-a * t) * cost_given_survival(users, p);
+  };
+  return integrate(f, 0.0, s);
+}
+
+SearchCost SrCacheModel::search_cost(const TpcaParams& params) const {
+  SearchCost cost;
+  cost.txn_entry =
+      srcache_n1(params.users, params.rate, params.response_time,
+                 params.rtt) +
+      srcache_n2(params.users, params.rate, params.response_time, params.rtt);
+  cost.ack = srcache_na(params.users, params.rate, params.rtt);
+  cost.overall = 0.5 * (cost.txn_entry + cost.ack);
+  return cost;
+}
+
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,50 @@
+// Partridge/Pink send/receive cache model — paper §3.3,
+// Equations 7–17.
+//
+// Three cases, each the expected PCBs examined for one packet class:
+//   N1 — transaction arrival with think time T > R + D (Equation 11)
+//   N2 — transaction arrival with think time T < R + D (Equation 14)
+//   Na — transport-level acknowledgement (Equation 16)
+// N1 and N2 integrate over mutually exclusive think-time ranges, so the
+// per-transaction cost is N1 + N2, and the overall per-packet cost is
+// (Equation 7):  N = (N1 + N2 + Na) / 2.
+//
+// A surviving cache costs 1 examined PCB; a flushed cache costs (N+5)/2
+// (both cache slots plus the (N+1)/2 average chain scan). Closed forms
+// (S = R + D, M = N - 1):
+//   N1 = (N+5)/2 e^{-aS}       - (N+3)/(2N)        e^{-aS(2N-1)}
+//   N2 = (N+5)/2 (1 - e^{-aS}) - (N+3)/(2(2N-1)) (1 - e^{-aS(2N-1)})
+//   Na = (N+5)/2               - (N+3)/2           e^{-2aD(N-1)}
+#ifndef TCPDEMUX_ANALYTIC_SRCACHE_MODEL_H_
+#define TCPDEMUX_ANALYTIC_SRCACHE_MODEL_H_
+
+#include "analytic/model.h"
+
+namespace tcpdemux::analytic {
+
+/// Equation 11 (closed form).
+[[nodiscard]] double srcache_n1(double users, double rate,
+                                double response_time, double rtt) noexcept;
+/// Equation 14 (closed form).
+[[nodiscard]] double srcache_n2(double users, double rate,
+                                double response_time, double rtt) noexcept;
+/// Equation 16.
+[[nodiscard]] double srcache_na(double users, double rate,
+                                double rtt) noexcept;
+
+/// Numeric-integration versions of Equations 10 and 13 (test validation).
+[[nodiscard]] double srcache_n1_numeric(double users, double rate,
+                                        double response_time, double rtt);
+[[nodiscard]] double srcache_n2_numeric(double users, double rate,
+                                        double response_time, double rtt);
+
+class SrCacheModel final : public AnalyticModel {
+ public:
+  [[nodiscard]] SearchCost search_cost(
+      const TpcaParams& params) const override;
+  [[nodiscard]] std::string name() const override { return "srcache"; }
+};
+
+}  // namespace tcpdemux::analytic
+
+#endif  // TCPDEMUX_ANALYTIC_SRCACHE_MODEL_H_

@@ -1,0 +1,127 @@
+#include "core/demux_registry.h"
+
+#include <charconv>
+#include <vector>
+
+#include "core/bsd_list.h"
+#include "core/connection_id.h"
+#include "core/dynamic_hash.h"
+#include "core/hashed_mtf.h"
+#include "core/move_to_front.h"
+#include "core/send_receive_cache.h"
+#include "core/sequent_hash.h"
+
+namespace tcpdemux::core {
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t pos = s.find(sep);
+    out.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view s) {
+  std::uint32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::kBsd:
+      return std::make_unique<BsdListDemuxer>();
+    case Algorithm::kMtf:
+      return std::make_unique<MoveToFrontDemuxer>();
+    case Algorithm::kSrCache:
+      return std::make_unique<SendReceiveCacheDemuxer>();
+    case Algorithm::kSequent:
+      return std::make_unique<SequentDemuxer>(SequentDemuxer::Options{
+          config.chains, config.hasher, config.per_chain_cache});
+    case Algorithm::kHashedMtf:
+      return std::make_unique<HashedMtfDemuxer>(
+          HashedMtfDemuxer::Options{config.chains, config.hasher});
+    case Algorithm::kConnectionId:
+      return std::make_unique<ConnectionIdDemuxer>(config.id_capacity);
+    case Algorithm::kDynamic:
+      return std::make_unique<DynamicHashDemuxer>(DynamicHashDemuxer::Options{
+          config.chains, 2.0, config.hasher, config.per_chain_cache});
+  }
+  return nullptr;
+}
+
+std::optional<net::HasherKind> parse_hasher_name(std::string_view name) {
+  for (const net::HasherKind kind : net::kAllHashers) {
+    if (net::hasher_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string_view algorithm_name(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kBsd: return "bsd";
+    case Algorithm::kMtf: return "mtf";
+    case Algorithm::kSrCache: return "srcache";
+    case Algorithm::kSequent: return "sequent";
+    case Algorithm::kHashedMtf: return "hashed_mtf";
+    case Algorithm::kConnectionId: return "connection_id";
+    case Algorithm::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
+  const auto parts = split(spec, ':');
+  DemuxConfig config;
+  const std::string_view head = parts[0];
+  if (head == "bsd") {
+    config.algorithm = Algorithm::kBsd;
+  } else if (head == "mtf") {
+    config.algorithm = Algorithm::kMtf;
+  } else if (head == "srcache") {
+    config.algorithm = Algorithm::kSrCache;
+  } else if (head == "sequent") {
+    config.algorithm = Algorithm::kSequent;
+  } else if (head == "hashed_mtf") {
+    config.algorithm = Algorithm::kHashedMtf;
+  } else if (head == "connection_id") {
+    config.algorithm = Algorithm::kConnectionId;
+  } else if (head == "dynamic") {
+    config.algorithm = Algorithm::kDynamic;
+  } else {
+    return std::nullopt;
+  }
+
+  const bool takes_chains = config.algorithm == Algorithm::kSequent ||
+                            config.algorithm == Algorithm::kHashedMtf ||
+                            config.algorithm == Algorithm::kDynamic;
+  if (parts.size() > 1 && !takes_chains) return std::nullopt;
+
+  if (parts.size() > 1) {
+    const auto chains = parse_u32(parts[1]);
+    if (!chains || *chains == 0) return std::nullopt;
+    config.chains = *chains;
+  }
+  if (parts.size() > 2) {
+    const auto hasher = parse_hasher_name(parts[2]);
+    if (!hasher) return std::nullopt;
+    config.hasher = *hasher;
+  }
+  if (parts.size() > 3) {
+    if (parts[3] != "nocache" || config.algorithm != Algorithm::kSequent) {
+      return std::nullopt;
+    }
+    config.per_chain_cache = false;
+  }
+  if (parts.size() > 4) return std::nullopt;
+  return config;
+}
+
+}  // namespace tcpdemux::core

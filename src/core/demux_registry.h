@@ -1,0 +1,55 @@
+// Factory for demuxer instances, used by examples, benches, and the replay
+// harness to instantiate algorithms uniformly.
+#ifndef TCPDEMUX_CORE_DEMUX_REGISTRY_H_
+#define TCPDEMUX_CORE_DEMUX_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/demuxer.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::core {
+
+enum class Algorithm : std::uint8_t {
+  kBsd,           ///< §3.1 linear list + 1-entry cache
+  kMtf,           ///< §3.2 Crowcroft move-to-front
+  kSrCache,       ///< §3.3 Partridge/Pink send/receive cache
+  kSequent,       ///< §3.4 hash chains + per-chain cache
+  kHashedMtf,     ///< §3.5 rejected combination
+  kConnectionId,  ///< §3.5 protocol-extension strawman
+  kDynamic,       ///< self-resizing hash chains (post-paper extension)
+};
+
+struct DemuxConfig {
+  Algorithm algorithm = Algorithm::kSequent;
+  std::uint32_t chains = 19;  ///< Sequent / hashed-MTF only
+  net::HasherKind hasher = net::HasherKind::kXorFold;
+  bool per_chain_cache = true;       ///< Sequent only
+  std::size_t id_capacity = 65536;   ///< connection-ID only
+};
+
+/// Instantiates the configured demuxer.
+[[nodiscard]] std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config);
+
+/// Parses a spec string:
+///   "bsd" | "mtf" | "srcache" | "connection_id"
+///   "sequent[:chains[:hasher[:nocache]]]"   e.g. "sequent:101:crc32"
+///   "hashed_mtf[:chains[:hasher]]"
+///   "dynamic[:initial_chains[:hasher]]"      (self-resizing chain table)
+/// Returns nullopt on any unrecognized token.
+[[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
+    std::string_view spec);
+
+/// Parses a hasher name as printed by net::hasher_name().
+[[nodiscard]] std::optional<net::HasherKind> parse_hasher_name(
+    std::string_view name);
+
+/// Short algorithm name for display.
+[[nodiscard]] std::string_view algorithm_name(Algorithm algorithm) noexcept;
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_DEMUX_REGISTRY_H_

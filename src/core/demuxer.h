@@ -1,0 +1,135 @@
+// Demuxer: the common interface of every TCP PCB-lookup algorithm.
+//
+// The paper's figure of merit — the expected number of PCBs examined per
+// received packet — is first-class here: every lookup() reports exactly how
+// many PCBs (cache entries and chain nodes) were inspected.
+//
+// Accounting convention (matches the paper's analysis, §3.1–§3.4):
+//   * probing a single-entry cache costs 1 examined PCB;
+//   * each list node whose key is compared costs 1 (the found node counts);
+//   * a cache hit therefore costs exactly 1; a BSD miss costs
+//     1 + scan-length, giving the paper's 1 + (N+1)/2 average.
+#ifndef TCPDEMUX_CORE_DEMUXER_H_
+#define TCPDEMUX_CORE_DEMUXER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/pcb.h"
+#include "net/flow_key.h"
+
+namespace tcpdemux::core {
+
+/// How the arriving segment is classified for cache-probe ordering.
+///
+/// §3.3 footnote 5: "Examining the receive-side cache makes most sense for
+/// TCP data packets, while examining the send-side cache first makes most
+/// sense for TCP acknowledgement packets." Only the send/receive-cache
+/// demuxer distinguishes these; all other algorithms ignore the kind.
+enum class SegmentKind : std::uint8_t {
+  kData,  ///< carries payload (e.g. a transaction query)
+  kAck,   ///< pure transport-level acknowledgement
+};
+
+/// Outcome of one demultiplexing operation.
+struct LookupResult {
+  Pcb* pcb = nullptr;            ///< nullptr if no PCB matches
+  std::uint32_t examined = 0;    ///< PCBs inspected (paper's metric)
+  bool cache_hit = false;        ///< satisfied by a single-entry cache
+};
+
+/// Cumulative per-demuxer counters.
+struct DemuxStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t found = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t pcbs_examined = 0;
+
+  [[nodiscard]] double mean_examined() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(pcbs_examined) /
+                              static_cast<double>(lookups);
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+  void record(const LookupResult& r) noexcept {
+    ++lookups;
+    if (r.pcb != nullptr) ++found;
+    if (r.cache_hit) ++cache_hits;
+    pcbs_examined += r.examined;
+  }
+  void reset() noexcept { *this = DemuxStats{}; }
+};
+
+/// Abstract PCB-lookup algorithm. Owns its PCBs.
+class Demuxer {
+ public:
+  virtual ~Demuxer() = default;
+
+  /// Creates and registers a PCB for `key`. Returns nullptr if a PCB with
+  /// an identical key already exists. The demuxer owns the returned PCB.
+  virtual Pcb* insert(const net::FlowKey& key) = 0;
+
+  /// Removes and destroys the PCB with exactly `key`. Returns false if
+  /// absent. Any cache entries referencing it are invalidated.
+  virtual bool erase(const net::FlowKey& key) = 0;
+
+  /// Finds the PCB for an arriving segment, counting examined PCBs.
+  /// Updates internal caches / list order as the algorithm dictates and
+  /// records the result in stats().
+  virtual LookupResult lookup(const net::FlowKey& key, SegmentKind kind) = 0;
+
+  /// Convenience overload treating the segment as data. Derived classes
+  /// re-expose it with `using Demuxer::lookup;`.
+  LookupResult lookup(const net::FlowKey& key) {
+    return lookup(key, SegmentKind::kData);
+  }
+
+  /// Notes that the host transmitted a segment on `pcb`'s connection.
+  /// Only the send/receive-cache algorithm observes this (its "last sent"
+  /// side); the default is a no-op.
+  virtual void note_sent(Pcb* pcb) { (void)pcb; }
+
+  /// Best wildcard match for `key` (BSD in_pcblookup semantics), used for
+  /// SYN delivery to listening sockets. Does not update caches and is not
+  /// part of the measured fast path; `examined` is still reported.
+  virtual LookupResult lookup_wildcard(const net::FlowKey& key) = 0;
+
+  /// Number of PCBs currently registered.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Approximate resident bytes: the PCBs themselves plus the structure's
+  /// own headers (chain heads, caches, index tables). §3.4 prices the
+  /// Sequent algorithm's only cost as "the memory required for the
+  /// hash-chain headers"; this makes that cost measurable.
+  [[nodiscard]] virtual std::size_t memory_bytes() const {
+    return size() * sizeof(Pcb);
+  }
+
+  /// Calls `fn` for every PCB (order unspecified).
+  virtual void for_each_pcb(
+      const std::function<void(const Pcb&)>& fn) const = 0;
+
+  /// Algorithm name, e.g. "sequent(h=19,crc32)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const DemuxStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ protected:
+  /// Next dense connection id; shared by all subclasses' insert paths.
+  [[nodiscard]] std::uint64_t next_conn_id() noexcept { return conn_seq_++; }
+
+  DemuxStats stats_;
+
+ private:
+  std::uint64_t conn_seq_ = 0;
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_DEMUXER_H_

@@ -1,0 +1,132 @@
+#include "core/dynamic_hash.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace tcpdemux::core {
+namespace {
+
+// Primes that roughly double; the ladder a kernel hashtable would bake in.
+constexpr std::array<std::uint32_t, 20> kPrimes = {
+    19,    41,    83,     167,    337,    673,    1361,
+    2729,  5471,  10949,  21911,  43853,  87719,  175447,
+    350899, 701819, 1403641, 2807303, 5614657, 11229331};
+
+}  // namespace
+
+std::uint32_t DynamicHashDemuxer::next_table_size(std::uint32_t n) noexcept {
+  for (const std::uint32_t p : kPrimes) {
+    if (p >= 2 * n) return p;
+  }
+  return kPrimes.back();
+}
+
+DynamicHashDemuxer::DynamicHashDemuxer(Options options) : options_(options) {
+  if (options_.initial_chains == 0) {
+    throw std::invalid_argument(
+        "DynamicHashDemuxer: chain count must be >= 1");
+  }
+  if (options_.max_load <= 0.0) {
+    throw std::invalid_argument("DynamicHashDemuxer: max_load must be > 0");
+  }
+  buckets_.resize(options_.initial_chains);
+}
+
+void DynamicHashDemuxer::maybe_grow() {
+  if (static_cast<double>(size_) <=
+      options_.max_load * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  const std::uint32_t new_size =
+      next_table_size(static_cast<std::uint32_t>(buckets_.size()));
+  if (new_size <= buckets_.size()) return;  // ladder exhausted
+
+  std::vector<Bucket> grown(new_size);
+  for (Bucket& old : buckets_) {
+    while (Pcb* pcb = old.list.extract_front()) {
+      const std::uint32_t c =
+          net::hash_chain(options_.hasher, pcb->key, new_size);
+      grown[c].list.adopt_front(pcb);
+    }
+  }
+  buckets_ = std::move(grown);  // all per-chain caches start cold
+  ++rehashes_;
+}
+
+Pcb* DynamicHashDemuxer::insert(const net::FlowKey& key) {
+  Bucket& b = buckets_[chain_of(key)];
+  if (b.list.find_scan(key).pcb != nullptr) return nullptr;
+  Pcb* pcb = b.list.emplace_front(key, next_conn_id());
+  ++size_;
+  maybe_grow();
+  return pcb;
+}
+
+bool DynamicHashDemuxer::erase(const net::FlowKey& key) {
+  Bucket& b = buckets_[chain_of(key)];
+  const auto scan = b.list.find_scan(key);
+  if (scan.pcb == nullptr) return false;
+  if (b.cache == scan.pcb) b.cache = nullptr;
+  b.list.erase(scan.pcb);
+  --size_;
+  return true;
+}
+
+LookupResult DynamicHashDemuxer::lookup(const net::FlowKey& key,
+                                        SegmentKind /*kind*/) {
+  Bucket& b = buckets_[chain_of(key)];
+  LookupResult r;
+  if (options_.per_chain_cache && b.cache != nullptr) {
+    ++r.examined;
+    if (b.cache->key == key) {
+      r.pcb = b.cache;
+      r.cache_hit = true;
+      stats_.record(r);
+      return r;
+    }
+  }
+  const auto scan = b.list.find_scan(key);
+  r.examined += scan.examined;
+  r.pcb = scan.pcb;
+  if (options_.per_chain_cache && scan.pcb != nullptr) b.cache = scan.pcb;
+  stats_.record(r);
+  return r;
+}
+
+LookupResult DynamicHashDemuxer::lookup_wildcard(const net::FlowKey& key) {
+  LookupResult best;
+  int best_score = -1;
+  for (Bucket& b : buckets_) {
+    const auto scan = b.list.find_best_match(key);
+    best.examined += scan.examined;
+    if (scan.pcb == nullptr) continue;
+    const int score = scan.pcb->key.match_score(key);
+    if (score == 0) {
+      best.pcb = scan.pcb;
+      return best;
+    }
+    if (best_score < 0 || score < best_score) {
+      best_score = score;
+      best.pcb = scan.pcb;
+    }
+  }
+  return best;
+}
+
+void DynamicHashDemuxer::for_each_pcb(
+    const std::function<void(const Pcb&)>& fn) const {
+  for (const Bucket& b : buckets_) {
+    b.list.for_each(fn);
+  }
+}
+
+std::string DynamicHashDemuxer::name() const {
+  std::string n = "dynamic(h=";
+  n += std::to_string(buckets_.size());
+  n += ',';
+  n += net::hasher_name(options_.hasher);
+  n += ')';
+  return n;
+}
+
+}  // namespace tcpdemux::core

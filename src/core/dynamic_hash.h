@@ -1,0 +1,80 @@
+// Self-tuning hashed PCB lookup — the paper's "the system administrator
+// may increase the value of H" (§3.4) turned into policy.
+//
+// Identical to the Sequent algorithm, except the chain table grows itself:
+// when the mean load (PCBs per chain) exceeds `max_load`, the table
+// rehashes to the next prime roughly twice the size, relinking the
+// existing PCBs in place (no PCB is reallocated, so Pcb* handles stay
+// valid — the same guarantee a kernel needs). This is the direction
+// production stacks actually took (e.g. dynamically sized inpcb hash
+// tables in later BSDs and Linux's ehash).
+#ifndef TCPDEMUX_CORE_DYNAMIC_HASH_H_
+#define TCPDEMUX_CORE_DYNAMIC_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demuxer.h"
+#include "core/pcb_list.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::core {
+
+class DynamicHashDemuxer final : public Demuxer {
+ public:
+  struct Options {
+    std::uint32_t initial_chains = 19;
+    double max_load = 2.0;  ///< rehash when size > max_load * chains
+    net::HasherKind hasher = net::HasherKind::kCrc32;
+    bool per_chain_cache = true;
+  };
+
+  DynamicHashDemuxer() : DynamicHashDemuxer(Options()) {}
+  explicit DynamicHashDemuxer(Options options);
+
+  Pcb* insert(const net::FlowKey& key) override;
+  bool erase(const net::FlowKey& key) override;
+  using Demuxer::lookup;
+  LookupResult lookup(const net::FlowKey& key, SegmentKind kind) override;
+  LookupResult lookup_wildcard(const net::FlowKey& key) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  void for_each_pcb(
+      const std::function<void(const Pcb&)>& fn) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return size() * sizeof(Pcb) + sizeof(*this) +
+           buckets_.capacity() * sizeof(Bucket);
+  }
+
+  [[nodiscard]] std::uint32_t chains() const noexcept {
+    return static_cast<std::uint32_t>(buckets_.size());
+  }
+  [[nodiscard]] std::uint64_t rehash_count() const noexcept {
+    return rehashes_;
+  }
+
+  /// The next prime >= 2 * n from a fixed doubling-prime ladder (exposed
+  /// for tests).
+  [[nodiscard]] static std::uint32_t next_table_size(std::uint32_t n) noexcept;
+
+ private:
+  struct Bucket {
+    PcbList list;
+    Pcb* cache = nullptr;
+  };
+
+  [[nodiscard]] std::uint32_t chain_of(const net::FlowKey& key) const noexcept {
+    return net::hash_chain(options_.hasher, key,
+                           static_cast<std::uint32_t>(buckets_.size()));
+  }
+  void maybe_grow();
+
+  Options options_;
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_DYNAMIC_HASH_H_

@@ -1,0 +1,84 @@
+// The protocol control block (PCB): per-connection TCP state.
+//
+// This is the object every demultiplexing algorithm in this library
+// searches for. Its layout mirrors the classic BSD inpcb + tcpcb pair: the
+// demultiplexing identity (the 96-bit flow key), list linkage owned by
+// whichever demuxer holds the PCB, and the transport state the TCP machine
+// (src/tcp) maintains. The paper's figure of merit — PCBs examined per
+// lookup — is a memory-traffic surrogate precisely because these objects
+// are a few hundred bytes each and thousands of them do not fit in an
+// on-chip cache.
+#ifndef TCPDEMUX_CORE_PCB_H_
+#define TCPDEMUX_CORE_PCB_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/flow_key.h"
+
+namespace tcpdemux::core {
+
+/// RFC 793 connection states.
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+[[nodiscard]] std::string_view to_string(TcpState state) noexcept;
+
+/// Protocol control block. Created and owned by a Demuxer; the embedded
+/// list linkage (`next`/`prev`) belongs to the owning demuxer's PcbList and
+/// must not be touched by other code.
+struct Pcb {
+  explicit Pcb(const net::FlowKey& k, std::uint64_t id) noexcept
+      : key(k), conn_id(id) {}
+
+  Pcb(const Pcb&) = delete;
+  Pcb& operator=(const Pcb&) = delete;
+
+  // --- demultiplexing identity -------------------------------------------
+  net::FlowKey key;
+  std::uint64_t conn_id = 0;  ///< dense id assigned at insert time
+
+  // --- intrusive list linkage (owned by the demuxer) ----------------------
+  Pcb* next = nullptr;
+  Pcb* prev = nullptr;
+
+  // --- transport state (maintained by tcp::TcpMachine) --------------------
+  TcpState state = TcpState::kClosed;
+  std::uint32_t iss = 0;      ///< initial send sequence number
+  std::uint32_t irs = 0;      ///< initial receive sequence number
+  std::uint32_t snd_una = 0;  ///< oldest unacknowledged sequence number
+  std::uint32_t snd_nxt = 0;  ///< next sequence number to send
+  std::uint32_t rcv_nxt = 0;  ///< next sequence number expected
+  std::uint16_t snd_wnd = 65535;
+  std::uint16_t rcv_wnd = 65535;
+
+  // --- RTT / congestion bookkeeping (gives the PCB its realistic bulk) ----
+  std::uint32_t srtt_us = 0;
+  std::uint32_t rttvar_us = 0;
+  std::uint32_t cwnd = 4380;
+  std::uint32_t ssthresh = 0xffffffff;
+  std::uint32_t rto_us = 1'000'000;
+  std::uint32_t dupacks = 0;  ///< consecutive non-advancing ACKs (t_dupacks)
+  bool delack_pending = false;  ///< delayed ACK owed (TF_DELACK)
+
+  // --- counters ------------------------------------------------------------
+  std::uint64_t segs_in = 0;
+  std::uint64_t segs_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_PCB_H_

@@ -1,0 +1,118 @@
+#include "core/pcb_list.h"
+
+namespace tcpdemux::core {
+
+PcbList::~PcbList() { clear(); }
+
+PcbList::PcbList(PcbList&& other) noexcept
+    : head_(std::exchange(other.head_, nullptr)),
+      tail_(std::exchange(other.tail_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+PcbList& PcbList::operator=(PcbList&& other) noexcept {
+  if (this != &other) {
+    clear();
+    head_ = std::exchange(other.head_, nullptr);
+    tail_ = std::exchange(other.tail_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Pcb* PcbList::emplace_front(const net::FlowKey& key, std::uint64_t conn_id) {
+  Pcb* pcb = new Pcb(key, conn_id);
+  link_front(pcb);
+  return pcb;
+}
+
+PcbList::ScanResult PcbList::find_scan(
+    const net::FlowKey& key) const noexcept {
+  ScanResult r;
+  for (Pcb* p = head_; p != nullptr; p = p->next) {
+    ++r.examined;
+    if (p->key == key) {
+      r.pcb = p;
+      return r;
+    }
+  }
+  return r;
+}
+
+PcbList::ScanResult PcbList::find_best_match(
+    const net::FlowKey& key) const noexcept {
+  ScanResult r;
+  int best_score = -1;
+  for (Pcb* p = head_; p != nullptr; p = p->next) {
+    ++r.examined;
+    const int score = p->key.match_score(key);
+    if (score < 0) continue;
+    if (score == 0) {  // exact match: cannot be beaten
+      r.pcb = p;
+      return r;
+    }
+    if (best_score < 0 || score < best_score) {
+      best_score = score;
+      r.pcb = p;
+    }
+  }
+  return r;
+}
+
+void PcbList::move_to_front(Pcb* pcb) noexcept {
+  if (pcb == head_) return;
+  unlink(pcb);
+  link_front(pcb);
+}
+
+void PcbList::erase(Pcb* pcb) noexcept {
+  unlink(pcb);
+  delete pcb;
+}
+
+Pcb* PcbList::extract_front() noexcept {
+  Pcb* pcb = head_;
+  if (pcb != nullptr) unlink(pcb);
+  return pcb;
+}
+
+void PcbList::adopt_front(Pcb* pcb) noexcept { link_front(pcb); }
+
+void PcbList::clear() noexcept {
+  Pcb* p = head_;
+  while (p != nullptr) {
+    Pcb* next = p->next;
+    delete p;
+    p = next;
+  }
+  head_ = tail_ = nullptr;
+  size_ = 0;
+}
+
+void PcbList::unlink(Pcb* pcb) noexcept {
+  if (pcb->prev != nullptr) {
+    pcb->prev->next = pcb->next;
+  } else {
+    head_ = pcb->next;
+  }
+  if (pcb->next != nullptr) {
+    pcb->next->prev = pcb->prev;
+  } else {
+    tail_ = pcb->prev;
+  }
+  pcb->next = pcb->prev = nullptr;
+  --size_;
+}
+
+void PcbList::link_front(Pcb* pcb) noexcept {
+  pcb->prev = nullptr;
+  pcb->next = head_;
+  if (head_ != nullptr) {
+    head_->prev = pcb;
+  } else {
+    tail_ = pcb;
+  }
+  head_ = pcb;
+  ++size_;
+}
+
+}  // namespace tcpdemux::core

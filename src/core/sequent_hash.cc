@@ -1,0 +1,102 @@
+#include "core/sequent_hash.h"
+
+#include <stdexcept>
+
+namespace tcpdemux::core {
+
+SequentDemuxer::SequentDemuxer(Options options) : options_(options) {
+  if (options_.chains == 0) {
+    throw std::invalid_argument("SequentDemuxer: chain count must be >= 1");
+  }
+  buckets_.resize(options_.chains);
+}
+
+Pcb* SequentDemuxer::insert(const net::FlowKey& key) {
+  Bucket& b = buckets_[chain_of(key)];
+  if (b.list.find_scan(key).pcb != nullptr) return nullptr;
+  Pcb* pcb = b.list.emplace_front(key, next_conn_id());
+  ++size_;
+  return pcb;
+}
+
+bool SequentDemuxer::erase(const net::FlowKey& key) {
+  Bucket& b = buckets_[chain_of(key)];
+  const auto scan = b.list.find_scan(key);
+  if (scan.pcb == nullptr) return false;
+  if (b.cache == scan.pcb) b.cache = nullptr;
+  b.list.erase(scan.pcb);
+  --size_;
+  return true;
+}
+
+LookupResult SequentDemuxer::lookup(const net::FlowKey& key,
+                                    SegmentKind /*kind*/) {
+  Bucket& b = buckets_[chain_of(key)];
+  LookupResult r;
+  if (options_.per_chain_cache && b.cache != nullptr) {
+    ++r.examined;
+    if (b.cache->key == key) {
+      r.pcb = b.cache;
+      r.cache_hit = true;
+      stats_.record(r);
+      return r;
+    }
+  }
+  const auto scan = b.list.find_scan(key);
+  r.examined += scan.examined;
+  r.pcb = scan.pcb;
+  if (options_.per_chain_cache && scan.pcb != nullptr) b.cache = scan.pcb;
+  stats_.record(r);
+  return r;
+}
+
+LookupResult SequentDemuxer::lookup_wildcard(const net::FlowKey& key) {
+  // A wildcard-bearing PCB may live on a different chain than the packet's
+  // hash (its foreign half is zero), so all chains must be consulted; exact
+  // matches still short-circuit within the packet's own chain first.
+  LookupResult best;
+  int best_score = -1;
+  const std::uint32_t home = chain_of(key);
+  for (std::uint32_t i = 0; i < options_.chains; ++i) {
+    const std::uint32_t c = (home + i) % options_.chains;
+    const auto scan = buckets_[c].list.find_best_match(key);
+    best.examined += scan.examined;
+    if (scan.pcb == nullptr) continue;
+    const int score = scan.pcb->key.match_score(key);
+    if (score == 0) {
+      best.pcb = scan.pcb;
+      return best;
+    }
+    if (best_score < 0 || score < best_score) {
+      best_score = score;
+      best.pcb = scan.pcb;
+    }
+  }
+  return best;
+}
+
+void SequentDemuxer::for_each_pcb(
+    const std::function<void(const Pcb&)>& fn) const {
+  for (const Bucket& b : buckets_) {
+    b.list.for_each(fn);
+  }
+}
+
+std::string SequentDemuxer::name() const {
+  std::string n = "sequent(h=";
+  n += std::to_string(options_.chains);
+  n += ',';
+  n += net::hasher_name(options_.hasher);
+  if (!options_.per_chain_cache) n += ",nocache";
+  n += ')';
+  return n;
+}
+
+std::vector<std::size_t> SequentDemuxer::chain_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(buckets_.size());
+  for (const Bucket& b : buckets_) sizes.push_back(b.list.size());
+  return sizes;
+}
+
+}  // namespace tcpdemux::core

@@ -1,0 +1,137 @@
+#include "net/arp.h"
+
+#include <algorithm>
+
+#include "net/byte_order.h"
+
+namespace tcpdemux::net {
+namespace {
+
+constexpr std::uint16_t kHardwareEthernet = 1;
+constexpr std::uint16_t kProtocolIpv4 = 0x0800;
+
+}  // namespace
+
+std::size_t ArpPacket::serialize(std::span<std::uint8_t> out) const {
+  store_be16(out.data() + 0, kHardwareEthernet);
+  store_be16(out.data() + 2, kProtocolIpv4);
+  out[4] = 6;  // hardware address length
+  out[5] = 4;  // protocol address length
+  store_be16(out.data() + 6, static_cast<std::uint16_t>(op));
+  for (std::size_t i = 0; i < 6; ++i) out[8 + i] = sender_mac.octets()[i];
+  store_be32(out.data() + 14, sender_ip.value());
+  for (std::size_t i = 0; i < 6; ++i) out[18 + i] = target_mac.octets()[i];
+  store_be32(out.data() + 24, target_ip.value());
+  return kSize;
+}
+
+std::optional<ArpPacket> ArpPacket::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return std::nullopt;
+  if (load_be16(bytes.data() + 0) != kHardwareEthernet) return std::nullopt;
+  if (load_be16(bytes.data() + 2) != kProtocolIpv4) return std::nullopt;
+  if (bytes[4] != 6 || bytes[5] != 4) return std::nullopt;
+  const std::uint16_t op = load_be16(bytes.data() + 6);
+  if (op != 1 && op != 2) return std::nullopt;
+
+  ArpPacket p;
+  p.op = static_cast<Op>(op);
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(bytes.begin() + 8, 6, mac.begin());
+  p.sender_mac = MacAddr(mac);
+  p.sender_ip = Ipv4Addr(load_be32(bytes.data() + 14));
+  std::copy_n(bytes.begin() + 18, 6, mac.begin());
+  p.target_mac = MacAddr(mac);
+  p.target_ip = Ipv4Addr(load_be32(bytes.data() + 24));
+  return p;
+}
+
+std::optional<MacAddr> ArpTable::resolve(Ipv4Addr ip, double now) const {
+  const auto it = entries_.find(ip.value());
+  if (it == entries_.end()) return std::nullopt;
+  if (now - it->second.learned > options_.timeout) return std::nullopt;
+  return it->second.mac;
+}
+
+void ArpTable::learn(Ipv4Addr ip, const MacAddr& mac, double now) {
+  if (!entries_.contains(ip.value()) &&
+      entries_.size() >= options_.max_entries) {
+    // Evict the stalest entry.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.learned < victim->second.learned) victim = it;
+    }
+    entries_.erase(victim);
+  }
+  entries_[ip.value()] = Entry{mac, now};
+}
+
+std::vector<std::uint8_t> ArpTable::make_request(Ipv4Addr target) const {
+  ArpPacket packet;
+  packet.op = ArpPacket::Op::kRequest;
+  packet.sender_mac = our_mac_;
+  packet.sender_ip = our_ip_;
+  packet.target_mac = MacAddr();  // unknown
+  packet.target_ip = target;
+  std::vector<std::uint8_t> body(ArpPacket::kSize);
+  packet.serialize(body);
+
+  std::vector<std::uint8_t> frame(EthernetHeader::kSize + body.size());
+  EthernetHeader header;
+  header.dst = MacAddr::broadcast();
+  header.src = our_mac_;
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  header.serialize(frame);
+  std::copy(body.begin(), body.end(),
+            frame.begin() + EthernetHeader::kSize);
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> ArpTable::handle_frame(
+    std::span<const std::uint8_t> frame, double now) {
+  const auto ether = EthernetHeader::parse(frame);
+  if (!ether ||
+      ether->ether_type != static_cast<std::uint16_t>(EtherType::kArp)) {
+    return std::nullopt;
+  }
+  const auto arp = ArpPacket::parse(frame.subspan(EthernetHeader::kSize));
+  if (!arp) return std::nullopt;
+
+  learn(arp->sender_ip, arp->sender_mac, now);
+  if (arp->op != ArpPacket::Op::kRequest || arp->target_ip != our_ip_) {
+    return std::nullopt;
+  }
+
+  ArpPacket reply;
+  reply.op = ArpPacket::Op::kReply;
+  reply.sender_mac = our_mac_;
+  reply.sender_ip = our_ip_;
+  reply.target_mac = arp->sender_mac;
+  reply.target_ip = arp->sender_ip;
+  std::vector<std::uint8_t> body(ArpPacket::kSize);
+  reply.serialize(body);
+
+  std::vector<std::uint8_t> out(EthernetHeader::kSize + body.size());
+  EthernetHeader header;
+  header.dst = arp->sender_mac;
+  header.src = our_mac_;
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  header.serialize(out);
+  std::copy(body.begin(), body.end(), out.begin() + EthernetHeader::kSize);
+  return out;
+}
+
+std::size_t ArpTable::expire(double now) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.learned > options_.timeout) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace tcpdemux::net

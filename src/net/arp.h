@@ -1,0 +1,89 @@
+// ARP for Ethernet/IPv4 (RFC 826): packet format and a resolution cache.
+//
+// Completes the link layer: a host on the simulated LAN resolves its
+// peer's MAC before it can frame IPv4 traffic. The table follows the
+// classic shape — learn aggressively from observed traffic, expire on a
+// timer, bound the entry count.
+#ifndef TCPDEMUX_NET_ARP_H_
+#define TCPDEMUX_NET_ARP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/ip_addr.h"
+
+namespace tcpdemux::net {
+
+/// An Ethernet/IPv4 ARP packet (28 bytes on the wire).
+struct ArpPacket {
+  static constexpr std::size_t kSize = 28;
+
+  enum class Op : std::uint16_t { kRequest = 1, kReply = 2 };
+
+  Op op = Op::kRequest;
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;  ///< zero in requests
+  Ipv4Addr target_ip;
+
+  std::size_t serialize(std::span<std::uint8_t> out) const;
+
+  /// Parses an ARP packet; nullopt on short input or non-Ethernet/IPv4
+  /// hardware/protocol types.
+  [[nodiscard]] static std::optional<ArpPacket> parse(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// The neighbor cache plus the request/reply protocol logic for one host.
+class ArpTable {
+ public:
+  struct Options {
+    double timeout = 300.0;      ///< entry lifetime, seconds
+    std::size_t max_entries = 512;
+  };
+
+  ArpTable(MacAddr our_mac, Ipv4Addr our_ip)
+      : ArpTable(our_mac, our_ip, Options()) {}
+  ArpTable(MacAddr our_mac, Ipv4Addr our_ip, Options options)
+      : our_mac_(our_mac), our_ip_(our_ip), options_(options) {}
+
+  /// Known MAC for `ip`, or nullopt (then broadcast make_request()).
+  [[nodiscard]] std::optional<MacAddr> resolve(Ipv4Addr ip,
+                                               double now) const;
+
+  /// Records a neighbor. The oldest entry is evicted at capacity.
+  void learn(Ipv4Addr ip, const MacAddr& mac, double now);
+
+  /// Builds a broadcast ARP request frame for `target`.
+  [[nodiscard]] std::vector<std::uint8_t> make_request(Ipv4Addr target) const;
+
+  /// Processes an arriving Ethernet frame. If it is an ARP packet, learns
+  /// the sender and — when it is a request for our address — returns the
+  /// reply frame to transmit. Non-ARP frames return nullopt untouched.
+  std::optional<std::vector<std::uint8_t>> handle_frame(
+      std::span<const std::uint8_t> frame, double now);
+
+  /// Drops entries older than the timeout; returns how many.
+  std::size_t expire(double now);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MacAddr mac;
+    double learned = 0.0;
+  };
+
+  MacAddr our_mac_;
+  Ipv4Addr our_ip_;
+  Options options_;
+  std::map<std::uint32_t, Entry> entries_;  ///< keyed by IPv4 host order
+};
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_ARP_H_

@@ -1,0 +1,45 @@
+// Endianness helpers for wire-format (network byte order) serialization.
+//
+// All multi-byte fields in IPv4 and TCP headers are big-endian on the wire.
+// These helpers read/write big-endian integers from/to byte buffers without
+// relying on host byte order or unaligned access.
+#ifndef TCPDEMUX_NET_BYTE_ORDER_H_
+#define TCPDEMUX_NET_BYTE_ORDER_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace tcpdemux::net {
+
+/// Reads a big-endian 16-bit integer starting at `p[0]`.
+[[nodiscard]] constexpr std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(p[0]) << 8) |
+                                    static_cast<std::uint16_t>(p[1]));
+}
+
+/// Reads a big-endian 32-bit integer starting at `p[0]`.
+[[nodiscard]] constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+/// Writes `v` as a big-endian 16-bit integer starting at `p[0]`.
+constexpr void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Writes `v` as a big-endian 32-bit integer starting at `p[0]`.
+constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_BYTE_ORDER_H_

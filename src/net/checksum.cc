@@ -1,0 +1,48 @@
+#include "net/checksum.h"
+
+#include "net/byte_order.h"
+
+namespace tcpdemux::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += load_be16(bytes.data() + i);
+  }
+  if (i < bytes.size()) {
+    sum_ += static_cast<std::uint16_t>(bytes[i]) << 8;
+  }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(bytes);
+  return acc.finish();
+}
+
+std::uint16_t tcp_checksum(Ipv4Addr src, Ipv4Addr dst,
+                           std::span<const std::uint8_t> segment) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_word(static_cast<std::uint16_t>(src.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(src.value() & 0xffff));
+  acc.add_word(static_cast<std::uint16_t>(dst.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(dst.value() & 0xffff));
+  acc.add_word(6);  // protocol: TCP
+  acc.add_word(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+bool verify_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  return internet_checksum(bytes) == 0;
+}
+
+}  // namespace tcpdemux::net

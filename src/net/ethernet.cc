@@ -1,0 +1,123 @@
+#include "net/ethernet.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "net/byte_order.h"
+
+namespace tcpdemux::net {
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    std::uint32_t value = 0;
+    const char* begin = text.data() + pos;
+    const auto [ptr, ec] = std::from_chars(begin, begin + 2, value, 16);
+    if (ec != std::errc{} || ptr != begin + 2) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddr(octets);
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::size_t EthernetHeader::serialize(std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < 6; ++i) out[i] = dst.octets()[i];
+  for (std::size_t i = 0; i < 6; ++i) out[6 + i] = src.octets()[i];
+  store_be16(out.data() + 12, ether_type);
+  return kSize;
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return std::nullopt;
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> dst{};
+  std::array<std::uint8_t, 6> src{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    dst[i] = bytes[i];
+    src[i] = bytes[6 + i];
+  }
+  h.dst = MacAddr(dst);
+  h.src = MacAddr(src);
+  h.ether_type = load_be16(bytes.data() + 12);
+  return h;
+}
+
+std::vector<std::uint8_t> ethernet_encapsulate(
+    const MacAddr& dst, const MacAddr& src,
+    std::span<const std::uint8_t> ipv4_datagram) {
+  std::vector<std::uint8_t> frame(EthernetHeader::kSize +
+                                  ipv4_datagram.size());
+  EthernetHeader header;
+  header.dst = dst;
+  header.src = src;
+  header.serialize(frame);
+  std::copy(ipv4_datagram.begin(), ipv4_datagram.end(),
+            frame.begin() + EthernetHeader::kSize);
+  return frame;
+}
+
+std::vector<std::uint8_t> ethernet_encapsulate_vlan(
+    const MacAddr& dst, const MacAddr& src, std::uint16_t vid,
+    std::uint8_t pcp, std::span<const std::uint8_t> ipv4_datagram) {
+  std::vector<std::uint8_t> frame(EthernetHeader::kSize + 4 +
+                                  ipv4_datagram.size());
+  EthernetHeader header;
+  header.dst = dst;
+  header.src = src;
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kVlan);
+  header.serialize(frame);
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(pcp & 0x7) << 13) | (vid & 0x0fff));
+  store_be16(frame.data() + EthernetHeader::kSize, tci);
+  store_be16(frame.data() + EthernetHeader::kSize + 2,
+             static_cast<std::uint16_t>(EtherType::kIpv4));
+  std::copy(ipv4_datagram.begin(), ipv4_datagram.end(),
+            frame.begin() + EthernetHeader::kSize + 4);
+  return frame;
+}
+
+std::optional<std::span<const std::uint8_t>> ethernet_decapsulate_ipv4(
+    std::span<const std::uint8_t> frame) {
+  const auto header = EthernetHeader::parse(frame);
+  if (!header) return std::nullopt;
+  std::size_t offset = EthernetHeader::kSize;
+  std::uint16_t ether_type = header->ether_type;
+  if (ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    if (frame.size() < offset + 4) return std::nullopt;
+    ether_type = load_be16(frame.data() + offset + 2);
+    offset += 4;
+  }
+  if (ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    return std::nullopt;
+  }
+  return frame.subspan(offset);
+}
+
+std::optional<std::uint16_t> ethernet_vlan_id(
+    std::span<const std::uint8_t> frame) {
+  const auto header = EthernetHeader::parse(frame);
+  if (!header ||
+      header->ether_type != static_cast<std::uint16_t>(EtherType::kVlan)) {
+    return std::nullopt;
+  }
+  if (frame.size() < EthernetHeader::kSize + 4) return std::nullopt;
+  return load_be16(frame.data() + EthernetHeader::kSize) & 0x0fff;
+}
+
+}  // namespace tcpdemux::net

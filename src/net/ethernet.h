@@ -1,0 +1,111 @@
+// Ethernet II (DIX) framing: MAC addresses, EtherType, frame
+// encapsulation/decapsulation.
+//
+// The demultiplexing study operates above IP, but a complete receive path
+// starts at the frame: captures from real NICs are LINKTYPE_EN10MB, so the
+// pcap tooling needs to strip (and synthesize) this layer.
+#ifndef TCPDEMUX_NET_ETHERNET_H_
+#define TCPDEMUX_NET_ETHERNET_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcpdemux::net {
+
+/// 48-bit MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() noexcept = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets) noexcept
+      : octets_(octets) {}
+
+  /// Parses colon notation ("02:00:0a:01:00:02"); nullopt on bad input.
+  [[nodiscard]] static std::optional<MacAddr> parse(std::string_view text);
+
+  /// A locally administered unicast address derived from an IPv4 host
+  /// address — handy for synthesizing frames for simulated hosts.
+  [[nodiscard]] static constexpr MacAddr from_ipv4(
+      std::uint32_t ipv4_host_order) noexcept {
+    return MacAddr({0x02, 0x00,
+                    static_cast<std::uint8_t>(ipv4_host_order >> 24),
+                    static_cast<std::uint8_t>(ipv4_host_order >> 16),
+                    static_cast<std::uint8_t>(ipv4_host_order >> 8),
+                    static_cast<std::uint8_t>(ipv4_host_order)});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets()
+      const noexcept {
+    return octets_;
+  }
+  [[nodiscard]] constexpr bool is_broadcast() const noexcept {
+    for (const std::uint8_t b : octets_) {
+      if (b != 0xff) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (octets_[0] & 0x01) != 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const MacAddr&,
+                                   const MacAddr&) noexcept = default;
+
+  static constexpr MacAddr broadcast() noexcept {
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  kIpv6 = 0x86dd,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  /// Serializes the 14 header bytes into `out`. Returns bytes written.
+  std::size_t serialize(std::span<std::uint8_t> out) const;
+
+  /// Parses a header; nullopt if the buffer is shorter than 14 bytes.
+  [[nodiscard]] static std::optional<EthernetHeader> parse(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Wraps an IPv4 datagram in an Ethernet II frame.
+[[nodiscard]] std::vector<std::uint8_t> ethernet_encapsulate(
+    const MacAddr& dst, const MacAddr& src,
+    std::span<const std::uint8_t> ipv4_datagram);
+
+/// Wraps an IPv4 datagram in an 802.1Q-tagged frame on VLAN `vid`
+/// (priority `pcp` in the top three TCI bits).
+[[nodiscard]] std::vector<std::uint8_t> ethernet_encapsulate_vlan(
+    const MacAddr& dst, const MacAddr& src, std::uint16_t vid,
+    std::uint8_t pcp, std::span<const std::uint8_t> ipv4_datagram);
+
+/// Strips the Ethernet header — and at most one 802.1Q tag — and returns
+/// the IPv4 payload view, or nullopt if the frame is short or the (inner)
+/// EtherType is not IPv4.
+[[nodiscard]] std::optional<std::span<const std::uint8_t>>
+ethernet_decapsulate_ipv4(std::span<const std::uint8_t> frame);
+
+/// The VLAN id of a frame's single 802.1Q tag, if tagged.
+[[nodiscard]] std::optional<std::uint16_t> ethernet_vlan_id(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_ETHERNET_H_

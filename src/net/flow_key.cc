@@ -1,0 +1,16 @@
+#include "net/flow_key.h"
+
+namespace tcpdemux::net {
+
+std::string FlowKey::to_string() const {
+  std::string out = local_addr.to_string();
+  out += ':';
+  out += std::to_string(local_port);
+  out += " <- ";
+  out += foreign_addr.to_string();
+  out += ':';
+  out += std::to_string(foreign_port);
+  return out;
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,98 @@
+// FlowKey: the 96-bit connection identity a TCP demultiplexer searches on.
+//
+// The paper (§1): "The algorithm does this by mapping the packet's source
+// and destination Internet Protocol (IP) addresses and TCP ports to the
+// proper PCB. Since the addresses and ports total 96 bits, simple indexing
+// schemes are not feasible."
+//
+// Keys are expressed from the receiving host's point of view:
+// (local addr, local port, foreign addr, foreign port). In the classic BSD
+// PCB these are (inp_laddr, inp_lport, inp_faddr, inp_fport). A listening
+// socket stores wildcards (0.0.0.0 / port 0) in the foreign half and
+// possibly a wildcard local address; `match()` implements BSD
+// in_pcblookup()'s best-match semantics.
+#ifndef TCPDEMUX_NET_FLOW_KEY_H_
+#define TCPDEMUX_NET_FLOW_KEY_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ip_addr.h"
+
+namespace tcpdemux::net {
+
+struct FlowKey {
+  Ipv4Addr local_addr;
+  std::uint16_t local_port = 0;
+  Ipv4Addr foreign_addr;
+  std::uint16_t foreign_port = 0;
+
+  friend constexpr auto operator<=>(const FlowKey&,
+                                    const FlowKey&) noexcept = default;
+
+  /// True if every field is concrete (no wildcard address or port).
+  [[nodiscard]] constexpr bool fully_specified() const noexcept {
+    return !local_addr.is_any() && local_port != 0 &&
+           !foreign_addr.is_any() && foreign_port != 0;
+  }
+
+  /// Number of wildcard fields that `packet_key` would have to tolerate to
+  /// match this (stored) key, or -1 if no match at all. 0 means exact match.
+  ///
+  /// `packet_key` must be fully specified (it comes from a real packet);
+  /// `this` is a stored PCB key which may contain wildcards. Lower scores
+  /// are better matches — BSD keeps searching for a lower-wildcard match
+  /// after finding a wildcard one.
+  [[nodiscard]] constexpr int match_score(
+      const FlowKey& packet_key) const noexcept {
+    if (local_port != packet_key.local_port) return -1;
+    int wildcards = 0;
+    if (local_addr.is_any()) {
+      ++wildcards;
+    } else if (local_addr != packet_key.local_addr) {
+      return -1;
+    }
+    if (foreign_addr.is_any() && foreign_port == 0) {
+      ++wildcards;
+    } else if (foreign_addr != packet_key.foreign_addr ||
+               foreign_port != packet_key.foreign_port) {
+      return -1;
+    }
+    return wildcards;
+  }
+
+  /// Exact (non-wildcard) equality with a packet's key.
+  [[nodiscard]] constexpr bool exact_match(
+      const FlowKey& packet_key) const noexcept {
+    return *this == packet_key;
+  }
+
+  /// The same flow seen from the peer: local and foreign halves swapped.
+  [[nodiscard]] constexpr FlowKey reversed() const noexcept {
+    return FlowKey{foreign_addr, foreign_port, local_addr, local_port};
+  }
+
+  /// "10.0.0.1:5001 <- 10.9.8.7:40001"
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tcpdemux::net
+
+template <>
+struct std::hash<tcpdemux::net::FlowKey> {
+  std::size_t operator()(const tcpdemux::net::FlowKey& k) const noexcept {
+    // 64-bit mix of all 96 key bits (splitmix64 finalizer).
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(k.local_addr.value()) << 32) |
+        k.foreign_addr.value();
+    x ^= (static_cast<std::uint64_t>(k.local_port) << 16) | k.foreign_port;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+#endif  // TCPDEMUX_NET_FLOW_KEY_H_

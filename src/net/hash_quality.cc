@@ -1,0 +1,35 @@
+#include "net/hash_quality.h"
+
+#include <cmath>
+
+namespace tcpdemux::net {
+
+HashQualityReport evaluate_hash_quality(HasherKind kind,
+                                        std::span<const FlowKey> keys,
+                                        std::uint32_t chains) {
+  HashQualityReport r;
+  r.chains = chains;
+  r.keys = keys.size();
+  r.histogram.assign(chains, 0);
+  for (const FlowKey& key : keys) {
+    ++r.histogram[hash_chain(kind, key, chains)];
+  }
+
+  const double expected = static_cast<double>(keys.size()) / chains;
+  r.mean_chain = expected;
+  double var = 0.0;
+  double search_sum = 0.0;
+  for (const std::size_t n : r.histogram) {
+    if (n == 0) ++r.empty_chains;
+    if (n > r.max_chain) r.max_chain = n;
+    const double d = static_cast<double>(n) - expected;
+    var += d * d;
+    if (expected > 0.0) r.chi_squared += d * d / expected;
+    search_sum += static_cast<double>(n) * (static_cast<double>(n) + 1.0) / 2.0;
+  }
+  r.stddev_chain = std::sqrt(var / chains);
+  r.expected_search = keys.empty() ? 0.0 : search_sum / static_cast<double>(keys.size());
+  return r;
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,46 @@
+// Chain-balance quality metrics for flow-key hash functions.
+//
+// Used by the abl_hash_functions bench to compare the [Jai89]-era candidates
+// over realistic client populations: the quantity that matters for the
+// Sequent algorithm is the *expected chain search cost*, which degrades
+// quadratically with imbalance.
+#ifndef TCPDEMUX_NET_HASH_QUALITY_H_
+#define TCPDEMUX_NET_HASH_QUALITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::net {
+
+struct HashQualityReport {
+  std::uint32_t chains = 0;
+  std::size_t keys = 0;
+  std::size_t max_chain = 0;
+  std::size_t empty_chains = 0;
+  double mean_chain = 0.0;       ///< keys / chains
+  double stddev_chain = 0.0;     ///< population std-dev of chain lengths
+  double chi_squared = 0.0;      ///< Pearson statistic vs uniform
+  /// Expected number of PCBs examined by an (uncached) linear scan of the
+  /// chain holding a uniformly random *stored* key:
+  /// sum over chains of n_c * (n_c + 1) / 2, divided by total keys.
+  double expected_search = 0.0;
+  std::vector<std::size_t> histogram;  ///< per-chain occupancy
+};
+
+/// Distributes `keys` over `chains` buckets with `kind` and reports balance.
+[[nodiscard]] HashQualityReport evaluate_hash_quality(
+    HasherKind kind, std::span<const FlowKey> keys, std::uint32_t chains);
+
+/// Degrees of freedom for the chi-squared statistic (chains - 1).
+[[nodiscard]] inline double chi_squared_dof(
+    const HashQualityReport& r) noexcept {
+  return static_cast<double>(r.chains) - 1.0;
+}
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_HASH_QUALITY_H_

@@ -1,0 +1,166 @@
+#include "net/hashers.h"
+
+#include <array>
+
+namespace tcpdemux::net {
+namespace {
+
+// CRC-32 (IEEE 802.3, reflected) table, built at static-init time.
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+// Microsoft RSS verification key (40 bytes).
+constexpr std::array<std::uint8_t, 40> kRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+// Serializes the RSS input for a TCP/IPv4 flow: source address, destination
+// address, source port, destination port — from the *packet's* perspective,
+// i.e. source = our foreign half, destination = our local half.
+std::array<std::uint8_t, 12> rss_input(const FlowKey& key) noexcept {
+  std::array<std::uint8_t, 12> in{};
+  const std::uint32_t src = key.foreign_addr.value();
+  const std::uint32_t dst = key.local_addr.value();
+  in[0] = static_cast<std::uint8_t>(src >> 24);
+  in[1] = static_cast<std::uint8_t>(src >> 16);
+  in[2] = static_cast<std::uint8_t>(src >> 8);
+  in[3] = static_cast<std::uint8_t>(src);
+  in[4] = static_cast<std::uint8_t>(dst >> 24);
+  in[5] = static_cast<std::uint8_t>(dst >> 16);
+  in[6] = static_cast<std::uint8_t>(dst >> 8);
+  in[7] = static_cast<std::uint8_t>(dst);
+  in[8] = static_cast<std::uint8_t>(key.foreign_port >> 8);
+  in[9] = static_cast<std::uint8_t>(key.foreign_port);
+  in[10] = static_cast<std::uint8_t>(key.local_port >> 8);
+  in[11] = static_cast<std::uint8_t>(key.local_port);
+  return in;
+}
+
+// One's-complement 16-bit additive fold of the six key halfwords [Jai89].
+std::uint32_t add_fold(const FlowKey& k) noexcept {
+  std::uint32_t sum = (k.local_addr.value() >> 16) +
+                      (k.local_addr.value() & 0xffff) +
+                      (k.foreign_addr.value() >> 16) +
+                      (k.foreign_addr.value() & 0xffff) + k.local_port +
+                      k.foreign_port;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+// Bob Jenkins' lookup2 96-bit final mix.
+std::uint32_t jenkins_mix(std::uint32_t a, std::uint32_t b,
+                          std::uint32_t c) noexcept {
+  a -= b; a -= c; a ^= (c >> 13);
+  b -= c; b -= a; b ^= (a << 8);
+  c -= a; c -= b; c ^= (b >> 13);
+  a -= b; a -= c; a ^= (c >> 12);
+  b -= c; b -= a; b ^= (a << 16);
+  c -= a; c -= b; c ^= (b >> 5);
+  a -= b; a -= c; a ^= (c >> 3);
+  b -= c; b -= a; b ^= (a << 10);
+  c -= a; c -= b; c ^= (b >> 15);
+  return c;
+}
+
+}  // namespace
+
+std::string_view hasher_name(HasherKind kind) noexcept {
+  switch (kind) {
+    case HasherKind::kBsdModulo: return "bsd_modulo";
+    case HasherKind::kXorFold: return "xor_fold";
+    case HasherKind::kAddFold: return "add_fold";
+    case HasherKind::kMultiplicative: return "multiplicative";
+    case HasherKind::kCrc32: return "crc32";
+    case HasherKind::kJenkins: return "jenkins";
+    case HasherKind::kToeplitz: return "toeplitz";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = 0xffffffffu;
+  for (const std::uint8_t b : bytes) {
+    c = kCrcTable[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> input,
+                            std::span<const std::uint8_t> key) noexcept {
+  // The key must provide a 32-bit window for every input bit position:
+  // key.size() >= input.size() + 4. The RSS key (40 B) covers TCP/IPv6.
+  std::uint32_t result = 0;
+  // `window` holds 64 consecutive key bits; its top 32 bits are the window
+  // aligned with the current input bit.
+  std::uint64_t window = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    window = (window << 8) | (i < key.size() ? key[i] : 0);
+  }
+  std::size_t next_key = 8;
+  for (const std::uint8_t byte : input) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) {
+        result ^= static_cast<std::uint32_t>(window >> 32);
+      }
+      window <<= 1;
+    }
+    window |= (next_key < key.size()) ? key[next_key] : 0;
+    ++next_key;
+  }
+  return result;
+}
+
+std::span<const std::uint8_t> rss_default_key() noexcept { return kRssKey; }
+
+std::uint32_t hash_flow(HasherKind kind, const FlowKey& key) noexcept {
+  switch (kind) {
+    case HasherKind::kBsdModulo:
+      // The historical BSD inpcb hash: foreign address + both ports.
+      return key.foreign_addr.value() + key.foreign_port + key.local_port;
+    case HasherKind::kXorFold:
+      return key.local_addr.value() ^ key.foreign_addr.value() ^
+             ((static_cast<std::uint32_t>(key.local_port) << 16) |
+              key.foreign_port);
+    case HasherKind::kAddFold:
+      return add_fold(key);
+    case HasherKind::kMultiplicative: {
+      std::uint64_t folded =
+          (static_cast<std::uint64_t>(key.foreign_addr.value()) << 32) |
+          key.local_addr.value();
+      folded ^= (static_cast<std::uint64_t>(key.foreign_port) << 16) |
+                key.local_port;
+      return static_cast<std::uint32_t>((folded * 0x9e3779b97f4a7c15ULL) >>
+                                        32);
+    }
+    case HasherKind::kCrc32: {
+      const auto in = rss_input(key);
+      return crc32_ieee(in);
+    }
+    case HasherKind::kJenkins:
+      return jenkins_mix(
+          key.local_addr.value(), key.foreign_addr.value(),
+          (static_cast<std::uint32_t>(key.local_port) << 16) |
+              key.foreign_port);
+    case HasherKind::kToeplitz: {
+      const auto in = rss_input(key);
+      return toeplitz_hash(in, kRssKey);
+    }
+  }
+  return 0;
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,79 @@
+// Hash functions over TCP/IPv4 flow keys.
+//
+// The paper closes §3.5 with "efficient hash functions for protocol
+// addresses are well known [Jai89, McK91]". This module provides the
+// classic candidates from that literature plus two modern references:
+//
+//   kBsdModulo        (faddr + fport + lport) — the historical BSD inpcb hash
+//   kXorFold          XOR-fold of all 96 key bits into 32
+//   kAddFold          16-bit one's-complement-style additive fold [Jai89]
+//   kMultiplicative   Fibonacci/Knuth multiplicative hash of the folded key
+//   kCrc32            CRC-32 (IEEE 802.3 polynomial) over the 12 key bytes,
+//                     Jain's recommendation for address lookup [Jai89]
+//   kJenkins          Bob Jenkins' 96-bit mix (lookup2 final mix)
+//   kToeplitz         Microsoft RSS Toeplitz hash with the canonical key —
+//                     what contemporary NIC receive-side scaling uses
+//
+// Every hasher returns a full-width 32-bit value; chain selection reduces it
+// modulo the chain count (the Sequent algorithm's installation default was a
+// prime, 19, which repairs weak low-order bits in the cheap folds).
+#ifndef TCPDEMUX_NET_HASHERS_H_
+#define TCPDEMUX_NET_HASHERS_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "net/flow_key.h"
+
+namespace tcpdemux::net {
+
+enum class HasherKind : std::uint8_t {
+  kBsdModulo,
+  kXorFold,
+  kAddFold,
+  kMultiplicative,
+  kCrc32,
+  kJenkins,
+  kToeplitz,
+};
+
+/// All hasher kinds, for iteration in tests and benches.
+inline constexpr std::array<HasherKind, 7> kAllHashers = {
+    HasherKind::kBsdModulo,      HasherKind::kXorFold,
+    HasherKind::kAddFold,        HasherKind::kMultiplicative,
+    HasherKind::kCrc32,          HasherKind::kJenkins,
+    HasherKind::kToeplitz,
+};
+
+/// Short stable name ("crc32", "toeplitz", ...).
+[[nodiscard]] std::string_view hasher_name(HasherKind kind) noexcept;
+
+/// Hashes `key` with the chosen function. Full 32-bit result.
+[[nodiscard]] std::uint32_t hash_flow(HasherKind kind,
+                                      const FlowKey& key) noexcept;
+
+/// Convenience: chain index in [0, chains).
+[[nodiscard]] inline std::uint32_t hash_chain(HasherKind kind,
+                                              const FlowKey& key,
+                                              std::uint32_t chains) noexcept {
+  return hash_flow(kind, key) % chains;
+}
+
+/// CRC-32 (IEEE, reflected) over arbitrary bytes; exposed for tests.
+[[nodiscard]] std::uint32_t crc32_ieee(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Toeplitz hash over arbitrary input with a caller-supplied key; exposed
+/// so tests can check against the Microsoft RSS verification vectors.
+[[nodiscard]] std::uint32_t toeplitz_hash(
+    std::span<const std::uint8_t> input,
+    std::span<const std::uint8_t> key) noexcept;
+
+/// The canonical 40-byte RSS verification key from the Microsoft RSS spec.
+[[nodiscard]] std::span<const std::uint8_t> rss_default_key() noexcept;
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_HASHERS_H_

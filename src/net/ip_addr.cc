@@ -1,0 +1,42 @@
+#include "net/ip_addr.h"
+
+#include <array>
+#include <charconv>
+
+namespace tcpdemux::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    std::uint32_t value = 0;
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = value;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr(static_cast<std::uint8_t>(octets[0]),
+                  static_cast<std::uint8_t>(octets[1]),
+                  static_cast<std::uint8_t>(octets[2]),
+                  static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((addr_ >> shift) & 0xff);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+}  // namespace tcpdemux::net

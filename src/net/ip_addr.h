@@ -1,0 +1,68 @@
+// IPv4 address value type.
+#ifndef TCPDEMUX_NET_IP_ADDR_H_
+#define TCPDEMUX_NET_IP_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tcpdemux::net {
+
+/// An IPv4 address held in host byte order.
+///
+/// A default-constructed address is 0.0.0.0, which this library treats as
+/// the wildcard address (INADDR_ANY) in listen-socket flow keys.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+
+  /// Constructs from a host-byte-order 32-bit value.
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept
+      : addr_(host_order) {}
+
+  /// Constructs from four dotted-quad octets: Ipv4Addr(10, 0, 0, 1).
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : addr_((static_cast<std::uint32_t>(a) << 24) |
+              (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) |
+              static_cast<std::uint32_t>(d)) {}
+
+  /// Parses dotted-quad notation ("10.1.2.3"). Returns nullopt on any
+  /// malformed input (wrong octet count, octet > 255, empty components,
+  /// non-digit characters, leading-plus/minus signs).
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  /// Host-byte-order value.
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return addr_; }
+
+  /// True for 0.0.0.0 (the wildcard / INADDR_ANY).
+  [[nodiscard]] constexpr bool is_any() const noexcept { return addr_ == 0; }
+
+  /// True for 127.0.0.0/8.
+  [[nodiscard]] constexpr bool is_loopback() const noexcept {
+    return (addr_ >> 24) == 127;
+  }
+
+  /// True for 224.0.0.0/4.
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (addr_ >> 28) == 0xe;
+  }
+
+  /// Dotted-quad string ("10.1.2.3").
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+  /// The wildcard address 0.0.0.0.
+  static constexpr Ipv4Addr any() noexcept { return Ipv4Addr{}; }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_IP_ADDR_H_

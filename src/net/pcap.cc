@@ -1,0 +1,134 @@
+#include "net/pcap.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace tcpdemux::net {
+namespace {
+
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+
+constexpr std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+constexpr std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+void put32(std::ostream& os, std::uint32_t v) {
+  // Host byte order, as the format prescribes for the writing machine.
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put16(std::ostream& os, std::uint16_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+bool get32(std::istream& is, std::uint32_t& v) {
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+
+bool get16(std::istream& is, std::uint16_t& v) {
+  return static_cast<bool>(
+      is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& os, std::uint32_t link_type)
+    : os_(os) {
+  put32(os_, kMagic);
+  put16(os_, 2);  // version major
+  put16(os_, 4);  // version minor
+  put32(os_, 0);  // thiszone
+  put32(os_, 0);  // sigfigs
+  put32(os_, kSnapLen);
+  put32(os_, link_type);
+}
+
+bool PcapWriter::write(double timestamp,
+                       std::span<const std::uint8_t> packet) {
+  const auto secs = static_cast<std::uint32_t>(timestamp);
+  const auto usecs = static_cast<std::uint32_t>(
+      std::lround((timestamp - secs) * 1e6) % 1000000);
+  put32(os_, secs);
+  put32(os_, usecs);
+  put32(os_, static_cast<std::uint32_t>(packet.size()));
+  put32(os_, static_cast<std::uint32_t>(packet.size()));
+  os_.write(reinterpret_cast<const char*>(packet.data()),
+            static_cast<std::streamsize>(packet.size()));
+  ++packets_;
+  return static_cast<bool>(os_);
+}
+
+PcapReader::PcapReader(std::istream& is) : is_(is) {
+  std::uint32_t magic = 0;
+  if (!get32(is_, magic)) return;
+  switch (magic) {
+    case PcapWriter::kMagic: break;
+    case kMagicSwapped: swapped_ = true; break;
+    case kMagicNano: nanosecond_ = true; break;
+    case kMagicNanoSwapped:
+      swapped_ = true;
+      nanosecond_ = true;
+      break;
+    default: return;  // not a pcap file
+  }
+  std::uint16_t major = 0;
+  std::uint16_t minor = 0;
+  std::uint32_t skip = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t network = 0;
+  if (!get16(is_, major) || !get16(is_, minor) || !get32(is_, skip) ||
+      !get32(is_, skip) || !get32(is_, snaplen) || !get32(is_, network)) {
+    return;
+  }
+  if (fix16(major) != 2) return;
+  link_type_ = fix32(network);
+  ok_ = true;
+}
+
+std::uint32_t PcapReader::fix32(std::uint32_t v) const noexcept {
+  return swapped_ ? bswap32(v) : v;
+}
+
+std::uint16_t PcapReader::fix16(std::uint16_t v) const noexcept {
+  return swapped_ ? bswap16(v) : v;
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  if (!ok_) return std::nullopt;
+  std::uint32_t secs = 0;
+  if (!get32(is_, secs)) return std::nullopt;  // clean EOF
+  std::uint32_t frac = 0;
+  std::uint32_t incl = 0;
+  std::uint32_t orig = 0;
+  if (!get32(is_, frac) || !get32(is_, incl) || !get32(is_, orig)) {
+    ok_ = false;  // truncated record header
+    return std::nullopt;
+  }
+  PcapRecord record;
+  const double divisor = nanosecond_ ? 1e9 : 1e6;
+  record.timestamp =
+      static_cast<double>(fix32(secs)) + fix32(frac) / divisor;
+  const std::uint32_t length = fix32(incl);
+  if (length > PcapWriter::kSnapLen) {
+    ok_ = false;  // implausible length: corrupt file
+    return std::nullopt;
+  }
+  record.bytes.resize(length);
+  if (!is_.read(reinterpret_cast<char*>(record.bytes.data()), length)) {
+    ok_ = false;  // truncated payload
+    return std::nullopt;
+  }
+  return record;
+}
+
+}  // namespace tcpdemux::net

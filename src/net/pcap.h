@@ -1,0 +1,84 @@
+// Classic libpcap file format (the pre-pcapng .pcap every tool reads).
+//
+// Generated workload traces can be exported as capture files and inspected
+// with tcpdump/wireshark; captures from elsewhere can be replayed through
+// the demultiplexers. Packets are written with LINKTYPE_RAW (101): the
+// record payload is the raw IPv4 datagram, exactly what this library's
+// Packet::parse consumes.
+#ifndef TCPDEMUX_NET_PCAP_H_
+#define TCPDEMUX_NET_PCAP_H_
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace tcpdemux::net {
+
+/// One captured record: a timestamp and the raw bytes.
+struct PcapRecord {
+  double timestamp = 0.0;  ///< seconds (fractional)
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const PcapRecord&, const PcapRecord&) = default;
+};
+
+/// Streams pcap records to an ostream. Writes the global header on
+/// construction (magic 0xa1b2c3d4, version 2.4). Default link type is
+/// LINKTYPE_RAW (records are bare IPv4 datagrams); pass kLinkTypeEthernet
+/// when writing whole frames (see net/ethernet.h).
+class PcapWriter {
+ public:
+  static constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+  static constexpr std::uint32_t kLinkTypeEthernet = 1;
+  static constexpr std::uint32_t kLinkTypeRaw = 101;
+  static constexpr std::uint32_t kSnapLen = 65535;
+
+  explicit PcapWriter(std::ostream& os,
+                      std::uint32_t link_type = kLinkTypeRaw);
+
+  /// Appends one packet. Returns false once the stream has failed.
+  bool write(double timestamp, std::span<const std::uint8_t> packet);
+
+  [[nodiscard]] std::size_t packets_written() const noexcept {
+    return packets_;
+  }
+
+ private:
+  std::ostream& os_;
+  std::size_t packets_ = 0;
+};
+
+/// Reads a pcap file produced by this writer or any standard tool.
+/// Handles both byte orders (magic 0xa1b2c3d4 / 0xd4c3b2a1) and both
+/// microsecond and nanosecond timestamp variants.
+class PcapReader {
+ public:
+  /// Parses the global header. Check ok() before reading records.
+  explicit PcapReader(std::istream& is);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint32_t link_type() const noexcept {
+    return link_type_;
+  }
+
+  /// Reads the next record; nullopt at clean EOF. A truncated record also
+  /// returns nullopt but flips ok() to false.
+  [[nodiscard]] std::optional<PcapRecord> next();
+
+ private:
+  [[nodiscard]] std::uint32_t fix32(std::uint32_t v) const noexcept;
+  [[nodiscard]] std::uint16_t fix16(std::uint16_t v) const noexcept;
+
+  std::istream& is_;
+  bool ok_ = false;
+  bool swapped_ = false;
+  bool nanosecond_ = false;
+  std::uint32_t link_type_ = 0;
+};
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_PCAP_H_

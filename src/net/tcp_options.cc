@@ -1,0 +1,119 @@
+#include "net/tcp_options.h"
+
+#include "net/byte_order.h"
+
+namespace tcpdemux::net {
+namespace {
+
+constexpr std::uint8_t kEol = 0;
+constexpr std::uint8_t kNopByte = 1;
+
+}  // namespace
+
+std::optional<std::vector<TcpOption>> parse_tcp_options(
+    std::span<const std::uint8_t> blob) {
+  std::vector<TcpOption> out;
+  std::size_t i = 0;
+  while (i < blob.size()) {
+    const std::uint8_t kind = blob[i];
+    if (kind == kEol) break;
+    if (kind == kNopByte) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= blob.size()) return std::nullopt;  // kind without length
+    const std::uint8_t len = blob[i + 1];
+    if (len < 2 || i + len > blob.size()) return std::nullopt;
+    const std::uint8_t* body = blob.data() + i + 2;
+
+    switch (static_cast<TcpOptionKind>(kind)) {
+      case TcpOptionKind::kMss: {
+        if (len != 4) return std::nullopt;
+        TcpOption o;
+        o.kind = TcpOptionKind::kMss;
+        o.mss = load_be16(body);
+        out.push_back(o);
+        break;
+      }
+      case TcpOptionKind::kWindowScale: {
+        if (len != 3) return std::nullopt;
+        TcpOption o;
+        o.kind = TcpOptionKind::kWindowScale;
+        o.shift = body[0];
+        out.push_back(o);
+        break;
+      }
+      case TcpOptionKind::kSackPermitted: {
+        if (len != 2) return std::nullopt;
+        TcpOption o;
+        o.kind = TcpOptionKind::kSackPermitted;
+        out.push_back(o);
+        break;
+      }
+      case TcpOptionKind::kTimestamps: {
+        if (len != 10) return std::nullopt;
+        TcpOption o;
+        o.kind = TcpOptionKind::kTimestamps;
+        o.ts_value = load_be32(body);
+        o.ts_echo_reply = load_be32(body + 4);
+        out.push_back(o);
+        break;
+      }
+      case TcpOptionKind::kEndOfOptions:
+      case TcpOptionKind::kNop:
+        break;  // handled above; unreachable
+      default:
+        break;  // unknown kind with valid length: skip
+    }
+    i += len;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_tcp_options(
+    std::span<const TcpOption> options) {
+  std::vector<std::uint8_t> out;
+  for (const TcpOption& o : options) {
+    switch (o.kind) {
+      case TcpOptionKind::kMss:
+        out.push_back(static_cast<std::uint8_t>(TcpOptionKind::kMss));
+        out.push_back(4);
+        out.push_back(static_cast<std::uint8_t>(o.mss >> 8));
+        out.push_back(static_cast<std::uint8_t>(o.mss & 0xff));
+        break;
+      case TcpOptionKind::kWindowScale:
+        out.push_back(static_cast<std::uint8_t>(TcpOptionKind::kWindowScale));
+        out.push_back(3);
+        out.push_back(o.shift);
+        break;
+      case TcpOptionKind::kSackPermitted:
+        out.push_back(
+            static_cast<std::uint8_t>(TcpOptionKind::kSackPermitted));
+        out.push_back(2);
+        break;
+      case TcpOptionKind::kTimestamps: {
+        out.push_back(static_cast<std::uint8_t>(TcpOptionKind::kTimestamps));
+        out.push_back(10);
+        std::uint8_t buf[8];
+        store_be32(buf, o.ts_value);
+        store_be32(buf + 4, o.ts_echo_reply);
+        out.insert(out.end(), buf, buf + 8);
+        break;
+      }
+      case TcpOptionKind::kEndOfOptions:
+      case TcpOptionKind::kNop:
+        break;  // padding computed below
+    }
+  }
+  while (out.size() % 4 != 0) out.push_back(kEol);
+  return out;
+}
+
+std::optional<std::uint16_t> find_mss(std::span<const TcpOption> options) {
+  for (const TcpOption& o : options) {
+    if (o.kind == TcpOptionKind::kMss) return o.mss;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,60 @@
+// Typed TCP option parsing and serialization (RFC 793 §3.1, RFC 1323,
+// RFC 2018).
+//
+// TcpHeader carries options as an opaque 4-byte-padded blob so headers
+// round-trip exactly; this module interprets that blob. Supported kinds:
+// EOL, NOP, MSS, window scale, SACK-permitted, and timestamps — the set a
+// 1992-adjacent stack would meet plus the two RFC 1323 options any modern
+// trace contains.
+#ifndef TCPDEMUX_NET_TCP_OPTIONS_H_
+#define TCPDEMUX_NET_TCP_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tcpdemux::net {
+
+enum class TcpOptionKind : std::uint8_t {
+  kEndOfOptions = 0,
+  kNop = 1,
+  kMss = 2,
+  kWindowScale = 3,
+  kSackPermitted = 4,
+  kTimestamps = 8,
+};
+
+/// One parsed option. Fields beyond `kind` are meaningful only for the
+/// kinds that carry them.
+struct TcpOption {
+  TcpOptionKind kind = TcpOptionKind::kNop;
+  std::uint16_t mss = 0;            ///< kMss
+  std::uint8_t shift = 0;           ///< kWindowScale
+  std::uint32_t ts_value = 0;       ///< kTimestamps
+  std::uint32_t ts_echo_reply = 0;  ///< kTimestamps
+
+  friend bool operator==(const TcpOption&, const TcpOption&) = default;
+};
+
+/// Parses an option blob (as stored in TcpHeader::options). NOPs are
+/// skipped; parsing stops at EOL. Returns nullopt on any malformed
+/// option: a length byte of 0 or 1, a length that overruns the buffer, or
+/// a wrong length for a known kind. Unknown kinds with a valid length are
+/// skipped silently (as receivers must).
+[[nodiscard]] std::optional<std::vector<TcpOption>> parse_tcp_options(
+    std::span<const std::uint8_t> blob);
+
+/// Serializes options to a blob padded with EOL to a 4-byte multiple,
+/// ready for TcpHeader::options. NOP and EOL inputs are ignored (padding
+/// is computed here).
+[[nodiscard]] std::vector<std::uint8_t> serialize_tcp_options(
+    std::span<const TcpOption> options);
+
+/// Convenience: finds the MSS option, if present.
+[[nodiscard]] std::optional<std::uint16_t> find_mss(
+    std::span<const TcpOption> options);
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_TCP_OPTIONS_H_

@@ -1,0 +1,71 @@
+#include "net/udp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "net/byte_order.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+
+namespace tcpdemux::net {
+
+std::size_t UdpHeader::serialize(std::span<std::uint8_t> out) const {
+  store_be16(out.data() + 0, src_port);
+  store_be16(out.data() + 2, dst_port);
+  store_be16(out.data() + 4, length);
+  store_be16(out.data() + 6, 0);  // checksum patched by caller
+  return kSize;
+}
+
+std::optional<UdpHeader> UdpHeader::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(bytes.data() + 0);
+  h.dst_port = load_be16(bytes.data() + 2);
+  h.length = load_be16(bytes.data() + 4);
+  if (h.length < kSize || h.length > bytes.size()) return std::nullopt;
+  return h;
+}
+
+std::uint16_t udp_checksum(Ipv4Addr src, Ipv4Addr dst,
+                           std::span<const std::uint8_t> datagram) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_word(static_cast<std::uint16_t>(src.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(src.value() & 0xffff));
+  acc.add_word(static_cast<std::uint16_t>(dst.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(dst.value() & 0xffff));
+  acc.add_word(17);  // protocol: UDP
+  acc.add_word(static_cast<std::uint16_t>(datagram.size()));
+  acc.add(datagram);
+  const std::uint16_t sum = acc.finish();
+  return sum == 0 ? 0xffff : sum;  // RFC 768: transmitted zero is "none"
+}
+
+std::vector<std::uint8_t> build_udp_packet(
+    Ipv4Addr src, std::uint16_t src_port, Ipv4Addr dst,
+    std::uint16_t dst_port, std::span<const std::uint8_t> payload) {
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = 17;
+  ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + udp.length);
+
+  std::vector<std::uint8_t> wire(ip.total_length);
+  ip.serialize(wire);
+  auto datagram = std::span(wire).subspan(Ipv4Header::kSize);
+  udp.serialize(datagram);
+  std::copy(payload.begin(), payload.end(),
+            datagram.begin() + UdpHeader::kSize);
+  const std::uint16_t sum = udp_checksum(src, dst, datagram);
+  store_be16(datagram.data() + 6, sum);
+  return wire;
+}
+
+}  // namespace tcpdemux::net

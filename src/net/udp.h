@@ -1,0 +1,51 @@
+// UDP header (RFC 768).
+//
+// The send/receive cache the paper analyzes in §3.3 was proposed by
+// Partridge & Pink for *UDP* ("A faster UDP", [PP91]); UDP demultiplexing
+// is the same 96-bit-key problem with a two-field header. This module
+// supplies the wire format so UDP traffic can flow through the same flow
+// keys and demultiplexers.
+#ifndef TCPDEMUX_NET_UDP_H_
+#define TCPDEMUX_NET_UDP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip_addr.h"
+
+namespace tcpdemux::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kSize;  ///< header + payload
+
+  /// Serializes the header with the checksum zeroed; the caller patches
+  /// bytes 6..7 with udp_checksum over pseudo-header + datagram.
+  std::size_t serialize(std::span<std::uint8_t> out) const;
+
+  /// Parses a header; nullopt on short buffer or a length field smaller
+  /// than the header or beyond the buffer.
+  [[nodiscard]] static std::optional<UdpHeader> parse(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// UDP checksum: IPv4 pseudo-header (protocol 17) + datagram. Returns
+/// 0xffff in place of an all-zero result, as RFC 768 requires (zero on
+/// the wire means "no checksum").
+[[nodiscard]] std::uint16_t udp_checksum(
+    Ipv4Addr src, Ipv4Addr dst,
+    std::span<const std::uint8_t> datagram) noexcept;
+
+/// Builds a complete UDP/IPv4 wire packet with both checksums.
+[[nodiscard]] std::vector<std::uint8_t> build_udp_packet(
+    Ipv4Addr src, std::uint16_t src_port, Ipv4Addr dst,
+    std::uint16_t dst_port, std::span<const std::uint8_t> payload);
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_UDP_H_

@@ -1,0 +1,91 @@
+#include "report/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tcpdemux::report {
+
+void plot(std::ostream& os, const std::vector<Series>& series,
+          const PlotOptions& options) {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = options.y_from_zero ? 0.0 : x_min;
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      if (!options.y_from_zero) y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+    }
+  }
+  if (!(x_max > x_min)) x_max = x_min + 1.0;
+  if (!(y_max > y_min)) y_max = y_min + 1.0;
+
+  const int w = std::max(16, options.width);
+  const int h = std::max(8, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - x_min) / (x_max - x_min);
+      const double fy = (s.y[i] - y_min) / (y_max - y_min);
+      const int col = std::clamp(static_cast<int>(std::lround(fx * (w - 1))),
+                                 0, w - 1);
+      const int row = std::clamp(static_cast<int>(std::lround(fy * (h - 1))),
+                                 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = s.glyph;
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  char buf[64];
+  for (int r = 0; r < h; ++r) {
+    const double y =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (h - 1);
+    if (r % 4 == 0 || r == h - 1) {
+      std::snprintf(buf, sizeof buf, "%10.1f |", y);
+    } else {
+      std::snprintf(buf, sizeof buf, "%10s |", "");
+    }
+    os << buf << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  std::snprintf(buf, sizeof buf, "%10.1f", x_min);
+  os << ' ' << buf << std::string(static_cast<std::size_t>(std::max(1, w - 10)), ' ');
+  std::snprintf(buf, sizeof buf, "%.1f", x_max);
+  os << buf << '\n';
+  if (!options.x_label.empty()) {
+    os << std::string(12, ' ') << options.x_label << '\n';
+  }
+  os << "  legend:";
+  for (const Series& s : series) {
+    os << "  " << s.glyph << " = " << s.label;
+  }
+  os << '\n';
+}
+
+void print_bars(std::ostream& os, const std::vector<std::string>& labels,
+                const std::vector<double>& values, int width) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    max_value = std::max(max_value, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  for (std::size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    const int bar = static_cast<int>(
+        std::lround(values[i] / max_value * std::max(1, width)));
+    os << ' ' << std::string(label_width - labels[i].size(), ' ')
+       << labels[i] << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << ' ' << values[i] << '\n';
+  }
+}
+
+}  // namespace tcpdemux::report

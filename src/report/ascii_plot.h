@@ -1,0 +1,41 @@
+// Multi-series ASCII line plots, used by the figure benches to render the
+// paper's Figures 4, 13, and 14 directly in terminal output.
+#ifndef TCPDEMUX_REPORT_ASCII_PLOT_H_
+#define TCPDEMUX_REPORT_ASCII_PLOT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcpdemux::report {
+
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot-area columns
+  int height = 24;   ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = true;
+};
+
+/// Renders all series on a shared linearly-scaled grid with axis
+/// annotations and a legend. Later series overwrite earlier glyphs where
+/// they collide.
+void plot(std::ostream& os, const std::vector<Series>& series,
+          const PlotOptions& options);
+
+/// Horizontal bar chart: one labeled row per value, bars scaled to the
+/// maximum. Used for distribution histograms.
+void print_bars(std::ostream& os, const std::vector<std::string>& labels,
+                const std::vector<double>& values, int width = 50);
+
+}  // namespace tcpdemux::report
+
+#endif  // TCPDEMUX_REPORT_ASCII_PLOT_H_

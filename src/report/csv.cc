@@ -1,0 +1,25 @@
+#include "report/csv.h"
+
+namespace tcpdemux::report {
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    const std::string& cell = cells[i];
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      os << cell;
+      continue;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  }
+  os << '\n';
+}
+
+}  // namespace tcpdemux::report

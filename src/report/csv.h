@@ -1,0 +1,16 @@
+// Minimal CSV emission so bench output can be post-processed.
+#ifndef TCPDEMUX_REPORT_CSV_H_
+#define TCPDEMUX_REPORT_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcpdemux::report {
+
+/// Writes one CSV row, quoting cells containing commas, quotes or newlines.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+}  // namespace tcpdemux::report
+
+#endif  // TCPDEMUX_REPORT_CSV_H_

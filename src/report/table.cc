@@ -1,0 +1,64 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tcpdemux::report {
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::string(widths[c] - cell.size(), ' ') << cell << ' ';
+      if (c + 1 < widths.size()) os << '|';
+    }
+    os << '\n';
+  };
+
+  print_cells(headers_);
+  print_rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) {
+      print_rule();
+    }
+    print_cells(rows_[r]);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace tcpdemux::report

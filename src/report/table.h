@@ -1,0 +1,42 @@
+// Fixed-width text tables for bench output.
+#ifndef TCPDEMUX_REPORT_TABLE_H_
+#define TCPDEMUX_REPORT_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcpdemux::report {
+
+/// Formats `value` with `precision` digits after the point.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+/// Scientific notation with `precision` significant decimals ("1.9e-35").
+[[nodiscard]] std::string fmt_sci(double value, int precision = 1);
+
+/// Right-aligned fixed-width table. Column widths auto-fit content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule() { rules_.push_back(rows_.size()); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;
+};
+
+}  // namespace tcpdemux::report
+
+#endif  // TCPDEMUX_REPORT_TABLE_H_

@@ -1,0 +1,87 @@
+#include "sim/address_space.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/rng.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+net::FlowKey make_key(const AddressSpaceParams& params, net::Ipv4Addr client,
+                      std::uint16_t port) {
+  return net::FlowKey{params.server_addr, params.server_port, client, port};
+}
+
+}  // namespace
+
+std::vector<net::FlowKey> make_client_keys(const AddressSpaceParams& params) {
+  if (params.clients == 0) {
+    throw std::invalid_argument("address space: clients must be >= 1");
+  }
+  std::vector<net::FlowKey> keys;
+  keys.reserve(params.clients);
+
+  switch (params.pattern) {
+    case ClientPattern::kSequentialHosts: {
+      // 10.b.s.h with h in [2, 254]: one /24 per 253 clients, rolling into
+      // the next /16 every 256 subnets.
+      std::uint32_t subnet = 0;
+      std::uint32_t host = 2;
+      for (std::uint32_t i = 0; i < params.clients; ++i) {
+        keys.push_back(make_key(
+            params,
+            net::Ipv4Addr(10, static_cast<std::uint8_t>(1 + subnet / 256),
+                          static_cast<std::uint8_t>(subnet % 256),
+                          static_cast<std::uint8_t>(host)),
+            40000));
+        if (++host > 254) {
+          host = 2;
+          ++subnet;
+        }
+      }
+      break;
+    }
+    case ClientPattern::kConcentrators: {
+      const std::uint32_t hosts = std::max(1u, params.concentrator_hosts);
+      for (std::uint32_t i = 0; i < params.clients; ++i) {
+        const std::uint32_t host = i % hosts;
+        const std::uint16_t port =
+            static_cast<std::uint16_t>(1024 + i / hosts);
+        keys.push_back(make_key(
+            params, net::Ipv4Addr(10, 2, 0, static_cast<std::uint8_t>(host + 2)),
+            port));
+      }
+      break;
+    }
+    case ClientPattern::kRandom: {
+      Rng rng(params.seed);
+      std::unordered_set<net::FlowKey> seen;
+      while (keys.size() < params.clients) {
+        const auto addr = net::Ipv4Addr(
+            static_cast<std::uint32_t>(rng.uniform_index(0xe0000000u)) |
+            0x0a000000u);
+        const auto port = static_cast<std::uint16_t>(
+            1024 + rng.uniform_index(65536 - 1024));
+        const net::FlowKey key = make_key(params, addr, port);
+        if (seen.insert(key).second) keys.push_back(key);
+      }
+      break;
+    }
+    case ClientPattern::kAdversarialForModulo: {
+      // foreign_addr + foreign_port is held constant, so the historical
+      // BSD-modulo hash maps every client to one chain.
+      const std::uint32_t base = net::Ipv4Addr(10, 3, 0, 0).value() + 70000;
+      for (std::uint32_t i = 0; i < params.clients; ++i) {
+        const std::uint16_t port = static_cast<std::uint16_t>(1024 + i);
+        keys.push_back(
+            make_key(params, net::Ipv4Addr(base - port), port));
+      }
+      break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace tcpdemux::sim

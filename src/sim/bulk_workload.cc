@@ -1,0 +1,43 @@
+#include "sim/bulk_workload.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace tcpdemux::sim {
+
+Trace generate_bulk_trace(const BulkWorkloadParams& params) {
+  if (params.connections == 0 || params.train_length == 0) {
+    throw std::invalid_argument("bulk workload: empty configuration");
+  }
+  Rng rng(params.seed);
+  Trace trace;
+  trace.connections = params.connections;
+
+  for (std::uint32_t conn = 0; conn < params.connections; ++conn) {
+    double t = rng.exponential(params.train_gap_mean);
+    while (t < params.duration) {
+      std::uint32_t since_ack = 0;
+      for (std::uint32_t i = 0;
+           i < params.train_length && t < params.duration; ++i) {
+        trace.events.push_back(
+            TraceEvent{t, conn, TraceEventKind::kArrivalData});
+        if (++since_ack == params.segments_per_ack) {
+          trace.events.push_back(
+              TraceEvent{t, conn, TraceEventKind::kTransmit});
+          since_ack = 0;
+        }
+        t += params.segment_spacing;
+      }
+      if (since_ack != 0) {
+        trace.events.push_back(TraceEvent{t, conn, TraceEventKind::kTransmit});
+      }
+      t += rng.exponential(params.train_gap_mean);
+    }
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace tcpdemux::sim

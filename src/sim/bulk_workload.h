@@ -1,0 +1,34 @@
+// Bulk-data-transfer workload: the packet-train traffic [JR86] that the
+// BSD one-entry cache was designed for (paper §1).
+//
+// A receiving server sees a small number of concurrent bulk connections,
+// each delivering trains of back-to-back data segments separated by idle
+// gaps. Within a train every segment after the first hits the one-entry
+// cache; the cache only misses when trains from different connections
+// interleave. The server transmits an ack per `segments_per_ack` data
+// segments (delayed-ack style), which exercises the send/receive cache's
+// send side.
+#ifndef TCPDEMUX_SIM_BULK_WORKLOAD_H_
+#define TCPDEMUX_SIM_BULK_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+struct BulkWorkloadParams {
+  std::uint32_t connections = 4;
+  std::uint32_t train_length = 16;      ///< data segments per train
+  double segment_spacing = 20e-6;       ///< s between segments in a train
+  double train_gap_mean = 0.01;         ///< s, exponential gap between trains
+  std::uint32_t segments_per_ack = 2;   ///< delayed-ack ratio
+  double duration = 10.0;               ///< simulated seconds
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] Trace generate_bulk_trace(const BulkWorkloadParams& params);
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_BULK_WORKLOAD_H_

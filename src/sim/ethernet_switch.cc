@@ -1,0 +1,76 @@
+#include "sim/ethernet_switch.h"
+
+namespace tcpdemux::sim {
+
+std::size_t EthernetSwitch::add_port(PortFn egress) {
+  ports_.push_back(std::move(egress));
+  return ports_.size() - 1;
+}
+
+void EthernetSwitch::learn(const net::MacAddr& mac, std::size_t port,
+                           double now) {
+  if (mac.is_multicast()) return;  // never learn group addresses
+  const auto key = mac.octets();
+  if (!mac_table_.contains(key) &&
+      mac_table_.size() >= options_.max_macs) {
+    // Evict the stalest entry.
+    auto victim = mac_table_.begin();
+    for (auto it = mac_table_.begin(); it != mac_table_.end(); ++it) {
+      if (it->second.learned < victim->second.learned) victim = it;
+    }
+    mac_table_.erase(victim);
+  }
+  mac_table_[key] = MacEntry{port, now};
+}
+
+void EthernetSwitch::receive(std::size_t ingress_port,
+                             std::span<const std::uint8_t> frame,
+                             double now) {
+  const auto header = net::EthernetHeader::parse(frame);
+  if (!header || ingress_port >= ports_.size()) {
+    ++stats_.dropped;
+    return;
+  }
+  learn(header->src, ingress_port, now);
+
+  std::vector<std::uint8_t> copy(frame.begin(), frame.end());
+  if (!header->dst.is_multicast() && !header->dst.is_broadcast()) {
+    const auto it = mac_table_.find(header->dst.octets());
+    if (it != mac_table_.end() &&
+        now - it->second.learned <= options_.mac_ageing) {
+      if (it->second.port == ingress_port) {
+        ++stats_.dropped;  // destination is back where it came from
+        return;
+      }
+      ++stats_.forwarded;
+      ports_[it->second.port](std::move(copy));
+      return;
+    }
+  }
+  // Unknown unicast, broadcast, or multicast: flood.
+  ++stats_.flooded;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p == ingress_port) continue;
+    ports_[p](std::vector<std::uint8_t>(frame.begin(), frame.end()));
+  }
+}
+
+std::size_t EthernetSwitch::expire(double now) {
+  std::size_t dropped = 0;
+  for (auto it = mac_table_.begin(); it != mac_table_.end();) {
+    if (now - it->second.learned > options_.mac_ageing) {
+      it = mac_table_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t EthernetSwitch::port_of(const net::MacAddr& mac) const {
+  const auto it = mac_table_.find(mac.octets());
+  return it == mac_table_.end() ? npos : it->second.port;
+}
+
+}  // namespace tcpdemux::sim

@@ -1,0 +1,76 @@
+// A transparent learning bridge (IEEE 802.1D minus spanning tree): the LAN
+// fabric between the simulated hosts.
+//
+// Frames enter on a port; the switch learns the source MAC's port, then
+// forwards — to the learned port for known unicast destinations, flooding
+// everywhere else (unknown unicast, broadcast, multicast). MAC table
+// entries age out and the table is bounded.
+#ifndef TCPDEMUX_SIM_ETHERNET_SWITCH_H_
+#define TCPDEMUX_SIM_ETHERNET_SWITCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.h"
+
+namespace tcpdemux::sim {
+
+class EthernetSwitch {
+ public:
+  /// Delivers a frame out of a port (toward the attached host/link).
+  using PortFn = std::function<void(std::vector<std::uint8_t> frame)>;
+
+  struct Options {
+    double mac_ageing = 300.0;   ///< seconds before a learned MAC expires
+    std::size_t max_macs = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded = 0;  ///< known unicast, single egress
+    std::uint64_t flooded = 0;    ///< unknown/broadcast, all-but-ingress
+    std::uint64_t dropped = 0;    ///< unparseable or self-destined frames
+  };
+
+  EthernetSwitch() : EthernetSwitch(Options()) {}
+  explicit EthernetSwitch(Options options) : options_(options) {}
+
+  /// Attaches a port; returns its index.
+  std::size_t add_port(PortFn egress);
+
+  /// Accepts a frame arriving on `ingress_port` at time `now`.
+  void receive(std::size_t ingress_port,
+               std::span<const std::uint8_t> frame, double now);
+
+  /// Ages out stale MAC entries; returns how many were dropped.
+  std::size_t expire(double now);
+
+  [[nodiscard]] std::size_t mac_table_size() const noexcept {
+    return mac_table_.size();
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// The port a MAC was last learned on, or npos (test hook).
+  [[nodiscard]] std::size_t port_of(const net::MacAddr& mac) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  struct MacEntry {
+    std::size_t port = 0;
+    double learned = 0.0;
+  };
+
+  void learn(const net::MacAddr& mac, std::size_t port, double now);
+
+  Options options_;
+  std::vector<PortFn> ports_;
+  std::map<std::array<std::uint8_t, 6>, MacEntry> mac_table_;
+  Stats stats_;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_ETHERNET_SWITCH_H_

@@ -1,0 +1,32 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcpdemux::sim {
+
+void EventQueue::schedule_at(double when, Handler fn) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  }
+  heap_.push_back(Entry{when, seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), fires_later);
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.front().when <= horizon) {
+    std::pop_heap(heap_.begin(), heap_.end(), fires_later);
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = entry.when;
+    entry.fn();  // may schedule further events
+    ++executed;
+  }
+  if (heap_.empty() && horizon < kForever && now_ < horizon) {
+    now_ = horizon;
+  }
+  return executed;
+}
+
+}  // namespace tcpdemux::sim

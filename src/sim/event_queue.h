@@ -1,0 +1,62 @@
+// Discrete-event simulation core: a time-ordered event queue and clock.
+//
+// Events with equal timestamps fire in scheduling order (a strictly
+// monotone sequence number breaks ties), which keeps runs bit-reproducible
+// across platforms.
+#ifndef TCPDEMUX_SIM_EVENT_QUEUE_H_
+#define TCPDEMUX_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tcpdemux::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when`. `when` must be >= now().
+  void schedule_at(double when, Handler fn);
+
+  /// Schedules `fn` at now() + delay.
+  void schedule_in(double delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `horizon`; the clock ends at min(horizon, last event time) — or at
+  /// `horizon` exactly if the queue drains first. Returns the number of
+  /// events executed.
+  std::size_t run_until(double horizon);
+
+  /// Runs everything.
+  std::size_t run() { return run_until(kForever); }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  static constexpr double kForever = 1e300;
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  // Min-heap ordering for std::push_heap/std::pop_heap (which build
+  // max-heaps): "later fires last".
+  static bool fires_later(const Entry& a, const Entry& b) noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,61 @@
+#include "sim/flash_crowd_workload.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace tcpdemux::sim {
+
+Trace generate_flash_crowd_trace(const FlashCrowdParams& params) {
+  if (params.users == 0) {
+    throw std::invalid_argument("flash crowd: users must be >= 1");
+  }
+  if (params.response_time < params.rtt) {
+    throw std::invalid_argument(
+        "flash crowd: response time must cover the round trip");
+  }
+  if (params.ramp <= 0.0 || params.ramp > params.duration) {
+    throw std::invalid_argument("flash crowd: ramp must be in (0, duration]");
+  }
+
+  Rng rng(params.seed);
+  Trace trace;
+  trace.connections = params.users;
+
+  const double half_rtt = 0.5 * params.rtt;
+  const double server_processing = params.response_time - params.rtt;
+  const double cap = params.think_cap_factor * params.think_mean;
+
+  for (std::uint32_t user = 0; user < params.users; ++user) {
+    const double join = rng.uniform(0.0, params.ramp);
+    trace.events.push_back(TraceEvent{join, user, TraceEventKind::kOpen});
+    // First transaction follows the connect promptly (the user showed up
+    // to do something), then the normal think cycle.
+    double entry = join + rng.uniform(0.1, 2.0);
+    while (entry < params.duration) {
+      const double query_arrival = entry + half_rtt;
+      if (query_arrival >= params.duration) break;
+      trace.events.push_back(
+          TraceEvent{query_arrival, user, TraceEventKind::kArrivalData});
+      trace.events.push_back(
+          TraceEvent{query_arrival, user, TraceEventKind::kTransmit});
+      const double response_sent = query_arrival + server_processing;
+      if (response_sent < params.duration) {
+        trace.events.push_back(
+            TraceEvent{response_sent, user, TraceEventKind::kTransmit});
+      }
+      const double ack_arrival = query_arrival + params.response_time;
+      if (ack_arrival < params.duration) {
+        trace.events.push_back(
+            TraceEvent{ack_arrival, user, TraceEventKind::kArrivalAck});
+      }
+      entry += params.response_time +
+               rng.truncated_exponential(params.think_mean, cap);
+    }
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace tcpdemux::sim

@@ -1,0 +1,91 @@
+// A simulated point-to-point link: propagation delay, jitter, random
+// loss, and finite bandwidth (serialization delay + FIFO queueing), driven
+// by the discrete-event queue.
+//
+// This is the substrate that lets two tcp::Host/SocketTable endpoints talk
+// under realistic network conditions — in particular it gives the
+// retransmission machinery something to recover from.
+#ifndef TCPDEMUX_SIM_LINK_H_
+#define TCPDEMUX_SIM_LINK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace tcpdemux::sim {
+
+class Link {
+ public:
+  /// Invoked (via the event queue) when a packet arrives at the far end.
+  using Receiver = std::function<void(std::vector<std::uint8_t> wire)>;
+
+  struct Options {
+    double delay = 0.0005;        ///< one-way propagation, seconds
+    double jitter = 0.0;          ///< uniform extra delay in [0, jitter]
+    double loss_probability = 0.0;
+    double bandwidth_bps = 0.0;   ///< 0 = infinite (no serialization time)
+    std::uint64_t seed = 11;
+  };
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered_scheduled = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Link(EventQueue& queue, Options options, Receiver receiver)
+      : queue_(queue),
+        options_(options),
+        receiver_(std::move(receiver)),
+        rng_(options.seed) {}
+
+  /// Offers a packet to the link at the current simulation time.
+  void send(std::vector<std::uint8_t> wire) {
+    ++stats_.offered;
+    stats_.bytes += wire.size();
+    if (options_.loss_probability > 0.0 &&
+        rng_.uniform() < options_.loss_probability) {
+      ++stats_.dropped;
+      return;
+    }
+    double depart = queue_.now();
+    if (options_.bandwidth_bps > 0.0) {
+      const double serialization =
+          static_cast<double>(wire.size()) * 8.0 / options_.bandwidth_bps;
+      // FIFO behind whatever is still serializing.
+      depart = std::max(depart, busy_until_) + serialization;
+      busy_until_ = depart;
+    }
+    double arrive = depart + options_.delay;
+    if (options_.jitter > 0.0) arrive += rng_.uniform(0.0, options_.jitter);
+    ++stats_.delivered_scheduled;
+    queue_.schedule_at(arrive, [this, wire = std::move(wire)]() mutable {
+      receiver_(std::move(wire));
+    });
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double loss_rate() const noexcept {
+    return stats_.offered == 0
+               ? 0.0
+               : static_cast<double>(stats_.dropped) /
+                     static_cast<double>(stats_.offered);
+  }
+
+ private:
+  EventQueue& queue_;
+  Options options_;
+  Receiver receiver_;
+  Rng rng_;
+  Stats stats_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_LINK_H_

@@ -1,0 +1,42 @@
+#include "sim/polling_workload.h"
+
+#include <stdexcept>
+
+namespace tcpdemux::sim {
+
+Trace generate_polling_trace(const PollingWorkloadParams& params) {
+  if (params.terminals == 0) {
+    throw std::invalid_argument("polling workload: terminals must be >= 1");
+  }
+  if (params.response_time < params.rtt) {
+    throw std::invalid_argument(
+        "polling workload: response time must cover the round trip");
+  }
+
+  Trace trace;
+  trace.connections = params.terminals;
+  const double slot = params.period / params.terminals;
+  const double half_rtt = 0.5 * params.rtt;
+  const double server_processing = params.response_time - params.rtt;
+
+  for (std::uint32_t terminal = 0; terminal < params.terminals; ++terminal) {
+    double entry = static_cast<double>(terminal) * slot;
+    while (entry < params.duration) {
+      const double query_arrival = entry + half_rtt;
+      trace.events.push_back(
+          TraceEvent{query_arrival, terminal, TraceEventKind::kArrivalData});
+      trace.events.push_back(
+          TraceEvent{query_arrival, terminal, TraceEventKind::kTransmit});
+      trace.events.push_back(TraceEvent{query_arrival + server_processing,
+                                        terminal, TraceEventKind::kTransmit});
+      trace.events.push_back(TraceEvent{query_arrival + params.response_time,
+                                        terminal, TraceEventKind::kArrivalAck});
+      entry += params.period;
+    }
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace tcpdemux::sim

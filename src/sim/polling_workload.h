@@ -1,0 +1,36 @@
+// Point-of-sale polling workload: the move-to-front worst case (paper
+// §3.2).
+//
+// "If the think times were deterministic (exactly 10 seconds always),
+// Crowcroft's algorithm would look through all 2,000 PCBs on each
+// transaction entry. One example of a system with this behavior is a
+// central server polling its clients, as seen in many point-of-sale
+// terminal applications."
+//
+// N terminals submit transactions in a fixed rotation: terminal k enters at
+// phase k * (period / N) within every period. Between a terminal's
+// consecutive transactions every other terminal has transacted exactly
+// once, so under MTF its PCB has sunk to the tail — a full scan per lookup.
+// Acknowledgements arrive R after each query, as in the TPC/A generator.
+#ifndef TCPDEMUX_SIM_POLLING_WORKLOAD_H_
+#define TCPDEMUX_SIM_POLLING_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+struct PollingWorkloadParams {
+  std::uint32_t terminals = 2000;
+  double period = 10.0;     ///< deterministic per-terminal think period, s
+  double response_time = 0.2;
+  double rtt = 0.001;
+  double duration = 100.0;  ///< simulated seconds
+};
+
+[[nodiscard]] Trace generate_polling_trace(const PollingWorkloadParams& params);
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_POLLING_WORKLOAD_H_

@@ -1,0 +1,94 @@
+#include "sim/replay.h"
+
+#include <stdexcept>
+
+namespace tcpdemux::sim {
+
+ReplayResult replay_trace(const Trace& trace,
+                          std::span<const net::FlowKey> keys,
+                          core::Demuxer& demuxer) {
+  if (keys.size() < trace.connections) {
+    throw std::invalid_argument("replay: not enough flow keys for trace");
+  }
+  if (demuxer.size() != 0) {
+    throw std::invalid_argument("replay: demuxer must start empty");
+  }
+
+  ReplayResult result;
+  result.algorithm = demuxer.name();
+
+  // A connection whose first event is kOpen joins the table mid-replay;
+  // one with any other first event is pre-established (the paper's steady
+  // state); one with no events at all (e.g. a churned session that lived
+  // and died before the measurement window) never existed here and must
+  // not inflate the table.
+  enum class Start : std::uint8_t { kAbsent, kPreEstablished, kOpensLater };
+  std::vector<Start> start(trace.connections, Start::kAbsent);
+  for (const TraceEvent& e : trace.events) {
+    if (start[e.conn] == Start::kAbsent) {
+      start[e.conn] = e.kind == TraceEventKind::kOpen
+                          ? Start::kOpensLater
+                          : Start::kPreEstablished;
+    }
+  }
+
+  std::vector<core::Pcb*> pcbs(trace.connections, nullptr);
+  for (std::uint32_t c = 0; c < trace.connections; ++c) {
+    if (start[c] != Start::kPreEstablished) continue;
+    pcbs[c] = demuxer.insert(keys[c]);
+    if (pcbs[c] == nullptr) {
+      throw std::invalid_argument("replay: duplicate or rejected flow key");
+    }
+  }
+
+  result.overall.reserve(trace.arrivals());
+  for (const TraceEvent& event : trace.events) {
+    switch (event.kind) {
+      case TraceEventKind::kOpen:
+        pcbs[event.conn] = demuxer.insert(keys[event.conn]);
+        if (pcbs[event.conn] == nullptr) {
+          throw std::invalid_argument("replay: open of duplicate key");
+        }
+        ++result.opens;
+        break;
+      case TraceEventKind::kClose:
+        if (demuxer.erase(keys[event.conn])) {
+          pcbs[event.conn] = nullptr;
+          ++result.closes;
+        }
+        break;
+      case TraceEventKind::kTransmit:
+        if (pcbs[event.conn] != nullptr) {
+          demuxer.note_sent(pcbs[event.conn]);
+        }
+        break;
+      case TraceEventKind::kArrivalData:
+      case TraceEventKind::kArrivalAck: {
+        const auto kind = event.kind == TraceEventKind::kArrivalData
+                              ? core::SegmentKind::kData
+                              : core::SegmentKind::kAck;
+        const auto r = demuxer.lookup(keys[event.conn], kind);
+        ++result.lookups;
+        if (r.cache_hit) ++result.cache_hits;
+        if (r.pcb == nullptr) ++result.misses;
+        result.overall.add(r.examined);
+        if (kind == core::SegmentKind::kData) {
+          result.data.add(r.examined);
+        } else {
+          result.ack.add(r.examined);
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+ReplayResult replay_trace(const Trace& trace, core::Demuxer& demuxer) {
+  AddressSpaceParams params;
+  params.clients = trace.connections;
+  const auto keys = make_client_keys(params);
+  return replay_trace(trace, keys, demuxer);
+}
+
+}  // namespace tcpdemux::sim

@@ -1,0 +1,56 @@
+// Trace replay: runs one workload trace through a demuxer and measures the
+// paper's figure of merit.
+//
+// Replay performs the paper's steady-state experiment: all connections are
+// established up front (PCBs inserted in connection order, so the newest
+// sits at each list's head, exactly as BSD's head insertion leaves it),
+// then every trace event drives the demuxer — arrivals through lookup()
+// with the right SegmentKind, transmissions through note_sent().
+#ifndef TCPDEMUX_SIM_REPLAY_H_
+#define TCPDEMUX_SIM_REPLAY_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/demuxer.h"
+#include "sim/address_space.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+struct ReplayResult {
+  std::string algorithm;
+  SampleStats overall;  ///< examined PCBs per arrival, all classes
+  SampleStats data;     ///< transaction queries only
+  SampleStats ack;      ///< transport-level acknowledgements only
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t misses = 0;  ///< arrivals that matched no PCB (must be 0)
+  std::uint64_t opens = 0;   ///< mid-replay connection establishments
+  std::uint64_t closes = 0;  ///< mid-replay connection teardowns
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(lookups);
+  }
+};
+
+/// Replays `trace` through `demuxer` using one flow key per connection.
+/// `keys` must contain at least `trace.connections` distinct keys.
+/// The demuxer must be empty; PCBs for all connections are inserted first.
+[[nodiscard]] ReplayResult replay_trace(const Trace& trace,
+                                        std::span<const net::FlowKey> keys,
+                                        core::Demuxer& demuxer);
+
+/// Convenience: synthesizes `trace.connections` client keys with the
+/// default address-space parameters (sequential LAN hosts) and replays.
+[[nodiscard]] ReplayResult replay_trace(const Trace& trace,
+                                        core::Demuxer& demuxer);
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_REPLAY_H_

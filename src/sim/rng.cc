@@ -1,0 +1,14 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace tcpdemux::sim {
+
+double Rng::truncated_exponential(double mean, double cap) noexcept {
+  // F(cap) = 1 - e^{-cap/mean}; draw u uniform in [0, F(cap)) and invert.
+  const double f_cap = 1.0 - std::exp(-cap / mean);
+  const double u = uniform() * f_cap;
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace tcpdemux::sim

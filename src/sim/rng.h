@@ -1,0 +1,56 @@
+// Deterministic random-number source with the distributions the TPC/A
+// rules require.
+//
+// §2 of the paper: think time is drawn from a *truncated*
+// negative-exponential distribution whose mean must be at least 10 s and
+// whose maximum must be at least 10x the mean. truncated_exponential()
+// implements proper truncation (inverse CDF restricted to [0, cap]), not
+// clamping, so no probability mass piles up at the cap.
+#ifndef TCPDEMUX_SIM_RNG_H_
+#define TCPDEMUX_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace tcpdemux::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedcafef00dULL) noexcept
+      : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Negative-exponential with the given mean.
+  [[nodiscard]] double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  /// Exponential(mean) truncated at `cap`: inverse CDF over [0, F(cap)].
+  /// The realized mean is slightly below `mean`
+  /// (analytic::truncated_exp_mean gives the exact value).
+  [[nodiscard]] double truncated_exponential(double mean, double cap) noexcept;
+
+  /// Raw engine access for std:: distributions in tests.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_RNG_H_

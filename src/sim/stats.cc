@@ -1,0 +1,67 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tcpdemux::sim {
+
+std::uint32_t SampleStats::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+std::vector<std::size_t> SampleStats::log2_buckets() const {
+  std::vector<std::size_t> buckets;
+  for (const std::uint32_t v : samples_) {
+    std::size_t b = 0;
+    for (std::uint32_t x = v; x != 0; x >>= 1) ++b;  // bit width
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+double SampleStats::mean_ci95(std::size_t batches) const {
+  if (sorted_ || batches < 2 || samples_.size() < 2 * batches) return 0.0;
+  const std::size_t per_batch = samples_.size() / batches;
+  std::vector<double> batch_means;
+  batch_means.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = b * per_batch; i < (b + 1) * per_batch; ++i) {
+      sum += samples_[i];
+    }
+    batch_means.push_back(sum / static_cast<double>(per_batch));
+  }
+  const double grand =
+      std::accumulate(batch_means.begin(), batch_means.end(), 0.0) /
+      static_cast<double>(batches);
+  double var = 0.0;
+  for (const double m : batch_means) var += (m - grand) * (m - grand);
+  var /= static_cast<double>(batches - 1);
+  // t-quantile for 95% two-sided; 2.09 covers 19 dof, 1.96 the limit.
+  const double t = batches <= 20 ? 2.09 : 1.96;
+  return t * std::sqrt(var / static_cast<double>(batches));
+}
+
+double SampleStats::stddev() const noexcept {
+  if (samples_.empty()) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const std::uint32_t v : samples_) {
+    const double d = static_cast<double>(v) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+}  // namespace tcpdemux::sim

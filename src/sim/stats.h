@@ -1,0 +1,59 @@
+// Distribution summary for per-packet examined-PCB counts.
+#ifndef TCPDEMUX_SIM_STATS_H_
+#define TCPDEMUX_SIM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcpdemux::sim {
+
+/// Accumulates a sample distribution of non-negative integer observations
+/// (PCBs examined per packet) and summarizes it.
+class SampleStats {
+ public:
+  void add(std::uint32_t value) {
+    samples_.push_back(value);
+    sorted_ = false;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty()
+               ? 0.0
+               : static_cast<double>(sum_) /
+                     static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] std::uint32_t max() const noexcept { return max_; }
+
+  /// q in [0, 1]; nearest-rank percentile. Sorts lazily (amortized).
+  [[nodiscard]] std::uint32_t percentile(double q) const;
+
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Power-of-two occupancy buckets: bucket b counts samples whose value
+  /// has bit-width b (0 -> {0}, 1 -> {1}, 2 -> {2,3}, 3 -> {4..7}, ...).
+  /// Useful for rendering the heavy-tailed examined-PCB distributions.
+  [[nodiscard]] std::vector<std::size_t> log2_buckets() const;
+
+  /// Half-width of the 95% confidence interval of the mean, by the batch
+  /// means method over `batches` equal consecutive batches. Samples must
+  /// still be in arrival order, so call this BEFORE percentile() (which
+  /// sorts in place); afterwards it returns 0, as it does when there are
+  /// too few samples to form the batches.
+  [[nodiscard]] double mean_ci95(std::size_t batches = 20) const;
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+ private:
+  mutable std::vector<std::uint32_t> samples_;
+  mutable bool sorted_ = false;
+  std::uint64_t sum_ = 0;
+  std::uint32_t max_ = 0;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_STATS_H_

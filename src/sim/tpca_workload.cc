@@ -1,0 +1,80 @@
+#include "sim/tpca_workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace tcpdemux::sim {
+
+Trace generate_tpca_trace(const TpcaWorkloadParams& params) {
+  if (params.users == 0) {
+    throw std::invalid_argument("TPC/A workload: users must be >= 1");
+  }
+  if (params.response_time < params.rtt) {
+    throw std::invalid_argument(
+        "TPC/A workload: response time must cover the round trip");
+  }
+
+  Rng rng(params.seed);
+  Trace trace;
+  trace.connections = params.users;
+
+  const double half_rtt = 0.5 * params.rtt;
+  const double server_processing = params.response_time - params.rtt;
+  const double cap = params.think_cap_factor * params.think_mean;
+  const double horizon = params.warmup + params.duration;
+
+  const auto think = [&]() {
+    return params.truncate_think
+               ? rng.truncated_exponential(params.think_mean, cap)
+               : rng.exponential(params.think_mean);
+  };
+  const auto emit = [&](double when, std::uint32_t conn,
+                        TraceEventKind kind) {
+    if (when >= params.warmup && when < horizon) {
+      trace.events.push_back(TraceEvent{when - params.warmup, conn, kind});
+    }
+  };
+
+  // Users are mutually independent, so each is generated with a private
+  // sequential loop; the global sort below interleaves them. With churn
+  // enabled, reconnections allocate fresh connection indices above the
+  // initial population.
+  std::uint32_t next_conn = params.users;
+  const double epsilon = 1e-6;
+  for (std::uint32_t user = 0; user < params.users; ++user) {
+    std::uint32_t conn = user;
+    double entry = think();  // randomizes phase; warmup absorbs transients
+    while (entry < horizon) {
+      const double query_arrival = entry + half_rtt;
+      const double response_sent = query_arrival + server_processing;
+      const double ack_arrival = query_arrival + params.response_time;
+      emit(query_arrival, conn, TraceEventKind::kArrivalData);
+      emit(query_arrival, conn, TraceEventKind::kTransmit);  // query's ack
+      emit(response_sent, conn, TraceEventKind::kTransmit);  // response
+      emit(ack_arrival, conn, TraceEventKind::kArrivalAck);
+
+      const double next_think = think();
+      entry = params.open_loop ? entry + next_think
+                               : entry + params.response_time + next_think;
+
+      const bool end_session =
+          params.session_txns_mean > 0.0 &&
+          rng.uniform() < 1.0 / params.session_txns_mean;
+      if (end_session) {
+        emit(ack_arrival + epsilon, conn, TraceEventKind::kClose);
+        const double next_query = entry + half_rtt;
+        if (next_query >= horizon) break;  // no further activity in window
+        conn = next_conn++;
+        emit(next_query - epsilon, conn, TraceEventKind::kOpen);
+      }
+    }
+  }
+  trace.connections = next_conn;
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace tcpdemux::sim

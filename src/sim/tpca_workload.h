@@ -1,0 +1,62 @@
+// TPC/A client-population workload generator (paper §2).
+//
+// N users each loop: enter a transaction, wait for the response (response
+// time R as observed at the client), think (truncated negative-exponential,
+// mean >= 10 s, cap >= 10x mean), repeat. Each transaction is 4 packets of
+// which the server receives two — the query and the transport-level
+// acknowledgement of the response — and transmits two (the query's ack and
+// the response), which the send/receive cache's "last sent" slot observes.
+//
+// Server-side event timeline per transaction entered at client time t:
+//   t + D/2          query arrives             (kArrivalData)
+//   t + D/2          query's ack transmitted   (kTransmit)
+//   t + D/2 + (R-D)  response transmitted      (kTransmit)
+//   t + D/2 + R      response's ack arrives    (kArrivalAck)
+// so the ack trails the query's arrival by exactly R, matching the
+// analysis, and the client sees its response R after entering.
+//
+// Two knobs reproduce the paper's modelling assumptions (§3) so the
+// abl_assumptions bench can measure their effect:
+//   * open_loop:      users may enter a new transaction while the previous
+//                     response is outstanding (the paper's analysis
+//                     assumes this; real TPC/A users are closed-loop).
+//   * truncate_think: draw think times from the truncated distribution
+//                     (real TPC/A) or the pure exponential (the analysis).
+#ifndef TCPDEMUX_SIM_TPCA_WORKLOAD_H_
+#define TCPDEMUX_SIM_TPCA_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+struct TpcaWorkloadParams {
+  std::uint32_t users = 2000;
+  double think_mean = 10.0;      ///< seconds; TPC/A minimum
+  double think_cap_factor = 10.0;  ///< cap = factor * mean; TPC/A minimum
+  double response_time = 0.2;    ///< R, client-observed, seconds
+  double rtt = 0.001;            ///< D, network round-trip, seconds
+  double duration = 600.0;       ///< simulated seconds of arrivals
+  double warmup = 50.0;          ///< discard events before this time
+  bool open_loop = true;         ///< paper's analysis assumption
+  bool truncate_think = true;    ///< real TPC/A rule
+  /// Mean transactions per connection session. 0 means connections live
+  /// forever (the paper's steady state). Otherwise each transaction ends
+  /// its session with probability 1/mean (geometric session length); the
+  /// user disconnects after the ack (kClose) and reconnects on a fresh
+  /// connection — new ephemeral port, new conn index — just before the
+  /// next query (kOpen). Pre-pooling OLTP clients really did this.
+  double session_txns_mean = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the server-side trace for the configured population.
+/// Events with time < warmup are discarded (the first think times start at
+/// uniformly random phases, so the system reaches steady state quickly);
+/// remaining event times are shifted down by `warmup`.
+[[nodiscard]] Trace generate_tpca_trace(const TpcaWorkloadParams& params);
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_TPCA_WORKLOAD_H_

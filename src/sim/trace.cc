@@ -1,0 +1,56 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+namespace tcpdemux::sim {
+
+std::string_view to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kArrivalData: return "data";
+    case TraceEventKind::kArrivalAck: return "ack";
+    case TraceEventKind::kTransmit: return "xmit";
+    case TraceEventKind::kOpen: return "open";
+    case TraceEventKind::kClose: return "close";
+  }
+  return "?";
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+bool Trace::valid() const noexcept {
+  double last = -1.0;
+  for (const TraceEvent& e : events) {
+    if (e.time < last) return false;
+    if (e.conn >= connections) return false;
+    last = e.time;
+  }
+  return true;
+}
+
+std::size_t Trace::arrivals() const noexcept {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kArrivalData ||
+        e.kind == TraceEventKind::kArrivalAck) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Trace::merge(const Trace& other) {
+  events.reserve(events.size() + other.events.size());
+  for (TraceEvent e : other.events) {
+    e.conn += connections;
+    events.push_back(e);
+  }
+  connections += other.connections;
+  sort_by_time();
+}
+
+}  // namespace tcpdemux::sim

@@ -1,0 +1,63 @@
+// Packet traces: the server-side event stream a workload generates and a
+// demuxer replays.
+//
+// A trace separates "what traffic arrives" from "how it is demultiplexed",
+// so every algorithm can be measured against the *identical* arrival
+// sequence. Three event kinds matter to the algorithms under study:
+//   kArrivalData  — a segment with payload arrives (transaction query);
+//                   the demuxer is invoked with SegmentKind::kData.
+//   kArrivalAck   — a pure acknowledgement arrives; SegmentKind::kAck.
+//   kTransmit     — the host sends a segment on the connection; no lookup,
+//                   but the send/receive cache observes it (its
+//                   "last sent" slot).
+#ifndef TCPDEMUX_SIM_TRACE_H_
+#define TCPDEMUX_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace tcpdemux::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kArrivalData,
+  kArrivalAck,
+  kTransmit,
+  /// Connection established (PCB inserted). Connections whose first trace
+  /// event is NOT kOpen are considered pre-established and are inserted
+  /// before replay begins.
+  kOpen,
+  /// Connection torn down (PCB erased).
+  kClose,
+};
+
+[[nodiscard]] std::string_view to_string(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  double time = 0.0;
+  std::uint32_t conn = 0;  ///< dense connection index, [0, connections)
+  TraceEventKind kind = TraceEventKind::kArrivalData;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  std::uint32_t connections = 0;
+  std::vector<TraceEvent> events;
+
+  /// Stable-sorts events by time (generator output interleaves users).
+  void sort_by_time();
+
+  /// True if events are time-ordered and every conn < connections.
+  [[nodiscard]] bool valid() const noexcept;
+
+  [[nodiscard]] std::size_t arrivals() const noexcept;
+
+  /// Appends `other`'s events, remapping its connection indices above ours,
+  /// then re-sorts. Used to build mixed workloads.
+  void merge(const Trace& other);
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_TRACE_H_

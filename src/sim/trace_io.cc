@@ -1,0 +1,83 @@
+#include "sim/trace_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tcpdemux::sim {
+namespace {
+
+std::optional<TraceEventKind> kind_from_string(std::string_view s) {
+  if (s == "data") return TraceEventKind::kArrivalData;
+  if (s == "ack") return TraceEventKind::kArrivalAck;
+  if (s == "xmit") return TraceEventKind::kTransmit;
+  if (s == "open") return TraceEventKind::kOpen;
+  if (s == "close") return TraceEventKind::kClose;
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool save_trace(std::ostream& os, const Trace& trace) {
+  os << "tcpdemux-trace,v1," << trace.connections << '\n';
+  char buf[64];
+  for (const TraceEvent& e : trace.events) {
+    // %.9g keeps microsecond structure without trailing noise.
+    std::snprintf(buf, sizeof buf, "%.12g", e.time);
+    os << buf << ',' << e.conn << ',' << to_string(e.kind) << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<Trace> load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  Trace trace;
+  {
+    const std::string_view header(line);
+    constexpr std::string_view kMagic = "tcpdemux-trace,v1,";
+    if (!header.starts_with(kMagic)) return std::nullopt;
+    const std::string_view count = header.substr(kMagic.size());
+    const auto [ptr, ec] = std::from_chars(
+        count.data(), count.data() + count.size(), trace.connections);
+    if (ec != std::errc{} || ptr != count.data() + count.size()) {
+      return std::nullopt;
+    }
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::string_view row(line);
+    const std::size_t c1 = row.find(',');
+    if (c1 == std::string_view::npos) return std::nullopt;
+    const std::size_t c2 = row.find(',', c1 + 1);
+    if (c2 == std::string_view::npos) return std::nullopt;
+
+    TraceEvent event;
+    // std::from_chars for double is not universally available; strtod on a
+    // bounded copy is.
+    const std::string time_text(row.substr(0, c1));
+    char* end = nullptr;
+    event.time = std::strtod(time_text.c_str(), &end);
+    if (end != time_text.c_str() + time_text.size()) return std::nullopt;
+
+    const std::string_view conn_text = row.substr(c1 + 1, c2 - c1 - 1);
+    const auto [ptr, ec] =
+        std::from_chars(conn_text.data(),
+                        conn_text.data() + conn_text.size(), event.conn);
+    if (ec != std::errc{} || ptr != conn_text.data() + conn_text.size()) {
+      return std::nullopt;
+    }
+
+    const auto kind = kind_from_string(row.substr(c2 + 1));
+    if (!kind) return std::nullopt;
+    event.kind = *kind;
+    trace.events.push_back(event);
+  }
+
+  if (!trace.valid()) return std::nullopt;
+  return trace;
+}
+
+}  // namespace tcpdemux::sim

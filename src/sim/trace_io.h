@@ -1,0 +1,28 @@
+// Text (CSV) serialization for workload traces, so generated workloads can
+// be archived, diffed, and replayed across runs or fed to external tools.
+//
+// Format: a header line `tcpdemux-trace,v1,<connections>`, then one line
+// per event: `<time>,<conn>,<kind>` with kind in
+// {data, ack, xmit, open, close}.
+#ifndef TCPDEMUX_SIM_TRACE_IO_H_
+#define TCPDEMUX_SIM_TRACE_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+/// Writes `trace` as CSV. Returns false on stream failure.
+bool save_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace written by save_trace. Returns nullopt on any format
+/// error (bad header, unknown kind, malformed number, out-of-range conn,
+/// or unordered timestamps).
+[[nodiscard]] std::optional<Trace> load_trace(std::istream& is);
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_TRACE_IO_H_

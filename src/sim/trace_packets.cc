@@ -1,0 +1,95 @@
+#include "sim/trace_packets.h"
+
+#include <stdexcept>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace tcpdemux::sim {
+
+std::vector<TimedPacket> synthesize_packets(
+    const Trace& trace, std::span<const net::FlowKey> keys,
+    const TracePacketOptions& options) {
+  if (keys.size() < trace.connections) {
+    throw std::invalid_argument("synthesize_packets: not enough flow keys");
+  }
+
+  // Mark, per connection, which kTransmit events carry the response
+  // payload: the last transmit before each acknowledgement arrival (the
+  // ack acknowledges the response). All other transmits are pure ACKs,
+  // which also covers bulk traces (delayed acks, no kArrivalAck events).
+  std::vector<bool> is_response(trace.events.size(), false);
+  {
+    std::vector<std::ptrdiff_t> last_transmit(trace.connections, -1);
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+      const TraceEvent& e = trace.events[i];
+      if (e.kind == TraceEventKind::kTransmit) {
+        last_transmit[e.conn] = static_cast<std::ptrdiff_t>(i);
+      } else if (e.kind == TraceEventKind::kArrivalAck &&
+                 last_transmit[e.conn] >= 0) {
+        is_response[static_cast<std::size_t>(last_transmit[e.conn])] = true;
+        last_transmit[e.conn] = -1;
+      }
+    }
+  }
+
+  // Per-connection stream state, as if the handshake completed long ago.
+  std::vector<std::uint32_t> client_seq(trace.connections);
+  std::vector<std::uint32_t> server_seq(trace.connections);
+  for (std::uint32_t c = 0; c < trace.connections; ++c) {
+    client_seq[c] = c * 1000000u + 1u;
+    server_seq[c] = c * 1000000u + 500001u;
+  }
+
+  std::vector<TimedPacket> out;
+  out.reserve(trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    const net::FlowKey& key = keys[e.conn];  // server perspective
+    net::PacketBuilder builder;
+
+    switch (e.kind) {
+      case TraceEventKind::kArrivalData: {
+        builder.from({key.foreign_addr, key.foreign_port})
+            .to({key.local_addr, key.local_port})
+            .seq(client_seq[e.conn])
+            .ack_seq(server_seq[e.conn])
+            .flags(net::TcpFlag::kPsh)
+            .payload_size(options.query_bytes);
+        client_seq[e.conn] += options.query_bytes;
+        out.push_back(TimedPacket{e.time, true, builder.build()});
+        break;
+      }
+      case TraceEventKind::kArrivalAck: {
+        builder.from({key.foreign_addr, key.foreign_port})
+            .to({key.local_addr, key.local_port})
+            .seq(client_seq[e.conn])
+            .ack_seq(server_seq[e.conn]);
+        out.push_back(TimedPacket{e.time, true, builder.build()});
+        break;
+      }
+      case TraceEventKind::kOpen:
+      case TraceEventKind::kClose:
+        // Structural events; the handshake/teardown packets are outside
+        // the synthesized stream's scope.
+        break;
+      case TraceEventKind::kTransmit: {
+        if (!options.include_server_segments) break;
+        builder.from({key.local_addr, key.local_port})
+            .to({key.foreign_addr, key.foreign_port})
+            .seq(server_seq[e.conn])
+            .ack_seq(client_seq[e.conn]);
+        if (is_response[i]) {
+          builder.flags(net::TcpFlag::kPsh)
+              .payload_size(options.response_bytes);
+          server_seq[e.conn] += options.response_bytes;
+        }
+        out.push_back(TimedPacket{e.time, false, builder.build()});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcpdemux::sim

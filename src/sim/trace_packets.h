@@ -1,0 +1,45 @@
+// Synthesizes full wire-format packets from an abstract workload trace.
+//
+// A Trace records *when* and *on which connection* packets move; this
+// module turns that into the actual bytes on the wire — consistent TCP
+// sequence/acknowledgement numbers per connection, correct checksums —
+// suitable for pcap export (net/pcap.h) or for replay through a
+// SocketTable. Transaction queries carry `query_bytes` of payload from the
+// client; kTransmit events become the server's segments (the query's ack,
+// then the response of `response_bytes`); kArrivalAck events become the
+// client's pure acknowledgements.
+#ifndef TCPDEMUX_SIM_TRACE_PACKETS_H_
+#define TCPDEMUX_SIM_TRACE_PACKETS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "sim/trace.h"
+
+namespace tcpdemux::sim {
+
+struct TimedPacket {
+  double time = 0.0;
+  bool to_server = true;  ///< direction: client->server or server->client
+  std::vector<std::uint8_t> wire;
+};
+
+struct TracePacketOptions {
+  std::uint32_t query_bytes = 120;    ///< TPC/A-sized transaction entry
+  std::uint32_t response_bytes = 320;
+  bool include_server_segments = true;  ///< emit kTransmit packets too
+};
+
+/// Expands `trace` into wire packets using one flow key per connection
+/// (`keys[conn]`, server-perspective as produced by make_client_keys).
+/// Sequence numbers start at conn*1e6 (client) and conn*1e6+5e5 (server)
+/// and advance with the payload so the streams are self-consistent.
+[[nodiscard]] std::vector<TimedPacket> synthesize_packets(
+    const Trace& trace, std::span<const net::FlowKey> keys,
+    const TracePacketOptions& options = {});
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_TRACE_PACKETS_H_

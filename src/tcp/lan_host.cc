@@ -1,0 +1,47 @@
+#include "tcp/lan_host.h"
+
+namespace tcpdemux::tcp {
+
+void LanHost::receive_frame(std::vector<std::uint8_t> frame) {
+  const double now = clock_ ? clock_() : 0.0;
+  if (const auto reply = arp_.handle_frame(frame, now)) {
+    transmit_(std::move(*reply));
+  }
+  flush_pending();
+  const auto header = net::EthernetHeader::parse(frame);
+  if (!header) return;
+  if (!(header->dst == mac_) && !header->dst.is_broadcast()) {
+    return;  // flooded unicast for another host
+  }
+  if (const auto inner = net::ethernet_decapsulate_ipv4(frame)) {
+    table_.deliver_wire(*inner);
+  }
+}
+
+void LanHost::send_ipv4(net::Ipv4Addr next_hop,
+                        std::vector<std::uint8_t> datagram) {
+  const double now = clock_ ? clock_() : 0.0;
+  const auto dst_mac = arp_.resolve(next_hop, now);
+  if (!dst_mac) {
+    pending_.push_back({next_hop, std::move(datagram)});
+    transmit_(arp_.make_request(next_hop));
+    return;
+  }
+  transmit_(net::ethernet_encapsulate(*dst_mac, mac_, datagram));
+}
+
+void LanHost::flush_pending() {
+  const double now = clock_ ? clock_() : 0.0;
+  for (std::size_t i = 0; i < pending_.size();) {
+    const auto dst_mac = arp_.resolve(pending_[i].next_hop, now);
+    if (dst_mac) {
+      transmit_(net::ethernet_encapsulate(*dst_mac, mac_,
+                                          pending_[i].datagram));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace tcpdemux::tcp

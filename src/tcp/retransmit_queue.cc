@@ -1,0 +1,49 @@
+#include "tcp/retransmit_queue.h"
+
+namespace tcpdemux::tcp {
+
+void RetransmitQueue::on_send(std::uint32_t seq, std::uint32_t len,
+                              double now) {
+  segments_.push_back(Segment{seq, len, now, now, 1});
+}
+
+std::optional<double> RetransmitQueue::on_ack(std::uint32_t ack,
+                                              double now) {
+  std::optional<double> sample;
+  while (!segments_.empty()) {
+    const Segment& front = segments_.front();
+    if (!seq_leq(front.seq + front.len, ack)) break;  // not fully covered
+    if (front.transmissions == 1) {
+      sample = now - front.first_sent;  // Karn: only clean transmissions
+    }
+    segments_.pop_front();
+  }
+  return sample;
+}
+
+std::optional<RetransmitQueue::Segment> RetransmitQueue::take_expired(
+    double now, double rto) {
+  if (segments_.empty()) return std::nullopt;
+  Segment& oldest = segments_.front();
+  if (now - oldest.last_sent < rto) return std::nullopt;
+  oldest.last_sent = now;
+  ++oldest.transmissions;
+  return oldest;
+}
+
+std::optional<RetransmitQueue::Segment> RetransmitQueue::take_front(
+    double now) {
+  if (segments_.empty()) return std::nullopt;
+  Segment& oldest = segments_.front();
+  oldest.last_sent = now;
+  ++oldest.transmissions;
+  return oldest;
+}
+
+std::uint64_t RetransmitQueue::outstanding() const noexcept {
+  std::uint64_t total = 0;
+  for (const Segment& s : segments_) total += s.len;
+  return total;
+}
+
+}  // namespace tcpdemux::tcp

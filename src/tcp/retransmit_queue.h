@@ -1,0 +1,63 @@
+// Retransmission queue: the unacknowledged-segment bookkeeping a real TCP
+// sender keeps per connection.
+//
+// The demultiplexing study itself runs lossless, but a credible TCP
+// substrate needs the send side's reliability machinery: segments enter
+// when transmitted, leave when cumulatively acknowledged, and come back
+// for retransmission when their RTO expires. Karn's algorithm is applied:
+// a segment that has been retransmitted never produces an RTT sample.
+#ifndef TCPDEMUX_TCP_RETRANSMIT_QUEUE_H_
+#define TCPDEMUX_TCP_RETRANSMIT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "tcp/seq_math.h"
+
+namespace tcpdemux::tcp {
+
+class RetransmitQueue {
+ public:
+  struct Segment {
+    std::uint32_t seq = 0;
+    std::uint32_t len = 0;  ///< payload bytes (SYN/FIN count as 1)
+    double first_sent = 0.0;
+    double last_sent = 0.0;
+    std::uint32_t transmissions = 1;
+  };
+
+  /// Records a transmitted segment. Segments must be offered in sequence
+  /// order (as a sender emits them).
+  void on_send(std::uint32_t seq, std::uint32_t len, double now);
+
+  /// Processes a cumulative acknowledgement: drops fully acked segments.
+  /// Returns the RTT sample (now - first_sent of the newest fully-acked,
+  /// never-retransmitted segment), or nullopt when Karn's rule or an
+  /// empty ack forbids sampling.
+  std::optional<double> on_ack(std::uint32_t ack, double now);
+
+  /// The segment whose retransmission timer expires first, if its age
+  /// exceeds `rto` at `now`. Marks it retransmitted and returns a copy.
+  std::optional<Segment> take_expired(double now, double rto);
+
+  /// Unconditionally marks the oldest outstanding segment retransmitted
+  /// (fast retransmit on duplicate ACKs) and returns a copy; nullopt when
+  /// nothing is outstanding.
+  std::optional<Segment> take_front(double now);
+
+  /// Bytes (plus SYN/FIN units) still unacknowledged.
+  [[nodiscard]] std::uint64_t outstanding() const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  void clear() noexcept { segments_.clear(); }
+
+ private:
+  std::deque<Segment> segments_;  ///< ordered by seq
+};
+
+}  // namespace tcpdemux::tcp
+
+#endif  // TCPDEMUX_TCP_RETRANSMIT_QUEUE_H_

@@ -1,0 +1,58 @@
+#include "tcp/rtt.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tcpdemux::tcp {
+
+void RttEstimator::add_sample(std::uint32_t rtt_us) noexcept {
+  if (!has_samples_) {
+    // RFC 6298 (2.2): SRTT <- R, RTTVAR <- R/2.
+    srtt_us_ = rtt_us;
+    rttvar_us_ = rtt_us / 2;
+    has_samples_ = true;
+  } else {
+    // RFC 6298 (2.3): RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|,
+    //                 SRTT   <- 7/8 SRTT + 1/8 R'.
+    const std::uint32_t abs_err =
+        srtt_us_ > rtt_us ? srtt_us_ - rtt_us : rtt_us - srtt_us_;
+    rttvar_us_ = (3 * rttvar_us_ + abs_err) / 4;
+    srtt_us_ = (7 * srtt_us_ + rtt_us) / 8;
+  }
+  // RTO <- SRTT + max(G, 4 * RTTVAR).
+  rto_us_ = srtt_us_ +
+            std::max(config_.clock_granularity_us, 4 * rttvar_us_);
+  clamp_rto();
+}
+
+void RttEstimator::on_timeout() noexcept {
+  rto_us_ = rto_us_ >= config_.max_rto_us / 2 ? config_.max_rto_us
+                                              : rto_us_ * 2;
+  clamp_rto();
+}
+
+void RttEstimator::clamp_rto() noexcept {
+  rto_us_ = std::clamp(rto_us_, config_.min_rto_us, config_.max_rto_us);
+}
+
+void update_pcb_rtt(core::Pcb& pcb, std::uint32_t rtt_sample_us,
+                    const RttConfig& config) noexcept {
+  // Same arithmetic as RttEstimator, but persisted in the PCB fields
+  // (srtt_us == 0 marks "no samples yet").
+  if (pcb.srtt_us == 0) {
+    pcb.srtt_us = rtt_sample_us;
+    pcb.rttvar_us = rtt_sample_us / 2;
+  } else {
+    const std::uint32_t abs_err = pcb.srtt_us > rtt_sample_us
+                                      ? pcb.srtt_us - rtt_sample_us
+                                      : rtt_sample_us - pcb.srtt_us;
+    pcb.rttvar_us = (3 * pcb.rttvar_us + abs_err) / 4;
+    pcb.srtt_us = (7 * pcb.srtt_us + rtt_sample_us) / 8;
+  }
+  pcb.rto_us = std::clamp(
+      pcb.srtt_us +
+          std::max(config.clock_granularity_us, 4 * pcb.rttvar_us),
+      config.min_rto_us, config.max_rto_us);
+}
+
+}  // namespace tcpdemux::tcp

@@ -1,0 +1,59 @@
+// RFC 6298 round-trip-time estimation and retransmission timeout.
+//
+// The PCB carries srtt/rttvar/rto fields (they are part of what makes a
+// PCB a few hundred bytes — the paper's whole premise); this module owns
+// the arithmetic that maintains them. Times are in microseconds.
+#ifndef TCPDEMUX_TCP_RTT_H_
+#define TCPDEMUX_TCP_RTT_H_
+
+#include <cstdint>
+
+#include "core/pcb.h"
+
+namespace tcpdemux::tcp {
+
+struct RttConfig {
+  std::uint32_t clock_granularity_us = 1000;  ///< G in RFC 6298
+  std::uint32_t min_rto_us = 1'000'000;       ///< RFC 6298 §2.4: 1 second
+  std::uint32_t max_rto_us = 60'000'000;
+};
+
+/// RFC 6298 estimator. Feed it measured RTT samples; read rto().
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttConfig config = RttConfig()) noexcept
+      : config_(config), rto_us_(config.min_rto_us) {}
+
+  /// Applies one RTT measurement (§2.2/§2.3: first sample initializes,
+  /// later samples use alpha = 1/8, beta = 1/4).
+  void add_sample(std::uint32_t rtt_us) noexcept;
+
+  /// Doubles the RTO after a retransmission timeout (§5.5, "back off the
+  /// timer"), saturating at the maximum.
+  void on_timeout() noexcept;
+
+  [[nodiscard]] std::uint32_t rto_us() const noexcept { return rto_us_; }
+  [[nodiscard]] std::uint32_t srtt_us() const noexcept { return srtt_us_; }
+  [[nodiscard]] std::uint32_t rttvar_us() const noexcept {
+    return rttvar_us_;
+  }
+  [[nodiscard]] bool has_samples() const noexcept { return has_samples_; }
+
+ private:
+  void clamp_rto() noexcept;
+
+  RttConfig config_;
+  bool has_samples_ = false;
+  std::uint32_t srtt_us_ = 0;
+  std::uint32_t rttvar_us_ = 0;
+  std::uint32_t rto_us_;
+};
+
+/// Convenience: runs one sample through an estimator seeded from the
+/// PCB's current fields and writes the results back.
+void update_pcb_rtt(core::Pcb& pcb, std::uint32_t rtt_sample_us,
+                    const RttConfig& config = RttConfig()) noexcept;
+
+}  // namespace tcpdemux::tcp
+
+#endif  // TCPDEMUX_TCP_RTT_H_

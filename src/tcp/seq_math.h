@@ -1,0 +1,39 @@
+// Modulo-2^32 sequence-number arithmetic (RFC 793 §3.3).
+#ifndef TCPDEMUX_TCP_SEQ_MATH_H_
+#define TCPDEMUX_TCP_SEQ_MATH_H_
+
+#include <cstdint>
+
+namespace tcpdemux::tcp {
+
+/// a < b in sequence space.
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// a <= b in sequence space.
+[[nodiscard]] constexpr bool seq_leq(std::uint32_t a,
+                                     std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+/// a > b in sequence space.
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+
+/// a >= b in sequence space.
+[[nodiscard]] constexpr bool seq_geq(std::uint32_t a,
+                                     std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+/// True if `seq` falls within the window [lo, lo+size).
+[[nodiscard]] constexpr bool seq_in_window(std::uint32_t seq, std::uint32_t lo,
+                                           std::uint32_t size) noexcept {
+  return size > 0 && seq_geq(seq, lo) && seq_lt(seq, lo + size);
+}
+
+}  // namespace tcpdemux::tcp
+
+#endif  // TCPDEMUX_TCP_SEQ_MATH_H_

@@ -1,0 +1,72 @@
+#include "tcp/syn_cache.h"
+
+#include <stdexcept>
+
+namespace tcpdemux::tcp {
+
+SynCache::SynCache(Options options) : options_(options) {
+  if (options_.buckets == 0 || options_.bucket_limit == 0) {
+    throw std::invalid_argument("SynCache: buckets and limit must be >= 1");
+  }
+  buckets_.resize(options_.buckets);
+}
+
+const SynCache::Entry* SynCache::add(const net::FlowKey& key,
+                                     std::uint32_t irs, std::uint32_t iss,
+                                     double now) {
+  Bucket& bucket = bucket_of(key);
+  for (const Entry& e : bucket) {
+    if (e.key == key) {
+      ++stats_.duplicates;
+      return &e;
+    }
+  }
+  if (bucket.size() >= options_.bucket_limit) {
+    bucket.pop_front();  // evict the oldest embryo in this bucket
+    --size_;
+    ++stats_.evicted;
+  }
+  bucket.push_back(Entry{key, irs, iss, now});
+  ++size_;
+  ++stats_.added;
+  return &bucket.back();
+}
+
+const SynCache::Entry* SynCache::find(const net::FlowKey& key) const {
+  const Bucket& bucket = bucket_of(key);
+  for (const Entry& e : bucket) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+bool SynCache::take(const net::FlowKey& key, Entry* out) {
+  Bucket& bucket = bucket_of(key);
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->key == key) {
+      if (out != nullptr) *out = *it;
+      bucket.erase(it);
+      --size_;
+      ++stats_.promoted;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t SynCache::expire(double now) {
+  std::size_t dropped = 0;
+  for (Bucket& bucket : buckets_) {
+    // Entries are in arrival order, so expired ones cluster at the front.
+    while (!bucket.empty() &&
+           now - bucket.front().created > options_.timeout) {
+      bucket.pop_front();
+      --size_;
+      ++dropped;
+    }
+  }
+  stats_.expired += dropped;
+  return dropped;
+}
+
+}  // namespace tcpdemux::tcp

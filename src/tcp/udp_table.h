@@ -1,0 +1,81 @@
+// UDP demultiplexing: the transport Partridge & Pink actually proposed
+// their cache for ("A faster UDP", [PP91]).
+//
+// UDP needs the same 96-bit-key lookup as TCP — connected sockets carry a
+// full 4-tuple, bound-only sockets a wildcard foreign half — so this table
+// reuses the paper's demultiplexers unchanged. Arriving datagrams resolve
+// exact-match first (connected sockets), then fall back to the bound-
+// socket list, mirroring udp_input().
+#ifndef TCPDEMUX_TCP_UDP_TABLE_H_
+#define TCPDEMUX_TCP_UDP_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/demux_registry.h"
+#include "core/demuxer.h"
+#include "net/headers.h"
+#include "net/udp.h"
+
+namespace tcpdemux::tcp {
+
+class UdpTable {
+ public:
+  enum class Delivery : std::uint8_t {
+    kConnected,   ///< matched a connected socket (exact 4-tuple)
+    kBound,       ///< matched a bound socket (wildcard foreign half)
+    kUnreachable, ///< no socket; a real stack would emit ICMP
+    kParseError,
+  };
+
+  struct DeliverResult {
+    Delivery status = Delivery::kParseError;
+    core::Pcb* pcb = nullptr;           ///< connected-socket PCB, if any
+    std::uint32_t pcbs_examined = 0;
+  };
+
+  struct BoundSocket {
+    net::Ipv4Addr addr;  ///< may be wildcard
+    std::uint16_t port = 0;
+    std::uint64_t datagrams = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  explicit UdpTable(const core::DemuxConfig& demux_config)
+      : demuxer_(core::make_demuxer(demux_config)) {}
+
+  /// Binds addr:port (addr may be 0.0.0.0). False if already bound.
+  bool bind(net::Ipv4Addr addr, std::uint16_t port);
+
+  /// Connects a socket to a fixed peer: exact-match fast path thereafter.
+  core::Pcb* connect(const net::FlowKey& key) {
+    return demuxer_->insert(key);
+  }
+
+  bool disconnect(const net::FlowKey& key) { return demuxer_->erase(key); }
+
+  /// Delivers a wire-format UDP/IPv4 packet.
+  DeliverResult deliver_wire(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] core::Demuxer& demuxer() noexcept { return *demuxer_; }
+  [[nodiscard]] std::size_t bound_count() const noexcept {
+    return bound_.size();
+  }
+  [[nodiscard]] const std::vector<BoundSocket>& bound() const noexcept {
+    return bound_;
+  }
+  [[nodiscard]] std::uint64_t unreachable() const noexcept {
+    return unreachable_;
+  }
+
+ private:
+  std::unique_ptr<core::Demuxer> demuxer_;
+  std::vector<BoundSocket> bound_;
+  std::uint64_t unreachable_ = 0;
+};
+
+}  // namespace tcpdemux::tcp
+
+#endif  // TCPDEMUX_TCP_UDP_TABLE_H_

@@ -1,0 +1,59 @@
+#include "analytic/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+namespace {
+
+TEST(Binomial, CoefficientSmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 7)), 1.0, 1e-9);
+}
+
+TEST(Binomial, CoefficientOutOfRange) {
+  EXPECT_EQ(log_binomial_coefficient(3, 4), -HUGE_VAL);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  const double p = 0.3;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 50; ++k) sum += binomial_pmf(50, k, p);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Binomial, PmfDegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(Binomial, LiteralEquation3SumEqualsClosedForm) {
+  // The paper's Equation 3 weighted sum is exactly the binomial mean.
+  for (const std::uint64_t n : {1ull, 10ull, 100ull, 1999ull}) {
+    for (const double p : {0.01, 0.1, 0.5, 0.9}) {
+      EXPECT_NEAR(binomial_mean_by_sum(n, p), binomial_mean(n, p),
+                  1e-8 * binomial_mean(n, p) + 1e-12)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Binomial, StableAtPaperScale) {
+  // N-1 = 1999 users, p = F(10s) at a = 0.1: the Figure 4 midpoint.
+  const double p = 1.0 - std::exp(-1.0);
+  const double by_sum = binomial_mean_by_sum(1999, p);
+  EXPECT_NEAR(by_sum, 1999.0 * p, 1e-6);
+  EXPECT_NEAR(by_sum, 1263.6, 0.1);  // the value Figure 4 shows at T=10
+}
+
+TEST(Binomial, StableAtVeryLargeN) {
+  EXPECT_NEAR(binomial_mean_by_sum(100000, 0.123), 12300.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,72 @@
+#include "analytic/bsd_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::analytic {
+namespace {
+
+TEST(BsdModel, PaperHeadlineNumber) {
+  // §3.1: "This equation yields an average cost of a linear scan of 1,001
+  // PCBs for a 200 TPC/A TPS benchmark" (N = 2000).
+  EXPECT_NEAR(bsd_cost(2000), 1001.0, 0.05);
+}
+
+TEST(BsdModel, ApproachesHalfN) {
+  EXPECT_NEAR(bsd_cost(10000) / 10000.0, 0.5, 1e-3);
+}
+
+TEST(BsdModel, SingleConnectionCostsOne) {
+  // N=1: always a cache hit after the first packet; Equation 1 gives
+  // exactly 1.
+  EXPECT_DOUBLE_EQ(bsd_cost(1), 1.0);
+}
+
+TEST(BsdModel, HitRateIsOneOverN) {
+  // §3.1: "The hit rate for the PCB cache is 1/N, which is 0.05% for a
+  // 200 TPC/A TPS benchmark." (Implied by Equation 1's derivation:
+  // cost = 1 + P(miss) * (N+1)/2 with P(miss) = (N-1)/N.)
+  const double n = 2000;
+  const double reconstructed = 1.0 + ((n - 1.0) / n) * (n + 1.0) / 2.0;
+  EXPECT_NEAR(bsd_cost(n), reconstructed, 1e-9);
+}
+
+TEST(BsdModel, PacketTrainProbabilityTiny) {
+  // §3.1 footnote 4: the chance that a transaction's entry and response
+  // ack form a packet train. 0.96^1999 ~ 1.9e-35 (the paper's text prints
+  // "1.9e-3"; see bsd_model.h for why the true exponent is -35).
+  const double p = bsd_packet_train_probability(2000, 0.1, 0.2);
+  EXPECT_NEAR(p / 1.9e-35, 1.0, 0.05);
+}
+
+TEST(BsdModel, PacketTrainProbabilityOneUser) {
+  EXPECT_DOUBLE_EQ(bsd_packet_train_probability(1, 0.1, 0.2), 1.0);
+}
+
+TEST(BsdModel, SearchCostIsClassIndependent) {
+  const BsdModel model;
+  const auto c = model.search_cost(TpcaParams{2000, 0.1, 0.2, 0.001});
+  EXPECT_DOUBLE_EQ(c.txn_entry, c.ack);
+  EXPECT_DOUBLE_EQ(c.overall, c.txn_entry);
+  EXPECT_NEAR(c.overall, 1001.0, 0.05);
+}
+
+TEST(BsdModel, ExpectedUsersEnteringClosedForm) {
+  // Figure 4 anchor points for 2,000 users, a = 0.1/s.
+  EXPECT_DOUBLE_EQ(expected_users_entering(2000, 0.1, 0.0), 0.0);
+  EXPECT_NEAR(expected_users_entering(2000, 0.1, 10.0), 1263.6, 0.1);
+  EXPECT_NEAR(expected_users_entering(2000, 0.1, 50.0), 1985.5, 0.2);
+  EXPECT_DOUBLE_EQ(expected_users_entering(1, 0.1, 5.0), 0.0);
+}
+
+TEST(BsdModel, ExpectedUsersEnteringMonotone) {
+  double prev = -1.0;
+  for (double t = 0.0; t <= 50.0; t += 2.5) {
+    const double n = expected_users_entering(2000, 0.1, t);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+  EXPECT_LT(prev, 1999.0);
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,87 @@
+#include "analytic/crowcroft_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::analytic {
+namespace {
+
+constexpr double kUsers = 2000.0;
+constexpr double kRate = 0.1;
+
+TEST(CrowcroftModel, PaperEntryCosts) {
+  // §3.2: "The result for a 200 TPS benchmark is 1,019, 1,045, 1,086, and
+  // 1,150 PCBs, corresponding to response times of 0.2, 0.5, 1.0, and 2.0
+  // seconds." (Closed form gives 1018.9 / 1045.9 / 1085.9 / 1149.8; the
+  // paper's rounding of the R=0.5 value is off by one.)
+  EXPECT_NEAR(crowcroft_entry_cost(kUsers, kRate, 0.2), 1018.9, 0.1);
+  EXPECT_NEAR(crowcroft_entry_cost(kUsers, kRate, 0.5), 1045.9, 0.1);
+  EXPECT_NEAR(crowcroft_entry_cost(kUsers, kRate, 1.0), 1085.9, 0.1);
+  EXPECT_NEAR(crowcroft_entry_cost(kUsers, kRate, 2.0), 1149.8, 0.1);
+}
+
+TEST(CrowcroftModel, PaperAckCosts) {
+  // §3.2: "The length of the PCB search is 78, 190, 362, and 659 PCBs, for
+  // response times of 0.2, 0.5, 1.0, and 2.0 seconds."
+  EXPECT_NEAR(crowcroft_ack_cost(kUsers, kRate, 0.2), 78.0, 0.5);
+  EXPECT_NEAR(crowcroft_ack_cost(kUsers, kRate, 0.5), 190.0, 0.5);
+  EXPECT_NEAR(crowcroft_ack_cost(kUsers, kRate, 1.0), 362.0, 0.5);
+  EXPECT_NEAR(crowcroft_ack_cost(kUsers, kRate, 2.0), 659.0, 0.5);
+}
+
+TEST(CrowcroftModel, PaperOverallCosts) {
+  // §3.2: "average search lengths of 549, 618, 724, and 904 PCBs".
+  const CrowcroftModel model;
+  const double expected[] = {549.0, 618.0, 724.0, 904.0};
+  const double response[] = {0.2, 0.5, 1.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    const auto c = model.search_cost(
+        TpcaParams{kUsers, kRate, response[i], 0.001});
+    EXPECT_NEAR(c.overall, expected[i], 0.6) << "R=" << response[i];
+  }
+}
+
+TEST(CrowcroftModel, NumericIntegrationMatchesClosedForm) {
+  for (const double r : {0.05, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(crowcroft_entry_cost_numeric(kUsers, kRate, r),
+                crowcroft_entry_cost(kUsers, kRate, r), 1e-5)
+        << "R=" << r;
+  }
+}
+
+TEST(CrowcroftModel, EntryWorseThanBsdAckMuchBetter) {
+  // §3.2: entry cost is "somewhat worse than the BSD algorithm's 1,001
+  // PCBs"; the ack cost is far better.
+  const double entry = crowcroft_entry_cost(kUsers, kRate, 0.2);
+  const double ack = crowcroft_ack_cost(kUsers, kRate, 0.2);
+  EXPECT_GT(entry, 1001.0);
+  EXPECT_LT(ack, 100.0);
+}
+
+TEST(CrowcroftModel, ImprovesAsResponseTimeShrinks) {
+  const CrowcroftModel model;
+  double prev = 1e18;
+  for (const double r : {2.0, 1.0, 0.5, 0.2, 0.1}) {
+    const auto c = model.search_cost(TpcaParams{kUsers, kRate, r, 0.001});
+    EXPECT_LT(c.overall, prev) << "R=" << r;
+    prev = c.overall;
+  }
+}
+
+TEST(CrowcroftModel, DeterministicWorstCaseScansAll) {
+  EXPECT_DOUBLE_EQ(crowcroft_deterministic_cost(2000), 2000.0);
+}
+
+TEST(CrowcroftModel, DegenerateSingleUser) {
+  EXPECT_DOUBLE_EQ(crowcroft_entry_cost(1, kRate, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(crowcroft_ack_cost(1, kRate, 0.2), 0.0);
+}
+
+TEST(CrowcroftModel, EntryCostBoundedByPopulation) {
+  for (const double n : {10.0, 100.0, 1000.0, 10000.0}) {
+    EXPECT_LE(crowcroft_entry_cost(n, kRate, 2.0), n - 1.0);
+    EXPECT_GE(crowcroft_entry_cost(n, kRate, 0.01), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

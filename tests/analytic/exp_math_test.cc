@@ -1,0 +1,52 @@
+#include "analytic/exp_math.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::analytic {
+namespace {
+
+TEST(ExpMath, PdfAndCdfBasics) {
+  EXPECT_DOUBLE_EQ(exp_pdf(0.1, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(exp_pdf(0.1, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(exp_cdf(0.1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(exp_cdf(0.1, -1.0), 0.0);
+  EXPECT_NEAR(exp_cdf(0.1, 10.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(ExpMath, SurvivalComplementsCdf) {
+  for (const double t : {0.0, 0.5, 3.0, 42.0}) {
+    EXPECT_NEAR(exp_cdf(0.1, t) + exp_sf(0.1, t), 1.0, 1e-12);
+  }
+}
+
+TEST(ExpMath, PaperEquation2At200ms) {
+  // §3.1 footnote 4: "96% probability that any given user will not offer a
+  // transaction or deliver [an ack] during a given 200-millisecond
+  // interval" — two Poisson streams at a = 0.1 => e^{-2*0.1*0.2} = 0.9608.
+  EXPECT_NEAR(exp_sf(2.0 * 0.1, 0.2), 0.9608, 5e-5);
+}
+
+TEST(ExpMath, TruncatedTailMassIsPaperValue) {
+  // §3: "only 0.004% of the values are neglected on average" for a cap of
+  // 10x the mean: e^{-10} = 4.54e-5.
+  EXPECT_NEAR(truncated_tail_mass(10.0, 100.0), 4.54e-5, 1e-6);
+}
+
+TEST(ExpMath, TruncatedMeanBelowUntruncated) {
+  const double m = truncated_exp_mean(10.0, 100.0);
+  EXPECT_LT(m, 10.0);
+  EXPECT_GT(m, 9.99);  // the truncation effect is tiny, as the paper argues
+}
+
+TEST(ExpMath, TruncatedMeanApproachesUntruncatedAsCapGrows) {
+  EXPECT_NEAR(truncated_exp_mean(10.0, 1000.0), 10.0, 1e-9);
+}
+
+TEST(ExpMath, TruncatedMeanTightCap) {
+  // cap = mean: E[X | X <= m] = m - m e^{-1}/(1 - e^{-1}) ~ 0.4180 m.
+  EXPECT_NEAR(truncated_exp_mean(1.0, 1.0),
+              1.0 - std::exp(-1.0) / (1.0 - std::exp(-1.0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

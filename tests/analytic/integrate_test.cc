@@ -1,0 +1,64 @@
+#include "analytic/integrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tcpdemux::analytic {
+namespace {
+
+TEST(Integrate, Polynomial) {
+  // Integral of x^2 over [0,3] = 9.
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 0.0, 3.0), 9.0,
+              1e-9);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double x) { return x; }, 2.0, 2.0), 0.0);
+}
+
+TEST(Integrate, ReversedIntervalIsNegative) {
+  EXPECT_NEAR(integrate([](double) { return 1.0; }, 1.0, 0.0), -1.0, 1e-9);
+}
+
+TEST(Integrate, Sine) {
+  // Integral of sin over [0, pi] = 2.
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0,
+                        3.14159265358979323846),
+              2.0, 1e-9);
+}
+
+TEST(Integrate, SharplyPeakedIntegrand) {
+  // A narrow Gaussian-like bump; adaptive refinement must find it.
+  const auto f = [](double x) {
+    const double d = (x - 0.737) * 200.0;
+    return std::exp(-d * d);
+  };
+  // True value: sqrt(pi)/200.
+  EXPECT_NEAR(integrate(f, 0.0, 1.0), std::sqrt(3.14159265358979323846) / 200.0,
+              1e-8);
+}
+
+TEST(IntegrateToInfinity, ExponentialDensityIntegratesToOne) {
+  const double a = 0.1;
+  EXPECT_NEAR(integrate_to_infinity(
+                  [a](double t) { return a * std::exp(-a * t); }, 0.0),
+              1.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, ExponentialMean) {
+  const double a = 0.1;
+  EXPECT_NEAR(integrate_to_infinity(
+                  [a](double t) { return t * a * std::exp(-a * t); }, 0.0),
+              10.0, 1e-6);
+}
+
+TEST(IntegrateToInfinity, TailFromOffset) {
+  // Integral of e^{-t} from 2 to infinity = e^{-2}.
+  EXPECT_NEAR(integrate_to_infinity([](double t) { return std::exp(-t); },
+                                    2.0),
+              std::exp(-2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,91 @@
+// Cross-model invariants over parameter sweeps: relationships the paper's
+// §3.5 comparison relies on must hold everywhere, not just at the
+// published operating points.
+#include <gtest/gtest.h>
+
+#include "analytic/bsd_model.h"
+#include "analytic/crowcroft_model.h"
+#include "analytic/sequent_model.h"
+#include "analytic/srcache_model.h"
+
+namespace tcpdemux::analytic {
+namespace {
+
+constexpr double kRate = 0.1;
+
+class PopulationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PopulationSweep, SequentNeverWorseThanBsd) {
+  const double n = GetParam();
+  for (const double h : {1.0, 19.0, 101.0}) {
+    EXPECT_LE(sequent_cost_exact(n, h, kRate, 0.2), bsd_cost(n) + 1e-9)
+        << "N=" << n << " H=" << h;
+  }
+}
+
+TEST_P(PopulationSweep, SrCacheBoundedByMissPenalty) {
+  const double n = GetParam();
+  for (const double d : {0.0001, 0.001, 0.01, 0.1}) {
+    const auto c =
+        SrCacheModel{}.search_cost(TpcaParams{n, kRate, 0.2, d});
+    EXPECT_LE(c.overall, (n + 5.0) / 2.0 + 1e-9) << "N=" << n << " D=" << d;
+    EXPECT_GE(c.overall, 1.0 - 1e-9);
+  }
+}
+
+TEST_P(PopulationSweep, SrCacheBeatsBsdAtFastRtt) {
+  // With D = 1 ms the send/receive cache never loses to plain BSD (it
+  // converges from below; Figure 13's "SR 1" line).
+  const double n = GetParam();
+  const auto sr =
+      SrCacheModel{}.search_cost(TpcaParams{n, kRate, 0.2, 0.001});
+  EXPECT_LT(sr.overall, bsd_cost(n)) << "N=" << n;
+}
+
+TEST_P(PopulationSweep, MtfBeatsBsdAtPaperResponseTimes) {
+  // Figure 13 shows every MTF line (R <= 1 s) below BSD.
+  const double n = GetParam();
+  if (n < 10) return;  // degenerate populations aside
+  for (const double r : {0.2, 0.5, 1.0}) {
+    const auto c = CrowcroftModel{}.search_cost(TpcaParams{n, kRate, r,
+                                                           0.001});
+    EXPECT_LT(c.overall, bsd_cost(n)) << "N=" << n << " R=" << r;
+  }
+}
+
+TEST_P(PopulationSweep, CostsIncreaseWithPopulation) {
+  const double n = GetParam();
+  const double bigger = n * 1.5;
+  EXPECT_LE(bsd_cost(n), bsd_cost(bigger));
+  EXPECT_LE(sequent_cost_exact(n, 19, kRate, 0.2),
+            sequent_cost_exact(bigger, 19, kRate, 0.2) + 1e-9);
+  EXPECT_LE(
+      SrCacheModel{}.search_cost(TpcaParams{n, kRate, 0.2, 0.001}).overall,
+      SrCacheModel{}
+              .search_cost(TpcaParams{bigger, kRate, 0.2, 0.001})
+              .overall +
+          1e-9);
+}
+
+TEST_P(PopulationSweep, SequentApproxUpperBoundsExact) {
+  // Equation 19 ignores the quiet-interval cache wins, so it can only
+  // overestimate Equation 22.
+  const double n = GetParam();
+  for (const double h : {1.0, 19.0, 101.0}) {
+    EXPECT_GE(sequent_cost_approx(n, h) + 1e-9,
+              sequent_cost_exact(n, h, kRate, 0.2))
+        << "N=" << n << " H=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, PopulationSweep,
+                         ::testing::Values(10.0, 50.0, 200.0, 500.0,
+                                           1000.0, 2000.0, 5000.0,
+                                           10000.0),
+                         [](const auto& info) {
+                           return "N" + std::to_string(
+                                            static_cast<int>(info.param));
+                         });
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,106 @@
+#include "analytic/sequent_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analytic/bsd_model.h"
+
+namespace tcpdemux::analytic {
+namespace {
+
+constexpr double kUsers = 2000.0;
+constexpr double kRate = 0.1;
+constexpr double kResponse = 0.2;
+
+TEST(SequentModel, PaperExactCost) {
+  // §3.4: "This equation yields an average cost of a linear scan of 53.0
+  // PCBs for a 200 TPC/A TPS benchmark with 19 hash chains and a
+  // 200-millisecond response time."
+  EXPECT_NEAR(sequent_cost_exact(kUsers, 19, kRate, kResponse), 53.0, 0.05);
+}
+
+TEST(SequentModel, PaperApproximateCost) {
+  // §3.4: "In contrast, Equation 19 predicts 53.6 for a little more than
+  // 1% error."
+  EXPECT_NEAR(sequent_cost_approx(kUsers, 19), 53.6, 0.05);
+}
+
+TEST(SequentModel, ApproximationErrorAboutOnePercent) {
+  const double exact = sequent_cost_exact(kUsers, 19, kRate, kResponse);
+  const double approx = sequent_cost_approx(kUsers, 19);
+  const double err = (approx - exact) / exact;
+  EXPECT_GT(err, 0.01);
+  EXPECT_LT(err, 0.015);
+}
+
+TEST(SequentModel, ApproximationErrorExceedsTenPercentAt51Chains) {
+  // §3.4: "The error gets larger ... exceeding 10% if 51 hash chains are
+  // substituted into the previous example."
+  const double exact = sequent_cost_exact(kUsers, 51, kRate, kResponse);
+  const double approx = sequent_cost_approx(kUsers, 51);
+  EXPECT_GT((approx - exact) / exact, 0.10);
+}
+
+TEST(SequentModel, PaperQuietProbabilities) {
+  // §3.4: "This probability is about 1.5% for a 2000-user benchmark with a
+  // 200-millisecond response time and 19 hash chains" and "if the number
+  // of hash chains is increased to 51, the probability increases to almost
+  // 21%" (Equation 20 gives 21.7%; the text's 21% reads as e^{-2aRN/H},
+  // i.e. without Equation 20's "-1").
+  EXPECT_NEAR(sequent_quiet_probability(kUsers, 19, kRate, kResponse),
+              0.0154, 5e-4);
+  EXPECT_NEAR(sequent_quiet_probability(kUsers, 51, kRate, kResponse),
+              0.217, 5e-3);
+}
+
+TEST(SequentModel, HundredChainsUnderNine) {
+  // §3.5: "if the number of hash chains ... is increased from 19 to 100,
+  // the average number of PCBs searched drops from 53 to less than 9."
+  const double c = sequent_cost_exact(kUsers, 100, kRate, kResponse);
+  EXPECT_LT(c, 9.0);
+  EXPECT_GT(c, 8.0);
+}
+
+TEST(SequentModel, OrderOfMagnitudeBetterThanBsd) {
+  // The paper's headline claim.
+  const double sequent = sequent_cost_exact(kUsers, 19, kRate, kResponse);
+  const double bsd = bsd_cost(kUsers);
+  EXPECT_GT(bsd / sequent, 10.0);
+}
+
+TEST(SequentModel, ApproachesNOver2H) {
+  EXPECT_NEAR(sequent_cost_approx(100000, 19) / (100000.0 / (2 * 19.0)), 1.0,
+              0.01);
+}
+
+TEST(SequentModel, SingleChainEqualsBsd) {
+  EXPECT_DOUBLE_EQ(sequent_cost_approx(kUsers, 1), bsd_cost(kUsers));
+}
+
+TEST(SequentModel, CostNeverBelowOne) {
+  // When chains outnumber users, a lookup still examines the target PCB.
+  EXPECT_DOUBLE_EQ(sequent_cost_approx(10, 100), 1.0);
+  EXPECT_DOUBLE_EQ(sequent_cost_exact(10, 100, kRate, kResponse), 1.0);
+  EXPECT_DOUBLE_EQ(sequent_quiet_probability(10, 100, kRate, kResponse), 1.0);
+}
+
+TEST(SequentModel, SearchCostInterface) {
+  const SequentModel model(19);
+  const auto c = model.search_cost(TpcaParams{kUsers, kRate, kResponse,
+                                              0.001});
+  EXPECT_NEAR(c.overall, 53.0, 0.05);
+  EXPECT_NEAR(c.txn_entry, 53.6, 0.05);
+  EXPECT_NEAR(c.ack, 52.3, 0.05);
+  EXPECT_EQ(model.name(), "sequent(h=19)");
+}
+
+TEST(SequentModel, MoreChainsNeverHurt) {
+  double prev = 1e18;
+  for (const double h : {1.0, 5.0, 19.0, 51.0, 101.0, 499.0}) {
+    const double c = sequent_cost_exact(kUsers, h, kRate, kResponse);
+    EXPECT_LE(c, prev + 1e-9) << "H=" << h;
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,103 @@
+#include "analytic/srcache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::analytic {
+namespace {
+
+constexpr double kUsers = 2000.0;
+constexpr double kRate = 0.1;
+constexpr double kResponse = 0.2;
+
+TEST(SrCacheModel, PaperHeadlineNumbers) {
+  // §3.3.4: "Solving this numerically for 2,000 users and round-trip
+  // delays of 1, 10, and 100 milliseconds gives average search lengths of
+  // 667, 993, and 1002 PCBs, respectively."
+  const SrCacheModel model;
+  EXPECT_NEAR(model.search_cost(TpcaParams{kUsers, kRate, kResponse, 0.001})
+                  .overall,
+              667.0, 0.7);
+  EXPECT_NEAR(model.search_cost(TpcaParams{kUsers, kRate, kResponse, 0.010})
+                  .overall,
+              993.0, 0.5);
+  EXPECT_NEAR(model.search_cost(TpcaParams{kUsers, kRate, kResponse, 0.100})
+                  .overall,
+              1002.0, 0.5);
+}
+
+TEST(SrCacheModel, InsensitiveToResponseTime) {
+  // §3.3.4: "The algorithm is extremely insensitive to the value of R for
+  // large values of N."
+  const SrCacheModel model;
+  const double at_02 =
+      model.search_cost(TpcaParams{kUsers, kRate, 0.2, 0.001}).overall;
+  const double at_20 =
+      model.search_cost(TpcaParams{kUsers, kRate, 2.0, 0.001}).overall;
+  EXPECT_NEAR(at_02, at_20, 0.05 * at_02);
+}
+
+TEST(SrCacheModel, ComponentsMatchNumericIntegration) {
+  for (const double d : {0.001, 0.01, 0.1}) {
+    EXPECT_NEAR(srcache_n1(kUsers, kRate, kResponse, d),
+                srcache_n1_numeric(kUsers, kRate, kResponse, d), 1e-4)
+        << "D=" << d;
+    EXPECT_NEAR(srcache_n2(kUsers, kRate, kResponse, d),
+                srcache_n2_numeric(kUsers, kRate, kResponse, d), 1e-4)
+        << "D=" << d;
+  }
+}
+
+TEST(SrCacheModel, AckCostApproachesMissPenaltyAsDGrows) {
+  // §3.3.3: as D and N increase the expression approaches (N+5)/2.
+  const double na = srcache_na(kUsers, kRate, 1.0);
+  EXPECT_NEAR(na, (kUsers + 5.0) / 2.0, 0.01);
+}
+
+TEST(SrCacheModel, AckCostApproachesOneAsDShrinks) {
+  // §3.3.3: "As D decreases toward zero ... the expression approaches just
+  // one (the number of accesses required to check the send side)."
+  EXPECT_NEAR(srcache_na(kUsers, kRate, 0.0), 1.0, 1e-9);
+}
+
+TEST(SrCacheModel, SingleUserAlwaysHits) {
+  // With N = 1 every component collapses to one examined PCB.
+  EXPECT_NEAR(srcache_n1(1, kRate, kResponse, 0.001) +
+                  srcache_n2(1, kRate, kResponse, 0.001),
+              1.0, 1e-9);
+  EXPECT_NEAR(srcache_na(1, kRate, 0.001), 1.0, 1e-9);
+}
+
+TEST(SrCacheModel, TransactionCostApproachesBsdMissForLargeN) {
+  // §3.3.2: "as the stress on the cache increases, the performance
+  // converges to that of an uncached linked list plus the overhead imposed
+  // by the cache" — (N+5)/2.
+  const double txn = srcache_n1(kUsers, kRate, kResponse, 0.1) +
+                     srcache_n2(kUsers, kRate, kResponse, 0.1);
+  EXPECT_NEAR(txn, (kUsers + 5.0) / 2.0, 0.5);
+}
+
+TEST(SrCacheModel, BetterThanBsdForSmallPopulations) {
+  // Figure 14's message: for small N the send/receive cache beats BSD.
+  const SrCacheModel model;
+  const double n = 50.0;
+  const double sr =
+      model.search_cost(TpcaParams{n, kRate, kResponse, 0.001}).overall;
+  const double bsd = 1.0 + (n * n - 1.0) / (2.0 * n);
+  EXPECT_LT(sr, bsd);
+}
+
+TEST(SrCacheModel, ComponentsAreNonNegativeAndOrdered) {
+  for (const double d : {0.0001, 0.001, 0.01, 0.1, 1.0}) {
+    const double n1 = srcache_n1(kUsers, kRate, kResponse, d);
+    const double n2 = srcache_n2(kUsers, kRate, kResponse, d);
+    const double na = srcache_na(kUsers, kRate, d);
+    EXPECT_GE(n1, 0.0);
+    EXPECT_GE(n2, 0.0);
+    EXPECT_GE(na, 1.0 - 1e-12);
+    EXPECT_LE(n1 + n2, (kUsers + 5.0) / 2.0 + 1e-9);
+    EXPECT_LE(na, (kUsers + 5.0) / 2.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::analytic

@@ -1,0 +1,113 @@
+#include "core/demux_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::core {
+namespace {
+
+TEST(Registry, MakesEveryAlgorithm) {
+  for (const Algorithm algo :
+       {Algorithm::kBsd, Algorithm::kMtf, Algorithm::kSrCache,
+        Algorithm::kSequent, Algorithm::kHashedMtf,
+        Algorithm::kConnectionId, Algorithm::kDynamic}) {
+    DemuxConfig config;
+    config.algorithm = algo;
+    const auto d = make_demuxer(config);
+    ASSERT_NE(d, nullptr) << algorithm_name(algo);
+    EXPECT_EQ(d->size(), 0u);
+  }
+}
+
+TEST(Registry, ParseSimpleNames) {
+  for (const auto& [spec, algo] :
+       std::initializer_list<std::pair<const char*, Algorithm>>{
+           {"bsd", Algorithm::kBsd},
+           {"mtf", Algorithm::kMtf},
+           {"srcache", Algorithm::kSrCache},
+           {"sequent", Algorithm::kSequent},
+           {"hashed_mtf", Algorithm::kHashedMtf},
+           {"connection_id", Algorithm::kConnectionId}}) {
+    const auto config = parse_demux_spec(spec);
+    ASSERT_TRUE(config.has_value()) << spec;
+    EXPECT_EQ(config->algorithm, algo) << spec;
+  }
+}
+
+TEST(Registry, ParseSequentWithChainsAndHasher) {
+  const auto config = parse_demux_spec("sequent:101:crc32");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kSequent);
+  EXPECT_EQ(config->chains, 101u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kCrc32);
+  EXPECT_TRUE(config->per_chain_cache);
+}
+
+TEST(Registry, ParseSequentNoCache) {
+  const auto config = parse_demux_spec("sequent:19:xor_fold:nocache");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_FALSE(config->per_chain_cache);
+}
+
+TEST(Registry, ParseRejectsUnknownAlgorithm) {
+  EXPECT_FALSE(parse_demux_spec("quantum").has_value());
+  EXPECT_FALSE(parse_demux_spec("").has_value());
+}
+
+TEST(Registry, ParseRejectsChainsOnNonHashed) {
+  EXPECT_FALSE(parse_demux_spec("bsd:19").has_value());
+  EXPECT_FALSE(parse_demux_spec("mtf:3").has_value());
+}
+
+TEST(Registry, ParseRejectsBadChainCount) {
+  EXPECT_FALSE(parse_demux_spec("sequent:0").has_value());
+  EXPECT_FALSE(parse_demux_spec("sequent:abc").has_value());
+}
+
+TEST(Registry, ParseRejectsBadHasher) {
+  EXPECT_FALSE(parse_demux_spec("sequent:19:sha256").has_value());
+}
+
+TEST(Registry, ParseRejectsNocacheOnHashedMtf) {
+  EXPECT_FALSE(parse_demux_spec("hashed_mtf:19:crc32:nocache").has_value());
+}
+
+TEST(Registry, ParseRejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_demux_spec("sequent:19:crc32:nocache:extra").has_value());
+}
+
+TEST(Registry, ParseHasherNames) {
+  for (const net::HasherKind kind : net::kAllHashers) {
+    const auto parsed = parse_hasher_name(net::hasher_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_hasher_name("nope").has_value());
+}
+
+TEST(Registry, ParseDynamicSpec) {
+  const auto config = parse_demux_spec("dynamic:41:jenkins");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kDynamic);
+  EXPECT_EQ(config->chains, 41u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kJenkins);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "dynamic(h=41,jenkins)");
+}
+
+TEST(Registry, DynamicDefaultConfig) {
+  const auto config = parse_demux_spec("dynamic");
+  ASSERT_TRUE(config.has_value());
+  const auto d = make_demuxer(*config);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->size(), 0u);
+}
+
+TEST(Registry, ConfiguredDemuxerReflectsSpec) {
+  const auto config = parse_demux_spec("sequent:31:jenkins");
+  ASSERT_TRUE(config.has_value());
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "sequent(h=31,jenkins)");
+}
+
+}  // namespace
+}  // namespace tcpdemux::core

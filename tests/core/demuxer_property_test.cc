@@ -1,0 +1,177 @@
+// Property tests that every demultiplexing algorithm must satisfy,
+// parameterized over all registry configurations: randomized
+// insert/erase/lookup sequences are checked against a reference model
+// (std::unordered_map) and the accounting invariants of the Demuxer
+// contract.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <unordered_map>
+
+#include "core/demux_registry.h"
+#include "core/demuxer.h"
+
+namespace tcpdemux::core {
+namespace {
+
+net::FlowKey key(std::uint32_t i) {
+  return net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                      net::Ipv4Addr(10, 1, static_cast<std::uint8_t>(i >> 8),
+                                    static_cast<std::uint8_t>(i & 0xff)),
+                      static_cast<std::uint16_t>(20000 + (i % 1000))};
+}
+
+class DemuxerProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Demuxer> make() const {
+    const auto config = parse_demux_spec(GetParam());
+    EXPECT_TRUE(config.has_value());
+    return make_demuxer(*config);
+  }
+};
+
+TEST_P(DemuxerProperty, RandomOpsAgreeWithReferenceModel) {
+  auto d = make();
+  std::unordered_map<net::FlowKey, bool> reference;
+  std::mt19937_64 rng(2026);
+  std::uint64_t examined_sum = 0;
+  std::uint64_t lookups = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint32_t i = static_cast<std::uint32_t>(rng() % 300);
+    const net::FlowKey k = key(i);
+    switch (rng() % 4) {
+      case 0: {  // insert
+        Pcb* p = d->insert(k);
+        if (reference.contains(k)) {
+          EXPECT_EQ(p, nullptr) << "duplicate insert must be rejected";
+        } else if (p != nullptr) {
+          EXPECT_EQ(p->key, k);
+          reference.emplace(k, true);
+        }
+        break;
+      }
+      case 1: {  // erase
+        const bool erased = d->erase(k);
+        EXPECT_EQ(erased, reference.erase(k) == 1);
+        break;
+      }
+      default: {  // lookup (both kinds)
+        const auto kind =
+            (rng() % 2 == 0) ? SegmentKind::kData : SegmentKind::kAck;
+        const auto r = d->lookup(k, kind);
+        ++lookups;
+        examined_sum += r.examined;
+        if (reference.contains(k)) {
+          ASSERT_NE(r.pcb, nullptr);
+          EXPECT_EQ(r.pcb->key, k);
+          EXPECT_GE(r.examined, 1u);
+        } else {
+          EXPECT_EQ(r.pcb, nullptr);
+        }
+        // Nothing may ever examine more than every PCB plus two cache
+        // probes.
+        EXPECT_LE(r.examined, d->size() + 2);
+        if (r.cache_hit) {
+          EXPECT_NE(r.pcb, nullptr) << "cache hit without a PCB";
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(d->size(), reference.size());
+  }
+
+  EXPECT_EQ(d->stats().lookups, lookups);
+  EXPECT_EQ(d->stats().pcbs_examined, examined_sum);
+}
+
+TEST_P(DemuxerProperty, EveryStoredKeyIsFindable) {
+  auto d = make();
+  constexpr std::uint32_t kN = 200;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_NE(d->insert(key(i)), nullptr) << i;
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    const auto r = d->lookup(key(i));
+    ASSERT_NE(r.pcb, nullptr) << i;
+    EXPECT_EQ(r.pcb->key, key(i));
+  }
+}
+
+TEST_P(DemuxerProperty, ForEachEnumeratesExactlyStoredKeys) {
+  auto d = make();
+  std::map<std::uint16_t, int> expected;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    d->insert(key(i));
+  }
+  std::size_t visited = 0;
+  d->for_each_pcb([&](const Pcb& p) {
+    ++visited;
+    EXPECT_EQ(p.key.local_port, 1521);
+  });
+  EXPECT_EQ(visited, 100u);
+}
+
+TEST_P(DemuxerProperty, EraseAllLeavesEmpty) {
+  auto d = make();
+  for (std::uint32_t i = 0; i < 100; ++i) d->insert(key(i));
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_TRUE(d->erase(key(i)));
+  EXPECT_EQ(d->size(), 0u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d->lookup(key(i)).pcb, nullptr);
+  }
+}
+
+TEST_P(DemuxerProperty, LookupAfterEraseNeverReturnsStalePcb) {
+  auto d = make();
+  d->insert(key(0));
+  d->insert(key(1));
+  (void)d->lookup(key(0), SegmentKind::kData);  // populate caches
+  (void)d->lookup(key(0), SegmentKind::kAck);
+  ASSERT_TRUE(d->erase(key(0)));
+  const auto r = d->lookup(key(0));
+  EXPECT_EQ(r.pcb, nullptr);  // a stale cache entry would return freed memory
+}
+
+TEST_P(DemuxerProperty, StatsResetClearsCounters) {
+  auto d = make();
+  d->insert(key(0));
+  (void)d->lookup(key(0));
+  EXPECT_GT(d->stats().lookups, 0u);
+  d->reset_stats();
+  EXPECT_EQ(d->stats().lookups, 0u);
+  EXPECT_EQ(d->stats().pcbs_examined, 0u);
+}
+
+TEST_P(DemuxerProperty, RepeatedLookupOfSameKeyCostsAtMostFirstCost) {
+  // All algorithms under test have the LRU-ish property that an immediate
+  // repeat of the same key is no more expensive than the first access.
+  auto d = make();
+  for (std::uint32_t i = 0; i < 64; ++i) d->insert(key(i));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto first = d->lookup(key(i));
+    const auto second = d->lookup(key(i));
+    EXPECT_LE(second.examined, first.examined) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DemuxerProperty,
+    ::testing::Values("bsd", "mtf", "srcache", "sequent", "sequent:1",
+                      "sequent:101:crc32", "sequent:19:xor_fold:nocache",
+                      "sequent:19:toeplitz", "sequent:19:jenkins",
+                      "sequent:19:multiplicative", "sequent:19:add_fold",
+                      "sequent:19:bsd_modulo", "hashed_mtf",
+                      "hashed_mtf:101:crc32", "connection_id", "dynamic",
+                      "dynamic:41:jenkins"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tcpdemux::core

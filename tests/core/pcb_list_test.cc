@@ -1,0 +1,182 @@
+#include "core/pcb_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcpdemux::core {
+namespace {
+
+net::FlowKey key(std::uint16_t port) {
+  return net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                      net::Ipv4Addr(10, 1, 0, 2), port};
+}
+
+TEST(PcbList, StartsEmpty) {
+  PcbList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.head(), nullptr);
+}
+
+TEST(PcbList, EmplaceFrontLinksAtHead) {
+  PcbList list;
+  Pcb* a = list.emplace_front(key(1), 0);
+  Pcb* b = list.emplace_front(key(2), 1);
+  EXPECT_EQ(list.head(), b);
+  EXPECT_EQ(b->next, a);
+  EXPECT_EQ(a->prev, b);
+  EXPECT_EQ(a->next, nullptr);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(PcbList, FindScanCountsPosition) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 5; ++p) list.emplace_front(key(p), p);
+  // List order is 5,4,3,2,1 — key(5) is first, key(1) is fifth.
+  EXPECT_EQ(list.find_scan(key(5)).examined, 1u);
+  EXPECT_EQ(list.find_scan(key(3)).examined, 3u);
+  EXPECT_EQ(list.find_scan(key(1)).examined, 5u);
+}
+
+TEST(PcbList, FindScanMissExaminesAll) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 5; ++p) list.emplace_front(key(p), p);
+  const auto r = list.find_scan(key(99));
+  EXPECT_EQ(r.pcb, nullptr);
+  EXPECT_EQ(r.examined, 5u);
+}
+
+TEST(PcbList, MoveToFrontReorders) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 4; ++p) list.emplace_front(key(p), p);
+  Pcb* target = list.find_scan(key(1)).pcb;  // at the tail
+  ASSERT_NE(target, nullptr);
+  list.move_to_front(target);
+  EXPECT_EQ(list.head(), target);
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.find_scan(key(1)).examined, 1u);
+  EXPECT_EQ(list.find_scan(key(4)).examined, 2u);
+}
+
+TEST(PcbList, MoveToFrontOfHeadIsNoop) {
+  PcbList list;
+  list.emplace_front(key(1), 1);
+  Pcb* b = list.emplace_front(key(2), 2);
+  list.move_to_front(b);
+  EXPECT_EQ(list.head(), b);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(PcbList, MoveToFrontFromMiddle) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 5; ++p) list.emplace_front(key(p), p);
+  Pcb* middle = list.find_scan(key(3)).pcb;
+  list.move_to_front(middle);
+  // Expected order now: 3,5,4,2,1.
+  std::vector<std::uint16_t> order;
+  list.for_each([&](const Pcb& p) { order.push_back(p.key.foreign_port); });
+  EXPECT_EQ(order, (std::vector<std::uint16_t>{3, 5, 4, 2, 1}));
+}
+
+TEST(PcbList, EraseHead) {
+  PcbList list;
+  list.emplace_front(key(1), 1);
+  Pcb* b = list.emplace_front(key(2), 2);
+  list.erase(b);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.head()->key, key(1));
+  EXPECT_EQ(list.head()->prev, nullptr);
+}
+
+TEST(PcbList, EraseTailAndMiddle) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 3; ++p) list.emplace_front(key(p), p);
+  list.erase(list.find_scan(key(1)).pcb);  // tail
+  list.erase(list.find_scan(key(2)).pcb);  // now tail (was middle)
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.head()->key, key(3));
+  EXPECT_EQ(list.head()->next, nullptr);
+}
+
+TEST(PcbList, EraseOnlyElement) {
+  PcbList list;
+  Pcb* a = list.emplace_front(key(1), 1);
+  list.erase(a);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.head(), nullptr);
+}
+
+TEST(PcbList, ClearEmpties) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 10; ++p) list.emplace_front(key(p), p);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.find_scan(key(5)).pcb, nullptr);
+}
+
+TEST(PcbList, MoveConstructorTransfersOwnership) {
+  PcbList list;
+  for (std::uint16_t p = 1; p <= 3; ++p) list.emplace_front(key(p), p);
+  PcbList other(std::move(list));
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_TRUE(list.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+  EXPECT_NE(other.find_scan(key(2)).pcb, nullptr);
+}
+
+TEST(PcbList, MoveAssignmentReleasesOldContents) {
+  PcbList a;
+  a.emplace_front(key(1), 1);
+  PcbList b;
+  b.emplace_front(key(2), 2);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_NE(a.find_scan(key(2)).pcb, nullptr);
+  EXPECT_EQ(a.find_scan(key(1)).pcb, nullptr);
+}
+
+TEST(PcbList, FindBestMatchPrefersExact) {
+  PcbList list;
+  list.emplace_front(net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                                  net::Ipv4Addr::any(), 0},
+                     0);  // listener
+  list.emplace_front(key(7), 1);  // exact connection, at head
+  const auto r = list.find_best_match(key(7));
+  ASSERT_NE(r.pcb, nullptr);
+  EXPECT_EQ(r.pcb->key, key(7));
+  EXPECT_EQ(r.examined, 1u);  // exact match short-circuits at the head
+}
+
+TEST(PcbList, FindBestMatchFallsBackToWildcard) {
+  PcbList list;
+  list.emplace_front(net::FlowKey{net::Ipv4Addr::any(), 1521,
+                                  net::Ipv4Addr::any(), 0},
+                     0);
+  list.emplace_front(net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                                  net::Ipv4Addr::any(), 0},
+                     1);
+  const auto r = list.find_best_match(key(9));
+  ASSERT_NE(r.pcb, nullptr);
+  // The single-wildcard (local-addr-specified) listener must win over the
+  // double-wildcard one.
+  EXPECT_EQ(r.pcb->key.local_addr, net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(r.examined, 2u);  // no exact match: full scan
+}
+
+TEST(PcbList, FindBestMatchNoMatch) {
+  PcbList list;
+  list.emplace_front(net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 80,
+                                  net::Ipv4Addr::any(), 0},
+                     0);
+  const auto r = list.find_best_match(key(9));  // port 1521, no listener
+  EXPECT_EQ(r.pcb, nullptr);
+}
+
+TEST(PcbList, ConnIdsArePreserved) {
+  PcbList list;
+  Pcb* a = list.emplace_front(key(1), 42);
+  EXPECT_EQ(a->conn_id, 42u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::core

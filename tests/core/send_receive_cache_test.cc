@@ -1,0 +1,147 @@
+#include "core/send_receive_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::core {
+namespace {
+
+net::FlowKey key(std::uint16_t port) {
+  return net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                      net::Ipv4Addr(10, 1, 0, 2), port};
+}
+
+TEST(SrCache, ReceiveUpdatesReceiveCache) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  (void)d.lookup(key(1), SegmentKind::kData);
+  EXPECT_EQ(d.receive_cached(), a);
+  EXPECT_EQ(d.send_cached(), nullptr);
+}
+
+TEST(SrCache, NoteSentUpdatesSendCache) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.note_sent(a);
+  EXPECT_EQ(d.send_cached(), a);
+  EXPECT_EQ(d.receive_cached(), nullptr);
+}
+
+TEST(SrCache, DataProbesReceiveCacheFirst) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  (void)d.lookup(key(1), SegmentKind::kData);  // recv cache := a
+  d.note_sent(d.lookup(key(2), SegmentKind::kData).pcb);  // send cache := b
+  (void)d.lookup(key(1), SegmentKind::kData);  // recv cache := a again
+  // Now recv=a, send=b. A data packet for a costs exactly 1.
+  const auto r = d.lookup(key(1), SegmentKind::kData);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(r.examined, 1u);
+  EXPECT_EQ(r.pcb, a);
+}
+
+TEST(SrCache, AckProbesSendCacheFirst) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  d.note_sent(a);                              // send cache := a
+  (void)d.lookup(key(2), SegmentKind::kData);  // recv cache := b
+  const auto r = d.lookup(key(1), SegmentKind::kAck);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(r.examined, 1u);  // send cache probed first for acks
+  EXPECT_EQ(r.pcb, a);
+}
+
+TEST(SrCache, DataHitInSendCacheCostsTwo) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  d.note_sent(a);                              // send cache := a
+  (void)d.lookup(key(2), SegmentKind::kData);  // recv cache := b
+  const auto r = d.lookup(key(1), SegmentKind::kData);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(r.examined, 2u);  // recv probe missed, send probe hit
+}
+
+TEST(SrCache, FullMissCostsTwoCachesPlusScan) {
+  SendReceiveCacheDemuxer d;
+  for (std::uint16_t p = 1; p <= 10; ++p) d.insert(key(p));
+  Pcb* a = d.lookup(key(9), SegmentKind::kData).pcb;
+  d.note_sent(a);
+  (void)d.lookup(key(10), SegmentKind::kData);  // recv := key(10), send := key(9)
+  // key(1) was inserted first: scan position 10.
+  const auto r = d.lookup(key(1), SegmentKind::kData);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.examined, 2u + 10u);
+}
+
+TEST(SrCache, BothCachesSamePcbProbedOnce) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  d.note_sent(a);
+  (void)d.lookup(key(1), SegmentKind::kData);  // recv := a too
+  // Both caches hold a; a miss should probe the shared entry only once.
+  const auto r = d.lookup(key(2), SegmentKind::kData);
+  EXPECT_EQ(r.examined, 1u + 1u);  // one shared cache probe + head scan
+}
+
+TEST(SrCache, ReceiveHitRefreshesReceiveCacheOnly) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  Pcb* b = d.insert(key(2));
+  d.note_sent(b);
+  (void)d.lookup(key(1), SegmentKind::kData);
+  EXPECT_EQ(d.receive_cached(), a);
+  EXPECT_EQ(d.send_cached(), b);
+}
+
+TEST(SrCache, EraseInvalidatesBothCaches) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  d.note_sent(a);
+  (void)d.lookup(key(1), SegmentKind::kData);
+  EXPECT_TRUE(d.erase(key(1)));
+  EXPECT_EQ(d.receive_cached(), nullptr);
+  EXPECT_EQ(d.send_cached(), nullptr);
+  EXPECT_EQ(d.lookup(key(1), SegmentKind::kData).pcb, nullptr);
+}
+
+TEST(SrCache, EraseOtherKeepsCaches) {
+  SendReceiveCacheDemuxer d;
+  Pcb* a = d.insert(key(1));
+  d.insert(key(2));
+  (void)d.lookup(key(1), SegmentKind::kData);
+  EXPECT_TRUE(d.erase(key(2)));
+  EXPECT_EQ(d.receive_cached(), a);
+}
+
+TEST(SrCache, DuplicateInsertRejected) {
+  SendReceiveCacheDemuxer d;
+  EXPECT_NE(d.insert(key(1)), nullptr);
+  EXPECT_EQ(d.insert(key(1)), nullptr);
+}
+
+TEST(SrCache, MissReturnsNullWithFullCost) {
+  SendReceiveCacheDemuxer d;
+  for (std::uint16_t p = 1; p <= 4; ++p) d.insert(key(p));
+  Pcb* a = d.lookup(key(1), SegmentKind::kData).pcb;
+  d.note_sent(a);
+  (void)d.lookup(key(2), SegmentKind::kData);
+  const auto r = d.lookup(key(99), SegmentKind::kData);
+  EXPECT_EQ(r.pcb, nullptr);
+  EXPECT_EQ(r.examined, 2u + 4u);
+}
+
+TEST(SrCache, StatsTrackHitRate) {
+  SendReceiveCacheDemuxer d;
+  d.insert(key(1));
+  (void)d.lookup(key(1), SegmentKind::kData);  // miss (caches empty)
+  (void)d.lookup(key(1), SegmentKind::kData);  // hit
+  (void)d.lookup(key(1), SegmentKind::kData);  // hit
+  EXPECT_NEAR(d.stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcpdemux::core

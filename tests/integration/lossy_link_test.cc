@@ -1,0 +1,135 @@
+// End-to-end recovery over a lossy link: two socket tables joined by
+// sim::Link with packet loss; the retransmission machinery must carry all
+// application data through anyway.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "tcp/socket_table.h"
+
+namespace tcpdemux {
+namespace {
+
+using net::Ipv4Addr;
+
+constexpr Ipv4Addr kServerAddr{10, 0, 0, 1};
+constexpr Ipv4Addr kClientAddr{10, 1, 0, 2};
+constexpr std::uint16_t kPort = 1521;
+
+class LossyLinkTest : public ::testing::Test {
+ protected:
+  static sim::Link::Options link_options(double loss,
+                                          std::uint64_t seed = 99) {
+    sim::Link::Options o;
+    o.delay = 0.005;
+    o.loss_probability = loss;
+    o.seed = seed;
+    return o;
+  }
+
+  /// Builds both hosts with loss applied to the client->server direction
+  /// only (the ack path stays clean so recovery is observable in
+  /// isolation).
+  void build_hosts(double client_to_server_loss,
+                   std::uint64_t loss_seed = 99) {
+    to_server_ = std::make_unique<sim::Link>(
+        queue_, link_options(client_to_server_loss, loss_seed),
+        [this](std::vector<std::uint8_t> wire) {
+          server_->deliver_wire(wire);
+        });
+    to_client_ = std::make_unique<sim::Link>(
+        queue_, link_options(0.0), [this](std::vector<std::uint8_t> wire) {
+          client_->deliver_wire(wire);
+        });
+    server_ = std::make_unique<tcp::SocketTable>(
+        core::DemuxConfig{core::Algorithm::kSequent},
+        [this](std::vector<std::uint8_t> wire, const core::Pcb&) {
+          to_client_->send(std::move(wire));
+        });
+    client_ = std::make_unique<tcp::SocketTable>(
+        core::DemuxConfig{core::Algorithm::kBsd},
+        [this](std::vector<std::uint8_t> wire, const core::Pcb&) {
+          to_server_->send(std::move(wire));
+        });
+    server_->set_clock([this] { return queue_.now(); });
+    client_->set_clock([this] { return queue_.now(); });
+    server_->listen(kServerAddr, kPort);
+    // Retransmission timer: a 100 ms tick for five simulated minutes.
+    tick_ = [this] {
+      client_->poll_retransmits();
+      server_->poll_retransmits();
+      if (queue_.now() < 300.0) queue_.schedule_in(0.1, tick_);
+    };
+    queue_.schedule_in(0.1, tick_);
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Link> to_server_;
+  std::unique_ptr<sim::Link> to_client_;
+  std::unique_ptr<tcp::SocketTable> server_;
+  std::unique_ptr<tcp::SocketTable> client_;
+  std::function<void()> tick_;
+};
+
+TEST_F(LossyLinkTest, AllDataArrivesDespiteLoss) {
+  build_hosts(/*loss=*/0.25);
+  core::Pcb* pcb = client_->connect({kClientAddr, 40001, kServerAddr, kPort});
+  ASSERT_NE(pcb, nullptr);
+  queue_.run_until(5.0);
+  // Data-only recovery: the handshake must survive on its own. With this
+  // seed the SYN gets through; assert so a seed change is caught loudly.
+  ASSERT_EQ(pcb->state, core::TcpState::kEstablished)
+      << "handshake lost; pick a seed whose SYN survives";
+
+  constexpr int kMessages = 40;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(client_->send_data(*pcb, 100));
+  }
+  queue_.run_until(290.0);
+
+  core::Pcb* server_pcb =
+      server_->find({kServerAddr, kPort, kClientAddr, 40001});
+  ASSERT_NE(server_pcb, nullptr);
+  EXPECT_EQ(server_pcb->bytes_in, 100u * kMessages)
+      << "cumulative-ack recovery failed";
+  EXPECT_EQ(pcb->snd_una, pcb->snd_nxt) << "client still has unacked data";
+  EXPECT_GT(client_->counters().retransmissions, 0u)
+      << "loss was configured but nothing was retransmitted";
+  EXPECT_GT(to_server_->stats().dropped, 0u);
+}
+
+TEST_F(LossyLinkTest, CleanLinkNeedsNoRetransmissions) {
+  build_hosts(/*loss=*/0.0);
+  core::Pcb* pcb = client_->connect({kClientAddr, 40001, kServerAddr, kPort});
+  queue_.run_until(2.0);
+  ASSERT_EQ(pcb->state, core::TcpState::kEstablished);
+  for (int i = 0; i < 20; ++i) client_->send_data(*pcb, 50);
+  queue_.run_until(200.0);
+  EXPECT_EQ(client_->counters().retransmissions, 0u);
+  core::Pcb* server_pcb =
+      server_->find({kServerAddr, kPort, kClientAddr, 40001});
+  ASSERT_NE(server_pcb, nullptr);
+  EXPECT_EQ(server_pcb->bytes_in, 1000u);
+}
+
+TEST_F(LossyLinkTest, HeavyLossStillConvergesEventually) {
+  build_hosts(/*loss=*/0.5, /*loss_seed=*/7);
+  core::Pcb* pcb = client_->connect({kClientAddr, 40002, kServerAddr, kPort});
+  queue_.run_until(5.0);
+  if (pcb->state != core::TcpState::kEstablished) {
+    GTEST_SKIP() << "handshake lost under 50% loss with this seed";
+  }
+  for (int i = 0; i < 10; ++i) client_->send_data(*pcb, 64);
+  queue_.run_until(290.0);
+  core::Pcb* server_pcb =
+      server_->find({kServerAddr, kPort, kClientAddr, 40002});
+  ASSERT_NE(server_pcb, nullptr);
+  EXPECT_EQ(server_pcb->bytes_in, 640u);
+}
+
+}  // namespace
+}  // namespace tcpdemux

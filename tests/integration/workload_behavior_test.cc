@@ -1,0 +1,127 @@
+// Cross-module behavioral checks: each traffic class produces the cache
+// behavior the paper's introduction argues for.
+#include <gtest/gtest.h>
+
+#include "analytic/crowcroft_model.h"
+#include "core/bsd_list.h"
+#include "core/hashed_mtf.h"
+#include "core/move_to_front.h"
+#include "core/sequent_hash.h"
+#include "sim/bulk_workload.h"
+#include "sim/polling_workload.h"
+#include "sim/replay.h"
+#include "sim/tpca_workload.h"
+
+namespace tcpdemux {
+namespace {
+
+TEST(WorkloadBehavior, BulkTransferMakesBsdCacheShine) {
+  // §1: "If packet trains are prevalent ... a very simple one-PCB cache
+  // like those used in BSD systems yields very high cache hit rates."
+  sim::BulkWorkloadParams p;
+  p.connections = 4;
+  p.train_gap_mean = 0.02;  // low enough duty cycle that trains rarely mix
+  p.duration = 5.0;
+  core::BsdListDemuxer d;
+  const auto r = sim::replay_trace(sim::generate_bulk_trace(p), d);
+  EXPECT_GT(r.hit_rate(), 0.80);
+  EXPECT_LT(r.overall.mean(), 2.0);
+}
+
+TEST(WorkloadBehavior, OltpTrafficDefeatsBsdCache) {
+  sim::TpcaWorkloadParams p;
+  p.users = 400;
+  p.duration = 300.0;
+  core::BsdListDemuxer d;
+  const auto r = sim::replay_trace(sim::generate_tpca_trace(p), d);
+  EXPECT_LT(r.hit_rate(), 0.02);
+  EXPECT_GT(r.overall.mean(), 150.0);  // ~N/2
+}
+
+TEST(WorkloadBehavior, PollingIsMtfWorstCase) {
+  // §3.2: deterministic think times make MTF scan the entire list.
+  sim::PollingWorkloadParams p;
+  p.terminals = 200;
+  p.period = 10.0;
+  p.duration = 60.0;
+  core::MoveToFrontDemuxer d;
+  const auto r = sim::replay_trace(sim::generate_polling_trace(p), d);
+  // Transaction entries scan all N PCBs (acks are cheap); overall must be
+  // near the deterministic-worst-case prediction for entries.
+  EXPECT_NEAR(r.data.mean(), analytic::crowcroft_deterministic_cost(200),
+              3.0);
+}
+
+TEST(WorkloadBehavior, PollingHurtsMtfMoreThanBsd) {
+  sim::PollingWorkloadParams p;
+  p.terminals = 200;
+  p.period = 10.0;
+  p.duration = 60.0;
+  const auto trace = sim::generate_polling_trace(p);
+  core::MoveToFrontDemuxer mtf;
+  core::BsdListDemuxer bsd;
+  const double mtf_entry = sim::replay_trace(trace, mtf).data.mean();
+  const double bsd_entry = sim::replay_trace(trace, bsd).data.mean();
+  EXPECT_GT(mtf_entry, 1.9 * bsd_entry);  // N vs ~N/2
+}
+
+TEST(WorkloadBehavior, SequentHandlesBothTrafficClasses) {
+  // §3.4's point: hashing wins on OLTP *while maintaining* packet-train
+  // performance.
+  core::SequentDemuxer oltp_d(core::SequentDemuxer::Options{
+      19, net::HasherKind::kCrc32, true});
+  sim::TpcaWorkloadParams tp;
+  tp.users = 400;
+  tp.duration = 300.0;
+  const auto oltp = sim::replay_trace(sim::generate_tpca_trace(tp), oltp_d);
+  EXPECT_LT(oltp.overall.mean(), 15.0);
+
+  core::SequentDemuxer bulk_d(core::SequentDemuxer::Options{
+      19, net::HasherKind::kCrc32, true});
+  sim::BulkWorkloadParams bp;
+  bp.connections = 8;
+  bp.duration = 5.0;
+  const auto bulk = sim::replay_trace(sim::generate_bulk_trace(bp), bulk_d);
+  EXPECT_GT(bulk.hit_rate(), 0.80);
+  EXPECT_LT(bulk.overall.mean(), 2.0);
+}
+
+TEST(WorkloadBehavior, MixedTrafficIntermediate) {
+  sim::TpcaWorkloadParams tp;
+  tp.users = 200;
+  tp.duration = 60.0;
+  sim::Trace mixed = sim::generate_tpca_trace(tp);
+  sim::BulkWorkloadParams bp;
+  bp.connections = 4;
+  bp.duration = 60.0;
+  bp.train_gap_mean = 0.5;
+  mixed.merge(sim::generate_bulk_trace(bp));
+  ASSERT_TRUE(mixed.valid());
+  EXPECT_EQ(mixed.connections, 204u);
+
+  core::BsdListDemuxer bsd;
+  const auto r = sim::replay_trace(mixed, bsd);
+  // Bulk segments hit the cache, OLTP packets scan: the hit rate sits
+  // strictly between the pure cases.
+  EXPECT_GT(r.hit_rate(), 0.05);
+  EXPECT_LT(r.hit_rate(), 0.95);
+}
+
+TEST(WorkloadBehavior, HashedMtfNotBetterThanMoreChains) {
+  // §3.5: "better results can be obtained simply by increasing the number
+  // of hash chains."
+  sim::TpcaWorkloadParams tp;
+  tp.users = 600;
+  tp.duration = 300.0;
+  const auto trace = sim::generate_tpca_trace(tp);
+  core::HashedMtfDemuxer mtf19(core::HashedMtfDemuxer::Options{
+      19, net::HasherKind::kCrc32});
+  core::SequentDemuxer seq100(core::SequentDemuxer::Options{
+      100, net::HasherKind::kCrc32, true});
+  const double combo = sim::replay_trace(trace, mtf19).overall.mean();
+  const double more_chains = sim::replay_trace(trace, seq100).overall.mean();
+  EXPECT_LT(more_chains, combo);
+}
+
+}  // namespace
+}  // namespace tcpdemux

@@ -1,0 +1,122 @@
+#include "net/arp.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::net {
+namespace {
+
+const MacAddr kMacA = MacAddr::from_ipv4(Ipv4Addr(10, 0, 0, 1).value());
+const MacAddr kMacB = MacAddr::from_ipv4(Ipv4Addr(10, 0, 0, 2).value());
+const Ipv4Addr kIpA{10, 0, 0, 1};
+const Ipv4Addr kIpB{10, 0, 0, 2};
+
+TEST(ArpPacket, SerializeParseRoundTrip) {
+  ArpPacket p;
+  p.op = ArpPacket::Op::kReply;
+  p.sender_mac = kMacA;
+  p.sender_ip = kIpA;
+  p.target_mac = kMacB;
+  p.target_ip = kIpB;
+  std::vector<std::uint8_t> buf(ArpPacket::kSize);
+  EXPECT_EQ(p.serialize(buf), ArpPacket::kSize);
+  const auto parsed = ArpPacket::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->op, ArpPacket::Op::kReply);
+  EXPECT_EQ(parsed->sender_mac, kMacA);
+  EXPECT_EQ(parsed->sender_ip, kIpA);
+  EXPECT_EQ(parsed->target_mac, kMacB);
+  EXPECT_EQ(parsed->target_ip, kIpB);
+}
+
+TEST(ArpPacket, ParseRejectsMalformed) {
+  std::vector<std::uint8_t> buf(ArpPacket::kSize, 0);
+  EXPECT_FALSE(ArpPacket::parse(buf).has_value());  // zero hw type
+  std::vector<std::uint8_t> good(ArpPacket::kSize);
+  ArpPacket{}.serialize(good);
+  EXPECT_TRUE(ArpPacket::parse(good).has_value());
+  good[6] = 0;
+  good[7] = 9;  // invalid op
+  EXPECT_FALSE(ArpPacket::parse(good).has_value());
+  EXPECT_FALSE(ArpPacket::parse(std::span(good).subspan(0, 20)));
+}
+
+TEST(ArpTable, ResolveAfterLearn) {
+  ArpTable table(kMacA, kIpA);
+  EXPECT_FALSE(table.resolve(kIpB, 0.0).has_value());
+  table.learn(kIpB, kMacB, 0.0);
+  const auto mac = table.resolve(kIpB, 1.0);
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, kMacB);
+}
+
+TEST(ArpTable, EntriesAgeOut) {
+  ArpTable table(kMacA, kIpA);
+  table.learn(kIpB, kMacB, 0.0);
+  EXPECT_TRUE(table.resolve(kIpB, 299.0).has_value());
+  EXPECT_FALSE(table.resolve(kIpB, 301.0).has_value());
+  EXPECT_EQ(table.expire(301.0), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ArpTable, RequestReplyExchange) {
+  ArpTable a(kMacA, kIpA);
+  ArpTable b(kMacB, kIpB);
+
+  // A broadcasts "who has B?".
+  const auto request = a.make_request(kIpB);
+  const auto ether = EthernetHeader::parse(request);
+  ASSERT_TRUE(ether.has_value());
+  EXPECT_TRUE(ether->dst.is_broadcast());
+  EXPECT_EQ(ether->ether_type, static_cast<std::uint16_t>(EtherType::kArp));
+
+  // B handles it: learns A and answers.
+  const auto reply = b.handle_frame(request, 1.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(b.resolve(kIpA, 1.0), kMacA);
+
+  // A handles the reply: learns B; no counter-reply.
+  const auto nothing = a.handle_frame(*reply, 1.1);
+  EXPECT_FALSE(nothing.has_value());
+  EXPECT_EQ(a.resolve(kIpB, 1.1), kMacB);
+}
+
+TEST(ArpTable, RequestForSomeoneElseLearnsButStaysSilent) {
+  ArpTable c(kMacB, Ipv4Addr(10, 0, 0, 3));
+  ArpTable a(kMacA, kIpA);
+  const auto request = a.make_request(kIpB);  // asks for B, not C
+  const auto reply = c.handle_frame(request, 0.0);
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(c.resolve(kIpA, 0.0), kMacA);  // still learned the sender
+}
+
+TEST(ArpTable, NonArpFramesIgnored) {
+  ArpTable a(kMacA, kIpA);
+  std::vector<std::uint8_t> ipv4_frame(40, 0);
+  EthernetHeader h;
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+  h.serialize(ipv4_frame);
+  EXPECT_FALSE(a.handle_frame(ipv4_frame, 0.0).has_value());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(ArpTable, CapacityEvictsStalest) {
+  ArpTable::Options options;
+  options.max_entries = 2;
+  ArpTable table(kMacA, kIpA, options);
+  table.learn(Ipv4Addr(10, 0, 0, 10), kMacB, 1.0);
+  table.learn(Ipv4Addr(10, 0, 0, 11), kMacB, 2.0);
+  table.learn(Ipv4Addr(10, 0, 0, 12), kMacB, 3.0);  // evicts the 1.0 entry
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.resolve(Ipv4Addr(10, 0, 0, 10), 3.0).has_value());
+  EXPECT_TRUE(table.resolve(Ipv4Addr(10, 0, 0, 12), 3.0).has_value());
+}
+
+TEST(ArpTable, RelearnRefreshesTimestamp) {
+  ArpTable table(kMacA, kIpA);
+  table.learn(kIpB, kMacB, 0.0);
+  table.learn(kIpB, kMacB, 250.0);
+  EXPECT_TRUE(table.resolve(kIpB, 500.0).has_value());  // refreshed at 250
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

@@ -1,0 +1,81 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace tcpdemux::net {
+namespace {
+
+TEST(Checksum, RFC1071ReferenceExample) {
+  // The worked example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+  // sum to 0xddf2 before complement.
+  const std::array<std::uint8_t, 8> bytes = {0x00, 0x01, 0xf2, 0x03,
+                                             0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(bytes), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, EmptyInputIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::array<std::uint8_t, 1> one = {0xab};
+  // Word is 0xab00; checksum is its complement.
+  EXPECT_EQ(internet_checksum(one), static_cast<std::uint16_t>(~0xab00));
+}
+
+TEST(Checksum, VerifyAcceptsEmbeddedChecksum) {
+  // Build a buffer, embed its checksum, verify it sums to zero.
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x28, 0x12, 0x34,
+                                    0x00, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                    0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00,
+                                    0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_TRUE(verify_checksum(data));
+  data[12] ^= 0x01;  // corrupt one bit
+  EXPECT_FALSE(verify_checksum(data));
+}
+
+TEST(Checksum, ChunkedFeedMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  ChecksumAccumulator chunked;
+  chunked.add(std::span(data).subspan(0, 40));
+  chunked.add(std::span(data).subspan(40, 60));
+  EXPECT_EQ(chunked.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, CarryFolding) {
+  // 0xffff + 0xffff wraps with end-around carry to 0xffff; complement 0.
+  const std::array<std::uint8_t, 4> bytes = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(internet_checksum(bytes), 0x0000);
+}
+
+TEST(Checksum, TcpPseudoHeaderChangesSum) {
+  const std::array<std::uint8_t, 4> seg = {0xde, 0xad, 0xbe, 0xef};
+  const auto a = tcp_checksum(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), seg);
+  const auto b = tcp_checksum(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 3), seg);
+  EXPECT_NE(a, b);
+}
+
+TEST(Checksum, TcpChecksumVerifiesWhenEmbedded) {
+  // A 20-byte TCP header with checksum zeroed, then patched.
+  std::vector<std::uint8_t> seg(20, 0);
+  seg[0] = 0x30; seg[1] = 0x39;  // src port 12345
+  seg[2] = 0x00; seg[3] = 0x50;  // dst port 80
+  seg[12] = 0x50;                // data offset 5
+  seg[13] = 0x02;                // SYN
+  const Ipv4Addr src(192, 168, 0, 1);
+  const Ipv4Addr dst(192, 168, 0, 2);
+  const std::uint16_t sum = tcp_checksum(src, dst, seg);
+  seg[16] = static_cast<std::uint8_t>(sum >> 8);
+  seg[17] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_EQ(tcp_checksum(src, dst, seg), 0);
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

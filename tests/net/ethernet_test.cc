@@ -1,0 +1,165 @@
+#include "net/ethernet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/pcap.h"
+
+namespace tcpdemux::net {
+namespace {
+
+TEST(MacAddr, ParseAndToStringRoundTrip) {
+  const auto mac = MacAddr::parse("02:00:0a:01:00:02");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:00:0a:01:00:02");
+  EXPECT_EQ(mac->octets()[0], 0x02);
+  EXPECT_EQ(mac->octets()[5], 0x02);
+}
+
+TEST(MacAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse(""));
+  EXPECT_FALSE(MacAddr::parse("02:00:0a:01:00"));
+  EXPECT_FALSE(MacAddr::parse("02:00:0a:01:00:02:ff"));
+  EXPECT_FALSE(MacAddr::parse("02-00-0a-01-00-02"));
+  EXPECT_FALSE(MacAddr::parse("0g:00:0a:01:00:02"));
+  EXPECT_FALSE(MacAddr::parse("02:00:0a:01:00:0"));
+}
+
+TEST(MacAddr, Classification) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  const auto unicast = MacAddr::parse("02:00:00:00:00:01");
+  EXPECT_FALSE(unicast->is_broadcast());
+  EXPECT_FALSE(unicast->is_multicast());
+  const auto mcast = MacAddr::parse("01:00:5e:00:00:01");
+  EXPECT_TRUE(mcast->is_multicast());
+}
+
+TEST(MacAddr, FromIpv4Deterministic) {
+  const MacAddr a = MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 2).value());
+  const MacAddr b = MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 2).value());
+  const MacAddr c = MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 3).value());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.is_multicast());  // locally administered unicast
+  EXPECT_EQ(a.octets()[0] & 0x02, 0x02);
+}
+
+TEST(Ethernet, HeaderRoundTrip) {
+  EthernetHeader h;
+  h.dst = *MacAddr::parse("ff:ff:ff:ff:ff:ff");
+  h.src = *MacAddr::parse("02:00:0a:00:00:01");
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  std::array<std::uint8_t, 14> buf{};
+  EXPECT_EQ(h.serialize(buf), EthernetHeader::kSize);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(Ethernet, ParseRejectsShortFrame) {
+  std::array<std::uint8_t, 13> buf{};
+  EXPECT_FALSE(EthernetHeader::parse(buf).has_value());
+}
+
+TEST(Ethernet, EncapsulateDecapsulateRoundTrip) {
+  const auto datagram = PacketBuilder()
+                            .from({Ipv4Addr(10, 1, 0, 2), 40001})
+                            .to({Ipv4Addr(10, 0, 0, 1), 1521})
+                            .payload_size(32)
+                            .build();
+  const MacAddr src = MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 2).value());
+  const MacAddr dst = MacAddr::from_ipv4(Ipv4Addr(10, 0, 0, 1).value());
+  const auto frame = ethernet_encapsulate(dst, src, datagram);
+  EXPECT_EQ(frame.size(), datagram.size() + 14);
+
+  const auto inner = ethernet_decapsulate_ipv4(frame);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_TRUE(std::equal(inner->begin(), inner->end(), datagram.begin(),
+                         datagram.end()));
+  // And the inner datagram still parses as a checksummed TCP packet.
+  EXPECT_TRUE(Packet::parse(*inner).has_value());
+}
+
+TEST(Ethernet, DecapsulateRejectsNonIpv4) {
+  EthernetHeader h;
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  std::vector<std::uint8_t> frame(20, 0);
+  h.serialize(frame);
+  EXPECT_FALSE(ethernet_decapsulate_ipv4(frame).has_value());
+}
+
+TEST(Ethernet, VlanTaggedFrameRoundTrip) {
+  const auto datagram = PacketBuilder()
+                            .from({Ipv4Addr(10, 1, 0, 2), 40001})
+                            .to({Ipv4Addr(10, 0, 0, 1), 1521})
+                            .payload_size(16)
+                            .build();
+  const MacAddr src = MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 2).value());
+  const MacAddr dst = MacAddr::from_ipv4(Ipv4Addr(10, 0, 0, 1).value());
+  const auto frame =
+      ethernet_encapsulate_vlan(dst, src, /*vid=*/42, /*pcp=*/5, datagram);
+  EXPECT_EQ(frame.size(), datagram.size() + 14 + 4);
+
+  EXPECT_EQ(ethernet_vlan_id(frame), 42);
+  const auto inner = ethernet_decapsulate_ipv4(frame);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_TRUE(Packet::parse(*inner).has_value());
+}
+
+TEST(Ethernet, VlanIdMasksTwelveBits) {
+  const std::vector<std::uint8_t> datagram(20, 0);
+  const auto frame = ethernet_encapsulate_vlan(
+      MacAddr::broadcast(), MacAddr::broadcast(), 0xffff, 7, datagram);
+  EXPECT_EQ(ethernet_vlan_id(frame), 0x0fff);
+}
+
+TEST(Ethernet, UntaggedFrameHasNoVlanId) {
+  const std::vector<std::uint8_t> datagram(20, 0);
+  const auto frame = ethernet_encapsulate(MacAddr::broadcast(),
+                                          MacAddr::broadcast(), datagram);
+  EXPECT_FALSE(ethernet_vlan_id(frame).has_value());
+}
+
+TEST(Ethernet, TruncatedVlanFrameRejected) {
+  std::vector<std::uint8_t> frame(15, 0);
+  EthernetHeader h;
+  h.ether_type = static_cast<std::uint16_t>(EtherType::kVlan);
+  h.serialize(frame);
+  EXPECT_FALSE(ethernet_decapsulate_ipv4(frame).has_value());
+  EXPECT_FALSE(ethernet_vlan_id(frame).has_value());
+}
+
+TEST(Ethernet, PcapEthernetLinkTypeRoundTrip) {
+  const auto datagram = PacketBuilder()
+                            .from({Ipv4Addr(10, 1, 0, 2), 40001})
+                            .to({Ipv4Addr(10, 0, 0, 1), 1521})
+                            .payload_size(8)
+                            .build();
+  const auto frame = ethernet_encapsulate(
+      MacAddr::from_ipv4(Ipv4Addr(10, 0, 0, 1).value()),
+      MacAddr::from_ipv4(Ipv4Addr(10, 1, 0, 2).value()), datagram);
+
+  std::stringstream buffer;
+  PcapWriter writer(buffer, PcapWriter::kLinkTypeEthernet);
+  ASSERT_TRUE(writer.write(1.0, frame));
+
+  PcapReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.link_type(), PcapWriter::kLinkTypeEthernet);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  const auto inner = ethernet_decapsulate_ipv4(record->bytes);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_TRUE(Packet::parse(*inner).has_value());
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

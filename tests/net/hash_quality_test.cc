@@ -1,0 +1,85 @@
+#include "net/hash_quality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace tcpdemux::net {
+namespace {
+
+std::vector<FlowKey> sequential_port_keys(std::uint32_t n) {
+  std::vector<FlowKey> keys;
+  keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    keys.push_back(FlowKey{Ipv4Addr(10, 0, 0, 1), 1521,
+                           Ipv4Addr(10, 2, 0, 5),
+                           static_cast<std::uint16_t>(1024 + i)});
+  }
+  return keys;
+}
+
+TEST(HashQuality, HistogramSumsToKeyCount) {
+  const auto keys = sequential_port_keys(500);
+  const auto r = evaluate_hash_quality(HasherKind::kCrc32, keys, 19);
+  EXPECT_EQ(std::accumulate(r.histogram.begin(), r.histogram.end(),
+                            std::size_t{0}),
+            500u);
+  EXPECT_EQ(r.keys, 500u);
+  EXPECT_EQ(r.chains, 19u);
+}
+
+TEST(HashQuality, MeanChainIsKeysOverChains) {
+  const auto keys = sequential_port_keys(190);
+  const auto r = evaluate_hash_quality(HasherKind::kJenkins, keys, 19);
+  EXPECT_DOUBLE_EQ(r.mean_chain, 10.0);
+}
+
+TEST(HashQuality, PerfectBalanceHasZeroChiSquared) {
+  // Sequential ports through the modulo of the BSD hash distribute
+  // perfectly when the chain count divides the port range pattern.
+  const auto keys = sequential_port_keys(190);
+  const auto r = evaluate_hash_quality(HasherKind::kBsdModulo, keys, 19);
+  // Sequential foreign ports with everything else fixed step the sum by 1
+  // per key: perfectly uniform chains.
+  EXPECT_EQ(r.max_chain, 10u);
+  EXPECT_DOUBLE_EQ(r.chi_squared, 0.0);
+  EXPECT_DOUBLE_EQ(r.stddev_chain, 0.0);
+  EXPECT_EQ(r.empty_chains, 0u);
+}
+
+TEST(HashQuality, ExpectedSearchForUniformChains) {
+  // Chains of length L have expected scan (L+1)/2 for a random stored key.
+  const auto keys = sequential_port_keys(190);
+  const auto r = evaluate_hash_quality(HasherKind::kBsdModulo, keys, 19);
+  EXPECT_NEAR(r.expected_search, (10.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(HashQuality, SingleChainDegeneratesToLinearList) {
+  const auto keys = sequential_port_keys(100);
+  const auto r = evaluate_hash_quality(HasherKind::kCrc32, keys, 1);
+  EXPECT_EQ(r.max_chain, 100u);
+  EXPECT_NEAR(r.expected_search, (100.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(HashQuality, EmptyKeySetIsWellDefined) {
+  const auto r = evaluate_hash_quality(HasherKind::kCrc32, {}, 19);
+  EXPECT_EQ(r.keys, 0u);
+  EXPECT_EQ(r.max_chain, 0u);
+  EXPECT_EQ(r.empty_chains, 19u);
+  EXPECT_DOUBLE_EQ(r.expected_search, 0.0);
+}
+
+TEST(HashQuality, StrongHashChiSquaredReasonable) {
+  // For a good hash, the chi-squared statistic over H-1 = 18 dof should be
+  // within a very generous envelope (mean 18, stddev 6).
+  const auto keys = sequential_port_keys(2000);
+  for (const HasherKind kind :
+       {HasherKind::kCrc32, HasherKind::kJenkins, HasherKind::kToeplitz}) {
+    const auto r = evaluate_hash_quality(kind, keys, 19);
+    EXPECT_LT(r.chi_squared, 18.0 + 10.0 * 6.0) << hasher_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

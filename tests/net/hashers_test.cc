@@ -1,0 +1,147 @@
+#include "net/hashers.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <unordered_set>
+
+namespace tcpdemux::net {
+namespace {
+
+FlowKey server_key(Ipv4Addr client, std::uint16_t client_port) {
+  return FlowKey{Ipv4Addr(10, 0, 0, 1), 1521, client, client_port};
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xcbf43926.
+  const char* s = "123456789";
+  std::array<std::uint8_t, 9> bytes{};
+  std::memcpy(bytes.data(), s, 9);
+  EXPECT_EQ(crc32_ieee(bytes), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32_ieee({}), 0u); }
+
+struct RssVector {
+  Ipv4Addr src;
+  std::uint16_t src_port;
+  Ipv4Addr dst;
+  std::uint16_t dst_port;
+  std::uint32_t expected_tcp;
+};
+
+// Microsoft RSS verification suite (IPv4 with TCP ports).
+const RssVector kRssVectors[] = {
+    {Ipv4Addr(66, 9, 149, 187), 2794, Ipv4Addr(161, 142, 100, 80), 1766,
+     0x51ccc178},
+    {Ipv4Addr(199, 92, 111, 2), 14230, Ipv4Addr(65, 69, 140, 83), 4739,
+     0xc626b0ea},
+    {Ipv4Addr(24, 19, 198, 95), 12898, Ipv4Addr(12, 22, 207, 184), 38024,
+     0x5c2b394a},
+    {Ipv4Addr(38, 27, 205, 30), 48228, Ipv4Addr(209, 142, 163, 6), 2217,
+     0xafc7327f},
+    {Ipv4Addr(153, 39, 163, 191), 44251, Ipv4Addr(202, 188, 127, 2), 1303,
+     0x10e828a2},
+};
+
+TEST(Toeplitz, MicrosoftRssTcpVerificationVectors) {
+  for (const RssVector& v : kRssVectors) {
+    // Build the RSS input: src addr, dst addr, src port, dst port (BE).
+    std::array<std::uint8_t, 12> input{};
+    const std::uint32_t s = v.src.value();
+    const std::uint32_t d = v.dst.value();
+    input[0] = s >> 24; input[1] = (s >> 16) & 0xff;
+    input[2] = (s >> 8) & 0xff; input[3] = s & 0xff;
+    input[4] = d >> 24; input[5] = (d >> 16) & 0xff;
+    input[6] = (d >> 8) & 0xff; input[7] = d & 0xff;
+    input[8] = v.src_port >> 8; input[9] = v.src_port & 0xff;
+    input[10] = v.dst_port >> 8; input[11] = v.dst_port & 0xff;
+    EXPECT_EQ(toeplitz_hash(input, rss_default_key()), v.expected_tcp)
+        << v.src.to_string() << ":" << v.src_port;
+  }
+}
+
+TEST(Toeplitz, HashFlowMatchesManualInput) {
+  // hash_flow treats the stored key's foreign half as the packet's source.
+  const RssVector& v = kRssVectors[0];
+  const FlowKey key{v.dst, v.dst_port, v.src, v.src_port};
+  EXPECT_EQ(hash_flow(HasherKind::kToeplitz, key), v.expected_tcp);
+}
+
+TEST(Toeplitz, ZeroInputHashesToZero) {
+  const std::array<std::uint8_t, 12> zeros{};
+  EXPECT_EQ(toeplitz_hash(zeros, rss_default_key()), 0u);
+}
+
+TEST(Hashers, AllKindsHaveDistinctNames) {
+  std::unordered_set<std::string_view> names;
+  for (const HasherKind kind : kAllHashers) {
+    EXPECT_TRUE(names.insert(hasher_name(kind)).second)
+        << "duplicate name " << hasher_name(kind);
+  }
+  EXPECT_EQ(names.size(), kAllHashers.size());
+}
+
+TEST(Hashers, DeterministicAcrossCalls) {
+  const FlowKey key = server_key(Ipv4Addr(10, 1, 2, 3), 40001);
+  for (const HasherKind kind : kAllHashers) {
+    EXPECT_EQ(hash_flow(kind, key), hash_flow(kind, key))
+        << hasher_name(kind);
+  }
+}
+
+TEST(Hashers, BsdModuloIgnoresAddressHighBits) {
+  // The historical weakness: the hash is a plain sum, so keys arranged so
+  // that foreign_addr + ports stays constant collide completely.
+  const FlowKey a = server_key(Ipv4Addr(10, 1, 0, 10), 40000);
+  const FlowKey b = server_key(Ipv4Addr(10, 1, 0, 9), 40001);
+  EXPECT_EQ(hash_flow(HasherKind::kBsdModulo, a),
+            hash_flow(HasherKind::kBsdModulo, b));
+}
+
+TEST(Hashers, StrongHashesSeparateAdjacentKeys) {
+  const FlowKey a = server_key(Ipv4Addr(10, 1, 0, 10), 40000);
+  const FlowKey b = server_key(Ipv4Addr(10, 1, 0, 9), 40001);
+  for (const HasherKind kind :
+       {HasherKind::kCrc32, HasherKind::kJenkins, HasherKind::kToeplitz,
+        HasherKind::kMultiplicative}) {
+    EXPECT_NE(hash_flow(kind, a), hash_flow(kind, b)) << hasher_name(kind);
+  }
+}
+
+TEST(Hashers, AddFoldStaysWithin16Bits) {
+  for (std::uint16_t port = 1000; port < 1100; ++port) {
+    const FlowKey key = server_key(Ipv4Addr(192, 168, 3, 4), port);
+    EXPECT_LE(hash_flow(HasherKind::kAddFold, key), 0xffffu);
+  }
+}
+
+TEST(Hashers, XorFoldSensitiveToEveryField) {
+  const FlowKey base = server_key(Ipv4Addr(10, 1, 2, 3), 40001);
+  const std::uint32_t h = hash_flow(HasherKind::kXorFold, base);
+  FlowKey k = base;
+  k.foreign_port ^= 1;
+  EXPECT_NE(hash_flow(HasherKind::kXorFold, k), h);
+  k = base;
+  k.local_port ^= 1;
+  EXPECT_NE(hash_flow(HasherKind::kXorFold, k), h);
+  k = base;
+  k.foreign_addr = Ipv4Addr(k.foreign_addr.value() ^ 0x10000);
+  EXPECT_NE(hash_flow(HasherKind::kXorFold, k), h);
+  k = base;
+  k.local_addr = Ipv4Addr(k.local_addr.value() ^ 0x10000);
+  EXPECT_NE(hash_flow(HasherKind::kXorFold, k), h);
+}
+
+TEST(Hashers, ChainIndexInRange) {
+  for (const HasherKind kind : kAllHashers) {
+    for (std::uint16_t port = 2000; port < 2050; ++port) {
+      const FlowKey key = server_key(Ipv4Addr(10, 7, 7, 7), port);
+      EXPECT_LT(hash_chain(kind, key, 19), 19u) << hasher_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

@@ -1,0 +1,73 @@
+#include "net/ip_addr.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::net {
+namespace {
+
+TEST(Ipv4Addr, DefaultIsWildcard) {
+  Ipv4Addr a;
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_TRUE(a.is_any());
+  EXPECT_EQ(a, Ipv4Addr::any());
+}
+
+TEST(Ipv4Addr, OctetConstructorMatchesHostOrder) {
+  Ipv4Addr a(10, 1, 2, 3);
+  EXPECT_EQ(a.value(), 0x0a010203u);
+}
+
+TEST(Ipv4Addr, ToStringRoundTrips) {
+  const Ipv4Addr cases[] = {
+      Ipv4Addr(0, 0, 0, 0), Ipv4Addr(255, 255, 255, 255),
+      Ipv4Addr(10, 0, 0, 1), Ipv4Addr(192, 168, 1, 254),
+      Ipv4Addr(127, 0, 0, 1)};
+  for (const Ipv4Addr a : cases) {
+    const auto parsed = Ipv4Addr::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value()) << a.to_string();
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("172.16.254.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xac10fe01u);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3."));
+  EXPECT_FALSE(Ipv4Addr::parse(".1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4Addr::parse("-1.2.3.4"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.+4"));
+}
+
+TEST(Ipv4Addr, ParseRejectsOverflowingOctet) {
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.99999999999999999999"));
+}
+
+TEST(Ipv4Addr, Classification) {
+  EXPECT_TRUE(Ipv4Addr(127, 0, 0, 1).is_loopback());
+  EXPECT_TRUE(Ipv4Addr(127, 255, 0, 1).is_loopback());
+  EXPECT_FALSE(Ipv4Addr(128, 0, 0, 1).is_loopback());
+  EXPECT_TRUE(Ipv4Addr(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Addr(239, 255, 255, 255).is_multicast());
+  EXPECT_FALSE(Ipv4Addr(240, 0, 0, 1).is_multicast());
+  EXPECT_FALSE(Ipv4Addr(223, 255, 255, 255).is_multicast());
+}
+
+TEST(Ipv4Addr, OrderingIsNumeric) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

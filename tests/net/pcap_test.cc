@@ -1,0 +1,139 @@
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "net/packet.h"
+
+namespace tcpdemux::net {
+namespace {
+
+std::vector<std::uint8_t> sample_packet(std::uint16_t port) {
+  return PacketBuilder()
+      .from({Ipv4Addr(10, 1, 0, 2), port})
+      .to({Ipv4Addr(10, 0, 0, 1), 1521})
+      .seq(100)
+      .ack_seq(200)
+      .payload_size(32)
+      .build();
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  const auto p1 = sample_packet(40001);
+  const auto p2 = sample_packet(40002);
+  EXPECT_TRUE(writer.write(1.25, p1));
+  EXPECT_TRUE(writer.write(2.5, p2));
+  EXPECT_EQ(writer.packets_written(), 2u);
+
+  PcapReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.link_type(), PcapWriter::kLinkTypeRaw);
+
+  const auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_NEAR(r1->timestamp, 1.25, 1e-6);
+  EXPECT_EQ(r1->bytes, p1);
+
+  const auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_NEAR(r2->timestamp, 2.5, 1e-6);
+  EXPECT_EQ(r2->bytes, p2);
+
+  EXPECT_FALSE(reader.next().has_value());  // clean EOF
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Pcap, GlobalHeaderLayout) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  const std::string header = buffer.str();
+  ASSERT_EQ(header.size(), 24u);
+  // Magic in host order at the front.
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, header.data(), 4);
+  EXPECT_EQ(magic, PcapWriter::kMagic);
+}
+
+TEST(Pcap, PacketsRemainParseable) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  writer.write(0.0, sample_packet(40007));
+  PcapReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  const auto packet = Packet::parse(record->bytes);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->tcp.src_port, 40007);
+}
+
+TEST(Pcap, RejectsGarbageHeader) {
+  std::stringstream buffer("this is not a capture file at all........");
+  PcapReader reader(buffer);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Pcap, EmptyStreamRejected) {
+  std::stringstream buffer;
+  PcapReader reader(buffer);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Pcap, TruncatedRecordFlagsError) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  writer.write(1.0, sample_packet(40001));
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 10);  // chop the payload tail
+  std::stringstream truncated(bytes);
+  PcapReader reader(truncated);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Pcap, SwappedEndiannessAccepted) {
+  // Build a minimal byte-swapped capture by hand: swapped magic, version
+  // 2.4, linktype 101, one 4-byte record.
+  const auto put32be = [](std::string& s, std::uint32_t v) {
+    s.push_back(static_cast<char>(v >> 24));
+    s.push_back(static_cast<char>((v >> 16) & 0xff));
+    s.push_back(static_cast<char>((v >> 8) & 0xff));
+    s.push_back(static_cast<char>(v & 0xff));
+  };
+  const auto put16be = [](std::string& s, std::uint16_t v) {
+    s.push_back(static_cast<char>(v >> 8));
+    s.push_back(static_cast<char>(v & 0xff));
+  };
+  std::string file;
+  // Writing big-endian on a little-endian host == "swapped" for reader.
+  put32be(file, PcapWriter::kMagic);
+  put16be(file, 2);
+  put16be(file, 4);
+  put32be(file, 0);
+  put32be(file, 0);
+  put32be(file, 65535);
+  put32be(file, 101);
+  put32be(file, 7);  // ts sec
+  put32be(file, 500000);  // ts usec
+  put32be(file, 4);  // incl
+  put32be(file, 4);  // orig
+  file += "abcd";
+
+  std::stringstream buffer(file);
+  PcapReader reader(buffer);
+  // On a little-endian host the big-endian magic reads as swapped.
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.link_type(), 101u);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_NEAR(record->timestamp, 7.5, 1e-6);
+  EXPECT_EQ(record->bytes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

@@ -1,0 +1,116 @@
+#include "net/tcp_options.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcpdemux::net {
+namespace {
+
+TEST(TcpOptions, EmptyBlobParsesEmpty) {
+  const auto parsed = parse_tcp_options({});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TcpOptions, MssRoundTrip) {
+  TcpOption mss;
+  mss.kind = TcpOptionKind::kMss;
+  mss.mss = 1460;
+  const auto blob = serialize_tcp_options({{mss}});
+  EXPECT_EQ(blob.size() % 4, 0u);
+  const auto parsed = parse_tcp_options(blob);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], mss);
+  EXPECT_EQ(find_mss(*parsed), 1460);
+}
+
+TEST(TcpOptions, FullSynOptionSetRoundTrips) {
+  std::vector<TcpOption> options;
+  TcpOption o;
+  o.kind = TcpOptionKind::kMss;
+  o.mss = 1460;
+  options.push_back(o);
+  o = TcpOption{};
+  o.kind = TcpOptionKind::kSackPermitted;
+  options.push_back(o);
+  o = TcpOption{};
+  o.kind = TcpOptionKind::kTimestamps;
+  o.ts_value = 0xdeadbeef;
+  o.ts_echo_reply = 0x01020304;
+  options.push_back(o);
+  o = TcpOption{};
+  o.kind = TcpOptionKind::kWindowScale;
+  o.shift = 7;
+  options.push_back(o);
+
+  const auto blob = serialize_tcp_options(options);
+  EXPECT_EQ(blob.size() % 4, 0u);
+  EXPECT_LE(blob.size(), 40u);  // must fit a TCP header's option space
+  const auto parsed = parse_tcp_options(blob);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, options);
+}
+
+TEST(TcpOptions, NopsAreSkipped) {
+  const std::vector<std::uint8_t> blob = {1, 1, 2, 4, 0x05, 0xb4, 1, 0};
+  const auto parsed = parse_tcp_options(blob);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].mss, 1460);
+}
+
+TEST(TcpOptions, EolStopsParsing) {
+  // MSS after EOL must be ignored.
+  const std::vector<std::uint8_t> blob = {0, 2, 4, 0x05, 0xb4, 0, 0, 0};
+  const auto parsed = parse_tcp_options(blob);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TcpOptions, UnknownKindSkippedByLength) {
+  // Kind 254 (experimental), length 6, then a real MSS.
+  const std::vector<std::uint8_t> blob = {254, 6, 0, 0, 0, 0,
+                                          2,   4, 0x05, 0xb4, 0, 0};
+  const auto parsed = parse_tcp_options(blob);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].kind, TcpOptionKind::kMss);
+}
+
+TEST(TcpOptions, MalformedRejected) {
+  // Length 0 would loop forever.
+  EXPECT_FALSE(parse_tcp_options(std::vector<std::uint8_t>{2, 0, 0, 0}));
+  // Length 1 is below the 2-byte minimum.
+  EXPECT_FALSE(parse_tcp_options(std::vector<std::uint8_t>{2, 1, 0, 0}));
+  // Length overruns the blob.
+  EXPECT_FALSE(parse_tcp_options(std::vector<std::uint8_t>{2, 8, 0, 0}));
+  // Kind with no length byte at the end.
+  EXPECT_FALSE(parse_tcp_options(std::vector<std::uint8_t>{1, 1, 1, 2}));
+  // Wrong length for a known kind.
+  EXPECT_FALSE(
+      parse_tcp_options(std::vector<std::uint8_t>{3, 4, 0, 0}));  // ws len 4
+  EXPECT_FALSE(
+      parse_tcp_options(std::vector<std::uint8_t>{8, 4, 0, 0}));  // ts len 4
+}
+
+TEST(TcpOptions, FindMssAbsent) {
+  TcpOption ws;
+  ws.kind = TcpOptionKind::kWindowScale;
+  ws.shift = 2;
+  EXPECT_FALSE(find_mss({{ws}}).has_value());
+  EXPECT_FALSE(find_mss({}).has_value());
+}
+
+TEST(TcpOptions, PaddingIsEol) {
+  TcpOption ws;
+  ws.kind = TcpOptionKind::kWindowScale;
+  ws.shift = 2;
+  const auto blob = serialize_tcp_options({{ws}});
+  ASSERT_EQ(blob.size(), 4u);  // 3 bytes + 1 pad
+  EXPECT_EQ(blob[3], 0);
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

@@ -1,0 +1,105 @@
+#include "net/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "net/byte_order.h"
+#include "net/checksum.h"
+#include "net/flow_key.h"
+#include "net/headers.h"
+
+namespace tcpdemux::net {
+namespace {
+
+const Ipv4Addr kSrc{10, 1, 0, 2};
+const Ipv4Addr kDst{10, 0, 0, 1};
+
+TEST(Udp, HeaderRoundTrip) {
+  UdpHeader h;
+  h.src_port = 53;
+  h.dst_port = 40123;
+  h.length = 8 + 12;
+  std::vector<std::uint8_t> buf(20);
+  EXPECT_EQ(h.serialize(buf), UdpHeader::kSize);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 53);
+  EXPECT_EQ(parsed->dst_port, 40123);
+  EXPECT_EQ(parsed->length, 20);
+}
+
+TEST(Udp, ParseRejectsBadLength) {
+  std::vector<std::uint8_t> buf(8, 0);
+  UdpHeader h;
+  h.length = 4;  // below the 8-byte header
+  h.serialize(buf);
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+  h.length = 100;  // beyond the buffer
+  h.serialize(buf);
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+  EXPECT_FALSE(UdpHeader::parse(std::span(buf).subspan(0, 4)).has_value());
+}
+
+TEST(Udp, BuildPacketVerifies) {
+  const std::vector<std::uint8_t> payload = {'q', 'u', 'e', 'r', 'y'};
+  const auto wire = build_udp_packet(kSrc, 40001, kDst, 53, payload);
+  // IPv4 header checks out and says protocol 17.
+  const auto ip = Ipv4Header::parse(wire);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, 17);
+  EXPECT_EQ(ip->total_length, 20u + 8u + 5u);
+  // UDP checksum over the pseudo-header + datagram verifies (sums to 0
+  // through the complement, i.e. recomputing yields 0 or 0xffff).
+  const auto datagram = std::span(wire).subspan(Ipv4Header::kSize);
+  ChecksumAccumulator acc;
+  acc.add_word(static_cast<std::uint16_t>(kSrc.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(kSrc.value() & 0xffff));
+  acc.add_word(static_cast<std::uint16_t>(kDst.value() >> 16));
+  acc.add_word(static_cast<std::uint16_t>(kDst.value() & 0xffff));
+  acc.add_word(17);
+  acc.add_word(static_cast<std::uint16_t>(datagram.size()));
+  acc.add(datagram);
+  EXPECT_EQ(acc.finish(), 0);
+  // Payload survived.
+  const auto udp = UdpHeader::parse(datagram);
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         datagram.begin() + UdpHeader::kSize));
+}
+
+TEST(Udp, ChecksumNeverTransmittedAsZero) {
+  // Craft inputs whose one's-complement sum would be 0xffff (complement
+  // 0); the checksum function must substitute 0xffff.
+  // The empty datagram from 0.0.0.0 to 0.0.0.0 with length 0: sum is
+  // 17 + 0 -> checksum = ~17 != 0, so instead verify the substitution
+  // property directly on a constructed case.
+  std::vector<std::uint8_t> datagram(8, 0);
+  UdpHeader h;
+  h.length = 8;
+  h.serialize(datagram);
+  // Patch the checksum field so that total sum becomes 0xffff.
+  const std::uint16_t partial =
+      udp_checksum(Ipv4Addr(), Ipv4Addr(), datagram);
+  store_be16(datagram.data() + 6, partial);
+  const std::uint16_t re = udp_checksum(Ipv4Addr(), Ipv4Addr(), datagram);
+  EXPECT_TRUE(re == 0xffff) << re;  // never 0
+}
+
+TEST(Udp, FlowKeyFromUdpFields) {
+  // UDP demultiplexing uses the same 96-bit key; show the mapping.
+  const auto wire = build_udp_packet(kSrc, 40001, kDst, 53, {});
+  const auto ip = Ipv4Header::parse(wire);
+  const auto udp =
+      UdpHeader::parse(std::span(wire).subspan(Ipv4Header::kSize));
+  ASSERT_TRUE(ip && udp);
+  const FlowKey key{ip->dst, udp->dst_port, ip->src, udp->src_port};
+  EXPECT_TRUE(key.fully_specified());
+  EXPECT_EQ(key.local_port, 53);
+  EXPECT_EQ(key.foreign_port, 40001);
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

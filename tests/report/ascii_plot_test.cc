@@ -1,0 +1,90 @@
+#include "report/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcpdemux::report {
+namespace {
+
+TEST(AsciiPlot, RendersGlyphsAndLegend) {
+  Series s;
+  s.label = "bsd";
+  s.glyph = 'B';
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.title = "test plot";
+  plot(os, {s}, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("bsd"), std::string::npos);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesAllAppear) {
+  Series a{"up", 'u', {0, 1, 2}, {0, 1, 2}};
+  Series b{"down", 'd', {0, 1, 2}, {2, 1, 0}};
+  std::ostringstream os;
+  plot(os, {a, b}, PlotOptions{});
+  EXPECT_NE(os.str().find('u'), std::string::npos);
+  EXPECT_NE(os.str().find('d'), std::string::npos);
+}
+
+TEST(AsciiPlot, HighestPointOnTopRow) {
+  Series s{"line", '*', {0, 1}, {0, 100}};
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.height = 10;
+  plot(os, {s}, opts);
+  std::istringstream is(os.str());
+  std::string first_row;
+  std::getline(is, first_row);
+  EXPECT_NE(first_row.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesDoesNotCrash) {
+  std::ostringstream os;
+  plot(os, {Series{"empty", 'e', {}, {}}}, PlotOptions{});
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(PrintBars, RendersLabelsAndScaledBars) {
+  std::ostringstream os;
+  print_bars(os, {"1", "2-3", "4-7"}, {10.0, 40.0, 20.0}, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("2-3"), std::string::npos);
+  // The max value gets the full-width bar.
+  EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);
+}
+
+TEST(PrintBars, HandlesAllZeroValues) {
+  std::ostringstream os;
+  print_bars(os, {"a", "b"}, {0.0, 0.0});
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(PrintBars, HandlesEmptyInput) {
+  std::ostringstream os;
+  print_bars(os, {}, {});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiPlot, AxisAnnotationsPresent) {
+  Series s{"s", '*', {0, 50}, {0, 2000}};
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.x_label = "users";
+  plot(os, {s}, opts);
+  EXPECT_NE(os.str().find("users"), std::string::npos);
+  EXPECT_NE(os.str().find("2000.0"), std::string::npos);
+  EXPECT_NE(os.str().find("50.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcpdemux::report

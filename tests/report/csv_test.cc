@@ -1,0 +1,47 @@
+#include "report/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcpdemux::report {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  write_csv_row(os, {"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCommas) {
+  std::ostringstream os;
+  write_csv_row(os, {"x,y", "z"});
+  EXPECT_EQ(os.str(), "\"x,y\",z\n");
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream os;
+  write_csv_row(os, {"he said \"hi\""});
+  EXPECT_EQ(os.str(), "\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream os;
+  write_csv_row(os, {"two\nlines", "b"});
+  EXPECT_EQ(os.str(), "\"two\nlines\",b\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  write_csv_row(os, {});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(Csv, EmptyCells) {
+  std::ostringstream os;
+  write_csv_row(os, {"", "", ""});
+  EXPECT_EQ(os.str(), ",,\n");
+}
+
+}  // namespace
+}  // namespace tcpdemux::report

@@ -1,0 +1,64 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcpdemux::report {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1001.04, 1), "1001.0");
+  EXPECT_EQ(fmt(52.9766, 1), "53.0");
+  EXPECT_EQ(fmt(0.5, 0), "0");  // banker-free snprintf rounding: 0.5 -> 0
+  EXPECT_EQ(fmt(2.5, 2), "2.50");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(1.9e-35, 1), "1.9e-35");
+  EXPECT_EQ(fmt_sci(0.015444, 2), "1.54e-02");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"alg", "cost"});
+  t.add_row({"bsd", "1001.0"});
+  t.add_row({"sequent", "53.0"});
+  const std::string s = t.to_string();
+  // Header present, rule present, rows present.
+  EXPECT_NE(s.find("alg"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("sequent"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, HandlesShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, RuleInsertedBetweenSections) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // Two rules total: one under the header, one between rows.
+  std::size_t rules = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("---") != std::string::npos) ++rules;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::report

@@ -1,0 +1,98 @@
+#include "sim/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/hashers.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(AddressSpace, KeysAreDistinct) {
+  for (const ClientPattern pattern :
+       {ClientPattern::kSequentialHosts, ClientPattern::kConcentrators,
+        ClientPattern::kRandom, ClientPattern::kAdversarialForModulo}) {
+    AddressSpaceParams p;
+    p.clients = 3000;
+    p.pattern = pattern;
+    const auto keys = make_client_keys(p);
+    std::unordered_set<net::FlowKey> set(keys.begin(), keys.end());
+    EXPECT_EQ(set.size(), keys.size())
+        << "pattern " << static_cast<int>(pattern);
+  }
+}
+
+TEST(AddressSpace, KeysAreFullySpecifiedAndServerLocal) {
+  AddressSpaceParams p;
+  p.clients = 100;
+  const auto keys = make_client_keys(p);
+  ASSERT_EQ(keys.size(), 100u);
+  for (const net::FlowKey& k : keys) {
+    EXPECT_TRUE(k.fully_specified());
+    EXPECT_EQ(k.local_addr, p.server_addr);
+    EXPECT_EQ(k.local_port, p.server_port);
+  }
+}
+
+TEST(AddressSpace, SequentialHostsSkipNetworkAndBroadcast) {
+  AddressSpaceParams p;
+  p.clients = 1000;
+  p.pattern = ClientPattern::kSequentialHosts;
+  for (const auto& k : make_client_keys(p)) {
+    const std::uint32_t low = k.foreign_addr.value() & 0xff;
+    EXPECT_GE(low, 2u);
+    EXPECT_LE(low, 254u);
+  }
+}
+
+TEST(AddressSpace, ConcentratorsUseFewHosts) {
+  AddressSpaceParams p;
+  p.clients = 800;
+  p.pattern = ClientPattern::kConcentrators;
+  p.concentrator_hosts = 8;
+  std::unordered_set<std::uint32_t> hosts;
+  for (const auto& k : make_client_keys(p)) {
+    hosts.insert(k.foreign_addr.value());
+  }
+  EXPECT_EQ(hosts.size(), 8u);
+}
+
+TEST(AddressSpace, AdversarialDefeatsBsdModulo) {
+  AddressSpaceParams p;
+  p.clients = 500;
+  p.pattern = ClientPattern::kAdversarialForModulo;
+  const auto keys = make_client_keys(p);
+  std::unordered_set<std::uint32_t> hashes;
+  for (const auto& k : keys) {
+    hashes.insert(net::hash_flow(net::HasherKind::kBsdModulo, k));
+  }
+  EXPECT_EQ(hashes.size(), 1u) << "all keys must collide under BSD modulo";
+  // ... while a strong hash still separates them.
+  std::unordered_set<std::uint32_t> crc_hashes;
+  for (const auto& k : keys) {
+    crc_hashes.insert(net::hash_flow(net::HasherKind::kCrc32, k));
+  }
+  EXPECT_GT(crc_hashes.size(), 490u);
+}
+
+TEST(AddressSpace, RandomPatternIsSeedDeterministic) {
+  AddressSpaceParams p;
+  p.clients = 200;
+  p.pattern = ClientPattern::kRandom;
+  const auto a = make_client_keys(p);
+  const auto b = make_client_keys(p);
+  EXPECT_EQ(a, b);
+  p.seed += 1;
+  const auto c = make_client_keys(p);
+  EXPECT_NE(a, c);
+}
+
+TEST(AddressSpace, ZeroClientsThrows) {
+  AddressSpaceParams p;
+  p.clients = 0;
+  EXPECT_THROW(make_client_keys(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

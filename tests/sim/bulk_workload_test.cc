@@ -1,0 +1,88 @@
+#include "sim/bulk_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::sim {
+namespace {
+
+BulkWorkloadParams small_params() {
+  BulkWorkloadParams p;
+  p.connections = 4;
+  p.train_length = 16;
+  p.duration = 5.0;
+  return p;
+}
+
+TEST(BulkWorkload, TraceIsValid) {
+  const Trace t = generate_bulk_trace(small_params());
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.connections, 4u);
+  EXPECT_GT(t.arrivals(), 100u);
+}
+
+TEST(BulkWorkload, OnlyDataArrivalsAndTransmits) {
+  const Trace t = generate_bulk_trace(small_params());
+  for (const TraceEvent& e : t.events) {
+    EXPECT_NE(e.kind, TraceEventKind::kArrivalAck);
+  }
+}
+
+TEST(BulkWorkload, TrainsArePredominantlyBackToBack) {
+  // Within a train, consecutive data arrivals on the same connection are
+  // segment_spacing apart — so the fraction of same-connection successive
+  // arrivals must be high (that is what "packet train" means).
+  const auto p = small_params();
+  const Trace t = generate_bulk_trace(p);
+  std::size_t same = 0;
+  std::size_t total = 0;
+  std::uint32_t prev_conn = ~0u;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind != TraceEventKind::kArrivalData) continue;
+    if (prev_conn != ~0u) {
+      ++total;
+      if (e.conn == prev_conn) ++same;
+    }
+    prev_conn = e.conn;
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.7);
+}
+
+TEST(BulkWorkload, DelayedAckRatioRespected) {
+  const auto p = small_params();
+  const Trace t = generate_bulk_trace(p);
+  std::size_t data = 0;
+  std::size_t xmit = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kArrivalData) ++data;
+    if (e.kind == TraceEventKind::kTransmit) ++xmit;
+  }
+  // One ack per segments_per_ack = 2 data segments (plus train-tail acks).
+  EXPECT_NEAR(static_cast<double>(data) / static_cast<double>(xmit), 2.0,
+              0.3);
+}
+
+TEST(BulkWorkload, DeterministicForSeed) {
+  const auto a = generate_bulk_trace(small_params());
+  const auto b = generate_bulk_trace(small_params());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(BulkWorkload, RejectsEmptyConfig) {
+  BulkWorkloadParams p;
+  p.connections = 0;
+  EXPECT_THROW(generate_bulk_trace(p), std::invalid_argument);
+  p = BulkWorkloadParams{};
+  p.train_length = 0;
+  EXPECT_THROW(generate_bulk_trace(p), std::invalid_argument);
+}
+
+TEST(BulkWorkload, AllConnectionsSendTrains) {
+  const auto p = small_params();
+  const Trace t = generate_bulk_trace(p);
+  std::vector<std::size_t> counts(p.connections, 0);
+  for (const TraceEvent& e : t.events) ++counts[e.conn];
+  for (const std::size_t c : counts) EXPECT_GT(c, 0u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,118 @@
+#include "sim/ethernet_switch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcpdemux::sim {
+namespace {
+
+using net::EthernetHeader;
+using net::MacAddr;
+
+std::vector<std::uint8_t> frame(const MacAddr& dst, const MacAddr& src) {
+  std::vector<std::uint8_t> out(EthernetHeader::kSize + 8, 0xab);
+  EthernetHeader h;
+  h.dst = dst;
+  h.src = src;
+  h.serialize(out);
+  return out;
+}
+
+MacAddr mac(std::uint8_t tail) {
+  return MacAddr({0x02, 0, 0, 0, 0, tail});
+}
+
+struct SwitchFixture : ::testing::Test {
+  SwitchFixture() {
+    for (int p = 0; p < 4; ++p) {
+      bridge.add_port([this, p](std::vector<std::uint8_t> f) {
+        received[static_cast<std::size_t>(p)].push_back(std::move(f));
+      });
+    }
+  }
+  EthernetSwitch bridge;
+  std::vector<std::vector<std::uint8_t>> received[4];
+};
+
+TEST_F(SwitchFixture, UnknownUnicastFloodsAllButIngress) {
+  bridge.receive(0, frame(mac(9), mac(1)), 0.0);
+  EXPECT_EQ(received[0].size(), 0u);
+  EXPECT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(received[3].size(), 1u);
+  EXPECT_EQ(bridge.stats().flooded, 1u);
+}
+
+TEST_F(SwitchFixture, LearnsSourceThenForwardsUnicast) {
+  bridge.receive(2, frame(mac(9), mac(7)), 0.0);  // learn mac(7) @ port 2
+  EXPECT_EQ(bridge.port_of(mac(7)), 2u);
+  for (auto& r : received) r.clear();
+
+  bridge.receive(0, frame(mac(7), mac(1)), 1.0);  // known unicast
+  EXPECT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(received[1].size(), 0u);
+  EXPECT_EQ(received[3].size(), 0u);
+  EXPECT_EQ(bridge.stats().forwarded, 1u);
+}
+
+TEST_F(SwitchFixture, BroadcastAlwaysFloods) {
+  bridge.receive(1, frame(MacAddr::broadcast(), mac(1)), 0.0);
+  bridge.receive(1, frame(MacAddr::broadcast(), mac(1)), 1.0);
+  EXPECT_EQ(received[0].size(), 2u);
+  EXPECT_EQ(received[1].size(), 0u);
+  EXPECT_EQ(bridge.stats().flooded, 2u);
+}
+
+TEST_F(SwitchFixture, HairpinDropped) {
+  bridge.receive(2, frame(mac(9), mac(7)), 0.0);  // mac(7) on port 2
+  for (auto& r : received) r.clear();
+  bridge.receive(2, frame(mac(7), mac(8)), 1.0);  // toward its own port
+  for (const auto& r : received) EXPECT_TRUE(r.empty());
+  EXPECT_GT(bridge.stats().dropped, 0u);
+}
+
+TEST_F(SwitchFixture, MacMovesToNewPort) {
+  bridge.receive(1, frame(mac(9), mac(5)), 0.0);
+  EXPECT_EQ(bridge.port_of(mac(5)), 1u);
+  bridge.receive(3, frame(mac(9), mac(5)), 1.0);  // host moved
+  EXPECT_EQ(bridge.port_of(mac(5)), 3u);
+}
+
+TEST_F(SwitchFixture, AgeingFallsBackToFlooding) {
+  bridge.receive(2, frame(mac(9), mac(7)), 0.0);
+  EXPECT_EQ(bridge.expire(1000.0), 1u);
+  for (auto& r : received) r.clear();
+  bridge.receive(0, frame(mac(7), mac(1)), 1000.0);
+  EXPECT_EQ(received[2].size(), 1u);
+  EXPECT_EQ(received[1].size(), 1u) << "expired MAC must flood again";
+}
+
+TEST_F(SwitchFixture, RuntFramesDropped) {
+  const std::vector<std::uint8_t> runt(10, 0);
+  bridge.receive(0, runt, 0.0);
+  for (const auto& r : received) EXPECT_TRUE(r.empty());
+  EXPECT_EQ(bridge.stats().dropped, 1u);
+}
+
+TEST_F(SwitchFixture, BroadcastSourceNeverLearned) {
+  bridge.receive(0, frame(mac(1), MacAddr::broadcast()), 0.0);
+  EXPECT_EQ(bridge.port_of(MacAddr::broadcast()), EthernetSwitch::npos);
+}
+
+TEST(EthernetSwitchCapacity, EvictsStalestAtLimit) {
+  EthernetSwitch::Options options;
+  options.max_macs = 2;
+  EthernetSwitch bridge(options);
+  bridge.add_port([](std::vector<std::uint8_t>) {});
+  bridge.add_port([](std::vector<std::uint8_t>) {});
+  bridge.receive(0, frame(mac(9), mac(1)), 1.0);
+  bridge.receive(0, frame(mac(9), mac(2)), 2.0);
+  bridge.receive(0, frame(mac(9), mac(3)), 3.0);
+  EXPECT_EQ(bridge.mac_table_size(), 2u);
+  EXPECT_EQ(bridge.port_of(mac(1)), EthernetSwitch::npos);
+  EXPECT_NE(bridge.port_of(mac(3)), EthernetSwitch::npos);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,107 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(4.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  EXPECT_EQ(q.run(), 10u);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToHorizonWhenDrained) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run_until(7.0);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double when = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(3.0, [&] { when = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(EventQueue, EmptyQueueRunIsNoop) {
+  EventQueue q;
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedSchedulingKeepsOrder) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_at(1.5, [&] { times.push_back(q.now()); });
+  });
+  q.schedule_at(2.0, [&] { times.push_back(q.now()); });
+  q.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0}));
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

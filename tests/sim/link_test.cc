@@ -1,0 +1,109 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcpdemux::sim {
+namespace {
+
+std::vector<std::uint8_t> packet(std::size_t n) {
+  return std::vector<std::uint8_t>(n, 0xaa);
+}
+
+TEST(Link, DeliversAfterPropagationDelay) {
+  EventQueue q;
+  std::vector<double> arrivals;
+  Link::Options options;
+  options.delay = 0.01;
+  Link link(q, options, [&](std::vector<std::uint8_t>) {
+    arrivals.push_back(q.now());
+  });
+  link.send(packet(100));
+  q.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.01);
+}
+
+TEST(Link, PreservesPayload) {
+  EventQueue q;
+  std::vector<std::uint8_t> received;
+  Link link(q, Link::Options{}, [&](std::vector<std::uint8_t> wire) {
+    received = std::move(wire);
+  });
+  std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  link.send(data);
+  q.run();
+  EXPECT_EQ(received, data);
+}
+
+TEST(Link, LossRateConverges) {
+  EventQueue q;
+  std::size_t delivered = 0;
+  Link::Options options;
+  options.loss_probability = 0.3;
+  Link link(q, options, [&](std::vector<std::uint8_t>) { ++delivered; });
+  constexpr int kPackets = 20000;
+  for (int i = 0; i < kPackets; ++i) link.send(packet(10));
+  q.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kPackets, 0.7, 0.02);
+  EXPECT_NEAR(link.loss_rate(), 0.3, 0.02);
+  EXPECT_EQ(link.stats().offered, static_cast<std::uint64_t>(kPackets));
+}
+
+TEST(Link, ZeroLossDeliversEverything) {
+  EventQueue q;
+  std::size_t delivered = 0;
+  Link link(q, Link::Options{}, [&](std::vector<std::uint8_t>) {
+    ++delivered;
+  });
+  for (int i = 0; i < 100; ++i) link.send(packet(10));
+  q.run();
+  EXPECT_EQ(delivered, 100u);
+  EXPECT_EQ(link.stats().dropped, 0u);
+}
+
+TEST(Link, BandwidthSerializesBackToBackPackets) {
+  EventQueue q;
+  std::vector<double> arrivals;
+  Link::Options options;
+  options.delay = 0.0;
+  options.bandwidth_bps = 8000.0;  // 1000 bytes/s
+  Link link(q, options, [&](std::vector<std::uint8_t>) {
+    arrivals.push_back(q.now());
+  });
+  link.send(packet(100));  // 0.1 s serialization
+  link.send(packet(100));  // queues behind the first
+  q.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.1, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.2, 1e-9);
+}
+
+TEST(Link, JitterBoundsExtraDelay) {
+  EventQueue q;
+  std::vector<double> arrivals;
+  Link::Options options;
+  options.delay = 0.01;
+  options.jitter = 0.005;
+  Link link(q, options, [&](std::vector<std::uint8_t>) {
+    arrivals.push_back(q.now());
+  });
+  for (int i = 0; i < 500; ++i) link.send(packet(10));
+  q.run();
+  for (const double t : arrivals) {
+    EXPECT_GE(t, 0.01);
+    EXPECT_LT(t, 0.0151);
+  }
+}
+
+TEST(Link, ByteCounterTracksOfferedBytes) {
+  EventQueue q;
+  Link link(q, Link::Options{}, [](std::vector<std::uint8_t>) {});
+  link.send(packet(40));
+  link.send(packet(60));
+  EXPECT_EQ(link.stats().bytes, 100u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,78 @@
+#include "sim/polling_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::sim {
+namespace {
+
+PollingWorkloadParams small_params() {
+  PollingWorkloadParams p;
+  p.terminals = 50;
+  p.period = 10.0;
+  p.duration = 60.0;
+  return p;
+}
+
+TEST(PollingWorkload, TraceIsValid) {
+  const Trace t = generate_polling_trace(small_params());
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.connections, 50u);
+}
+
+TEST(PollingWorkload, ArrivalsRotateRoundRobin) {
+  const auto p = small_params();
+  const Trace t = generate_polling_trace(p);
+  // The data arrivals must cycle 0,1,2,...,N-1,0,1,...
+  std::uint32_t expected = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind != TraceEventKind::kArrivalData) continue;
+    EXPECT_EQ(e.conn, expected);
+    expected = (expected + 1) % p.terminals;
+  }
+}
+
+TEST(PollingWorkload, EachTerminalTransactsOncePerPeriod) {
+  const auto p = small_params();
+  const Trace t = generate_polling_trace(p);
+  std::vector<std::size_t> count(p.terminals, 0);
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kArrivalData) ++count[e.conn];
+  }
+  const auto expected = static_cast<std::size_t>(p.duration / p.period);
+  for (const std::size_t c : count) {
+    EXPECT_NEAR(static_cast<double>(c), static_cast<double>(expected), 1.0);
+  }
+}
+
+TEST(PollingWorkload, DeterministicNoSeed) {
+  const auto a = generate_polling_trace(small_params());
+  const auto b = generate_polling_trace(small_params());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(PollingWorkload, AckFollowsQueryByResponseTime) {
+  const auto p = small_params();
+  const Trace t = generate_polling_trace(p);
+  std::vector<double> last_query(p.terminals, -1.0);
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kArrivalData) {
+      last_query[e.conn] = e.time;
+    } else if (e.kind == TraceEventKind::kArrivalAck) {
+      ASSERT_GE(last_query[e.conn], 0.0);
+      EXPECT_NEAR(e.time - last_query[e.conn], p.response_time, 1e-9);
+    }
+  }
+}
+
+TEST(PollingWorkload, RejectsInvalidConfig) {
+  PollingWorkloadParams p;
+  p.terminals = 0;
+  EXPECT_THROW(generate_polling_trace(p), std::invalid_argument);
+  p = PollingWorkloadParams{};
+  p.response_time = 0.0;
+  p.rtt = 0.01;
+  EXPECT_THROW(generate_polling_trace(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,102 @@
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bsd_list.h"
+#include "core/connection_id.h"
+#include "core/send_receive_cache.h"
+#include "core/sequent_hash.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+Trace tiny_trace() {
+  Trace t;
+  t.connections = 3;
+  t.events = {{0.1, 0, TraceEventKind::kArrivalData},
+              {0.2, 0, TraceEventKind::kTransmit},
+              {0.3, 1, TraceEventKind::kArrivalData},
+              {0.4, 0, TraceEventKind::kArrivalAck},
+              {0.5, 2, TraceEventKind::kArrivalData},
+              {0.6, 1, TraceEventKind::kArrivalAck}};
+  return t;
+}
+
+TEST(Replay, CountsLookupsNotTransmits) {
+  core::BsdListDemuxer d;
+  const auto r = replay_trace(tiny_trace(), d);
+  EXPECT_EQ(r.lookups, 5u);
+  EXPECT_EQ(r.data.count(), 3u);
+  EXPECT_EQ(r.ack.count(), 2u);
+  EXPECT_EQ(r.overall.count(), 5u);
+  EXPECT_EQ(r.misses, 0u);
+  EXPECT_EQ(r.algorithm, "bsd");
+}
+
+TEST(Replay, NoMissesWhenAllConnectionsInserted) {
+  core::SequentDemuxer d;
+  const auto r = replay_trace(tiny_trace(), d);
+  EXPECT_EQ(r.misses, 0u);
+}
+
+TEST(Replay, ConnectionIdExaminesExactlyOneEach) {
+  core::ConnectionIdDemuxer d(16);
+  const auto r = replay_trace(tiny_trace(), d);
+  EXPECT_DOUBLE_EQ(r.overall.mean(), 1.0);
+  EXPECT_EQ(r.overall.max(), 1u);
+}
+
+TEST(Replay, TransmitFeedsSendCache) {
+  // After conn 0's transmit, the ack for conn 0 must hit the send cache.
+  core::SendReceiveCacheDemuxer d;
+  Trace t;
+  t.connections = 2;
+  t.events = {{0.1, 0, TraceEventKind::kArrivalData},
+              {0.2, 0, TraceEventKind::kTransmit},
+              {0.3, 1, TraceEventKind::kArrivalData},  // flushes recv cache
+              {0.4, 0, TraceEventKind::kArrivalAck}};
+  const auto r = replay_trace(t, d);
+  // The final ack probes the send cache first: 1 examined.
+  EXPECT_EQ(r.ack.max(), 1u);
+  EXPECT_GE(r.cache_hits, 1u);
+}
+
+TEST(Replay, ThrowsOnNonEmptyDemuxer) {
+  core::BsdListDemuxer d;
+  d.insert(net::FlowKey{net::Ipv4Addr(1, 2, 3, 4), 5,
+                        net::Ipv4Addr(6, 7, 8, 9), 10});
+  EXPECT_THROW(replay_trace(tiny_trace(), d), std::invalid_argument);
+}
+
+TEST(Replay, ThrowsOnInsufficientKeys) {
+  core::BsdListDemuxer d;
+  AddressSpaceParams p;
+  p.clients = 2;  // trace needs 3
+  const auto keys = make_client_keys(p);
+  EXPECT_THROW(replay_trace(tiny_trace(), keys, d), std::invalid_argument);
+}
+
+TEST(Replay, HitRateComputation) {
+  core::BsdListDemuxer d;
+  Trace t;
+  t.connections = 1;
+  t.events = {{0.1, 0, TraceEventKind::kArrivalData},
+              {0.2, 0, TraceEventKind::kArrivalData},
+              {0.3, 0, TraceEventKind::kArrivalData}};
+  const auto r = replay_trace(t, d);
+  // First lookup misses the (empty) cache, the next two hit.
+  EXPECT_NEAR(r.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Replay, SameTraceSameKeysReproducible) {
+  core::SequentDemuxer d1;
+  core::SequentDemuxer d2;
+  const Trace t = tiny_trace();
+  const auto a = replay_trace(t, d1);
+  const auto b = replay_trace(t, d2);
+  EXPECT_DOUBLE_EQ(a.overall.mean(), b.overall.mean());
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,115 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "analytic/exp_math.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 7.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng;
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.15);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, TruncatedExponentialNeverExceedsCap) {
+  Rng rng;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.truncated_exponential(10.0, 100.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, TruncatedExponentialMeanMatchesAnalytic) {
+  // TPC/A think time: mean 10 s truncated at 100 s. The realized mean must
+  // match analytic::truncated_exp_mean, not the raw 10 s.
+  Rng rng;
+  double sum = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) sum += rng.truncated_exponential(10.0, 100.0);
+  EXPECT_NEAR(sum / kN, analytic::truncated_exp_mean(10.0, 100.0), 0.1);
+}
+
+TEST(Rng, TruncatedTightCapStillSane) {
+  Rng rng;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.truncated_exponential(1.0, 1.0);
+  EXPECT_NEAR(sum / kN, analytic::truncated_exp_mean(1.0, 1.0), 0.01);
+}
+
+TEST(Rng, ExponentialMedianMatchesTheory) {
+  Rng rng;
+  std::vector<double> v;
+  v.reserve(100001);
+  for (int i = 0; i < 100001; ++i) v.push_back(rng.exponential(1.0));
+  std::nth_element(v.begin(), v.begin() + 50000, v.end());
+  EXPECT_NEAR(v[50000], std::log(2.0), 0.02);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

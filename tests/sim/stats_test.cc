@@ -1,0 +1,131 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(SampleStats, EmptyIsZero) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_EQ(s.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, MeanAndMax) {
+  SampleStats s;
+  for (const std::uint32_t v : {1u, 2u, 3u, 4u, 10u}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.max(), 10u);
+}
+
+TEST(SampleStats, PercentilesNearestRank) {
+  SampleStats s;
+  for (std::uint32_t v = 1; v <= 100; ++v) s.add(v);
+  EXPECT_EQ(s.percentile(0.5), 50u);
+  EXPECT_EQ(s.percentile(0.9), 90u);
+  EXPECT_EQ(s.percentile(0.99), 99u);
+  EXPECT_EQ(s.percentile(1.0), 100u);
+  EXPECT_EQ(s.percentile(0.0), 1u);
+}
+
+TEST(SampleStats, PercentileAfterLaterAdds) {
+  SampleStats s;
+  s.add(10);
+  EXPECT_EQ(s.percentile(0.5), 10u);
+  s.add(1);  // must invalidate the lazily sorted state
+  EXPECT_EQ(s.percentile(0.0), 1u);
+  EXPECT_EQ(s.percentile(1.0), 10u);
+}
+
+TEST(SampleStats, StddevOfConstantIsZero) {
+  SampleStats s;
+  for (int i = 0; i < 10; ++i) s.add(7);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, StddevKnownValue) {
+  SampleStats s;
+  s.add(2);
+  s.add(4);
+  s.add(4);
+  s.add(4);
+  s.add(5);
+  s.add(5);
+  s.add(7);
+  s.add(9);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook data set
+}
+
+TEST(SampleStats, Log2BucketsClassifyByBitWidth) {
+  SampleStats s;
+  for (const std::uint32_t v : {0u, 1u, 1u, 2u, 3u, 4u, 7u, 8u}) s.add(v);
+  const auto buckets = s.log2_buckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0], 1u);  // {0}
+  EXPECT_EQ(buckets[1], 2u);  // {1, 1}
+  EXPECT_EQ(buckets[2], 2u);  // {2, 3}
+  EXPECT_EQ(buckets[3], 2u);  // {4, 7}
+  EXPECT_EQ(buckets[4], 1u);  // {8}
+}
+
+TEST(SampleStats, Log2BucketsEmptyStats) {
+  SampleStats s;
+  EXPECT_TRUE(s.log2_buckets().empty());
+}
+
+TEST(SampleStats, Ci95ZeroForConstantSamples) {
+  SampleStats s;
+  for (int i = 0; i < 1000; ++i) s.add(7);
+  EXPECT_DOUBLE_EQ(s.mean_ci95(), 0.0);
+}
+
+TEST(SampleStats, Ci95CoversAlternatingNoise) {
+  SampleStats s;
+  for (int i = 0; i < 10000; ++i) s.add(i % 2 == 0 ? 10 : 20);
+  const double ci = s.mean_ci95();
+  EXPECT_GE(ci, 0.0);
+  EXPECT_LT(ci, 1.0);  // batch means of an alternating series are ~equal
+}
+
+TEST(SampleStats, Ci95RequiresEnoughSamples) {
+  SampleStats s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<std::uint32_t>(i));
+  EXPECT_DOUBLE_EQ(s.mean_ci95(20), 0.0);
+}
+
+TEST(SampleStats, Ci95ZeroAfterSorting) {
+  SampleStats s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<std::uint32_t>(i));
+  EXPECT_GT(s.mean_ci95(), 0.0);  // a ramp: batch means clearly differ
+  (void)s.percentile(0.5);        // sorts: arrival order is gone
+  EXPECT_DOUBLE_EQ(s.mean_ci95(), 0.0);
+}
+
+TEST(SampleStats, Ci95ShrinksWithSampleCount) {
+  SampleStats small;
+  SampleStats large;
+  std::uint32_t state = 123;
+  const auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state % 100;
+  };
+  for (int i = 0; i < 1000; ++i) small.add(next());
+  state = 123;
+  for (int i = 0; i < 100000; ++i) large.add(next());
+  EXPECT_LT(large.mean_ci95(), small.mean_ci95());
+}
+
+TEST(SampleStats, PercentileClampsOutOfRangeQ) {
+  SampleStats s;
+  s.add(3);
+  s.add(8);
+  EXPECT_EQ(s.percentile(-0.5), 3u);
+  EXPECT_EQ(s.percentile(1.5), 8u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,160 @@
+#include "sim/tpca_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tcpdemux::sim {
+namespace {
+
+TpcaWorkloadParams small_params() {
+  TpcaWorkloadParams p;
+  p.users = 100;
+  p.duration = 300.0;
+  p.warmup = 30.0;
+  return p;
+}
+
+TEST(TpcaWorkload, TraceIsValidAndSorted) {
+  const Trace t = generate_tpca_trace(small_params());
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.connections, 100u);
+  EXPECT_GT(t.events.size(), 0u);
+}
+
+TEST(TpcaWorkload, EventTimesWithinWindow) {
+  const auto p = small_params();
+  const Trace t = generate_tpca_trace(p);
+  for (const TraceEvent& e : t.events) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, p.duration);
+  }
+}
+
+TEST(TpcaWorkload, ServerReceivesTwoPacketsPerTransaction) {
+  // Data and ack arrivals should be (nearly) equal in number; edge effects
+  // at the window boundaries account for at most a few transactions.
+  const Trace t = generate_tpca_trace(small_params());
+  std::size_t data = 0;
+  std::size_t ack = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kArrivalData) ++data;
+    if (e.kind == TraceEventKind::kArrivalAck) ++ack;
+  }
+  EXPECT_GT(data, 0u);
+  EXPECT_NEAR(static_cast<double>(data), static_cast<double>(ack),
+              static_cast<double>(t.connections));
+}
+
+TEST(TpcaWorkload, TransmitCountMatchesArrivals) {
+  // Two transmissions (query ack + response) per transaction.
+  const Trace t = generate_tpca_trace(small_params());
+  std::size_t xmit = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kTransmit) ++xmit;
+  }
+  EXPECT_NEAR(static_cast<double>(xmit),
+              static_cast<double>(t.arrivals()),
+              static_cast<double>(2 * t.connections));
+}
+
+TEST(TpcaWorkload, AckTrailsQueryByResponseTime) {
+  // Per transaction the ack arrival must be exactly R after the query
+  // arrival. Verify per connection by pairing events in time order.
+  auto p = small_params();
+  p.users = 10;
+  p.open_loop = false;  // guarantees query/ack alternation per connection
+  const Trace t = generate_tpca_trace(p);
+  std::map<std::uint32_t, double> last_query;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == TraceEventKind::kArrivalData) {
+      last_query[e.conn] = e.time;
+    } else if (e.kind == TraceEventKind::kArrivalAck) {
+      // An ack whose query fell before the warmup cut has no pair.
+      if (!last_query.contains(e.conn)) continue;
+      EXPECT_NEAR(e.time - last_query[e.conn], p.response_time, 1e-9);
+    }
+  }
+}
+
+TEST(TpcaWorkload, ThroughputMatchesOpenLoopRate)  {
+  // Open loop: each user enters ~ duration/think_mean transactions, with
+  // the truncated-exponential mean slightly below think_mean.
+  TpcaWorkloadParams p;
+  p.users = 500;
+  p.duration = 500.0;
+  p.warmup = 50.0;
+  const Trace t = generate_tpca_trace(p);
+  const double txns = static_cast<double>(t.arrivals()) / 2.0;
+  const double expected = p.users * p.duration / 10.0;
+  EXPECT_NEAR(txns / expected, 1.0, 0.1);
+}
+
+TEST(TpcaWorkload, ClosedLoopSlowerThanOpenLoop) {
+  TpcaWorkloadParams p = small_params();
+  p.users = 300;
+  p.response_time = 2.0;  // maximum allowed; makes the difference visible
+  p.open_loop = true;
+  const auto open = generate_tpca_trace(p).arrivals();
+  p.open_loop = false;
+  const auto closed = generate_tpca_trace(p).arrivals();
+  EXPECT_LT(closed, open);
+  // Closed loop adds R to each cycle: ratio ~ think/(think+R) = 10/12.
+  EXPECT_NEAR(static_cast<double>(closed) / static_cast<double>(open),
+              10.0 / 12.0, 0.05);
+}
+
+TEST(TpcaWorkload, DeterministicForSeed) {
+  const auto p = small_params();
+  const Trace a = generate_tpca_trace(p);
+  const Trace b = generate_tpca_trace(p);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(TpcaWorkload, SeedChangesTrace) {
+  auto p = small_params();
+  const Trace a = generate_tpca_trace(p);
+  p.seed += 1;
+  const Trace b = generate_tpca_trace(p);
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(TpcaWorkload, AllConnectionsEventuallyActive) {
+  auto p = small_params();
+  p.duration = 400.0;
+  const Trace t = generate_tpca_trace(p);
+  std::vector<bool> seen(p.users, false);
+  for (const TraceEvent& e : t.events) seen[e.conn] = true;
+  for (std::uint32_t u = 0; u < p.users; ++u) {
+    EXPECT_TRUE(seen[u]) << "user " << u << " never transacted";
+  }
+}
+
+TEST(TpcaWorkload, RejectsInvalidConfig) {
+  TpcaWorkloadParams p;
+  p.users = 0;
+  EXPECT_THROW(generate_tpca_trace(p), std::invalid_argument);
+  p = TpcaWorkloadParams{};
+  p.response_time = 0.0005;
+  p.rtt = 0.001;
+  EXPECT_THROW(generate_tpca_trace(p), std::invalid_argument);
+}
+
+TEST(TpcaWorkload, UntruncatedThinkTimeRunsSlightlySlower) {
+  // Pure exponential has a longer mean than the truncated distribution,
+  // so slightly fewer transactions complete in a fixed window.
+  TpcaWorkloadParams p;
+  p.users = 2000;
+  p.duration = 300.0;
+  p.truncate_think = true;
+  const auto truncated = generate_tpca_trace(p).arrivals();
+  p.truncate_think = false;
+  const auto pure = generate_tpca_trace(p).arrivals();
+  // The paper (§3): truncation affects <0.4% of total think time.
+  EXPECT_NEAR(static_cast<double>(pure) / static_cast<double>(truncated),
+              1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

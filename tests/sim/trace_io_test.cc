@@ -1,0 +1,96 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/tpca_workload.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(TraceIo, RoundTripSmallTrace) {
+  Trace t;
+  t.connections = 3;
+  t.events = {{0.125, 0, TraceEventKind::kArrivalData},
+              {0.125, 0, TraceEventKind::kTransmit},
+              {0.5, 1, TraceEventKind::kArrivalAck},
+              {1.75, 2, TraceEventKind::kOpen},
+              {2.0, 2, TraceEventKind::kClose}};
+  std::stringstream buffer;
+  ASSERT_TRUE(save_trace(buffer, t));
+  const auto loaded = load_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->connections, t.connections);
+  EXPECT_EQ(loaded->events, t.events);
+}
+
+TEST(TraceIo, RoundTripGeneratedWorkload) {
+  TpcaWorkloadParams p;
+  p.users = 50;
+  p.duration = 60.0;
+  p.session_txns_mean = 5.0;  // include open/close events
+  const Trace t = generate_tpca_trace(p);
+  std::stringstream buffer;
+  ASSERT_TRUE(save_trace(buffer, t));
+  const auto loaded = load_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->connections, t.connections);
+  ASSERT_EQ(loaded->events.size(), t.events.size());
+  // Times survive with enough precision that ordering and pairing hold.
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(loaded->events[i].conn, t.events[i].conn);
+    EXPECT_EQ(loaded->events[i].kind, t.events[i].kind);
+    EXPECT_NEAR(loaded->events[i].time, t.events[i].time, 1e-9);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t;
+  std::stringstream buffer;
+  ASSERT_TRUE(save_trace(buffer, t));
+  const auto loaded = load_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->connections, 0u);
+  EXPECT_TRUE(loaded->events.empty());
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream a("not-a-trace\n");
+  EXPECT_FALSE(load_trace(a).has_value());
+  std::stringstream b("tcpdemux-trace,v1,abc\n");
+  EXPECT_FALSE(load_trace(b).has_value());
+  std::stringstream c;
+  EXPECT_FALSE(load_trace(c).has_value());
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  for (const char* text :
+       {"tcpdemux-trace,v1,2\n1.0,0\n",         // missing kind column
+        "tcpdemux-trace,v1,2\n1.0,0,frob\n",    // unknown kind
+        "tcpdemux-trace,v1,2\nxyz,0,data\n",    // bad time
+        "tcpdemux-trace,v1,2\n1.0,zz,data\n"})  // bad conn
+  {
+    std::stringstream s(text);
+    EXPECT_FALSE(load_trace(s).has_value()) << text;
+  }
+}
+
+TEST(TraceIo, RejectsSemanticallyInvalidTrace) {
+  // conn out of range.
+  std::stringstream a("tcpdemux-trace,v1,2\n1.0,5,data\n");
+  EXPECT_FALSE(load_trace(a).has_value());
+  // timestamps out of order.
+  std::stringstream b("tcpdemux-trace,v1,2\n2.0,0,data\n1.0,1,ack\n");
+  EXPECT_FALSE(load_trace(b).has_value());
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream s("tcpdemux-trace,v1,1\n1.0,0,data\n\n2.0,0,ack\n");
+  const auto loaded = load_trace(s);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->events.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,145 @@
+#include "sim/trace_packets.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/packet.h"
+#include "sim/address_space.h"
+#include "sim/bulk_workload.h"
+#include "sim/tpca_workload.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+Trace tpca_trace(std::uint32_t users = 20) {
+  TpcaWorkloadParams p;
+  p.users = users;
+  p.duration = 100.0;
+  p.warmup = 10.0;
+  p.open_loop = false;  // clean query/ack alternation per connection
+  return generate_tpca_trace(p);
+}
+
+std::vector<net::FlowKey> keys_for(const Trace& t) {
+  AddressSpaceParams p;
+  p.clients = t.connections;
+  return make_client_keys(p);
+}
+
+TEST(TracePackets, EveryPacketParsesWithValidChecksums) {
+  const Trace trace = tpca_trace();
+  const auto packets = synthesize_packets(trace, keys_for(trace));
+  ASSERT_EQ(packets.size(), trace.events.size());
+  for (const TimedPacket& tp : packets) {
+    EXPECT_TRUE(net::Packet::parse(tp.wire).has_value());
+  }
+}
+
+TEST(TracePackets, DirectionsMatchEventKinds) {
+  const Trace trace = tpca_trace();
+  const auto packets = synthesize_packets(trace, keys_for(trace));
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const bool arrival =
+        trace.events[i].kind != TraceEventKind::kTransmit;
+    EXPECT_EQ(packets[i].to_server, arrival) << i;
+  }
+}
+
+TEST(TracePackets, ArrivalFlowKeysMatchConnectionKeys) {
+  const Trace trace = tpca_trace();
+  const auto keys = keys_for(trace);
+  const auto packets = synthesize_packets(trace, keys);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (!packets[i].to_server) continue;
+    const auto p = net::Packet::parse(packets[i].wire);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->receiver_flow_key(), keys[trace.events[i].conn]);
+  }
+}
+
+TEST(TracePackets, SequenceNumbersProgressConsistently) {
+  // Per connection: query seq advances by query_bytes; the response ack
+  // from the client acknowledges the full response.
+  const Trace trace = tpca_trace(5);
+  const auto keys = keys_for(trace);
+  TracePacketOptions options;
+  const auto packets = synthesize_packets(trace, keys, options);
+
+  std::map<std::uint32_t, std::uint32_t> last_query_seq;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto p = net::Packet::parse(packets[i].wire);
+    ASSERT_TRUE(p.has_value());
+    const std::uint32_t conn = trace.events[i].conn;
+    switch (trace.events[i].kind) {
+      case TraceEventKind::kArrivalData: {
+        EXPECT_EQ(p->payload.size(), options.query_bytes);
+        if (last_query_seq.contains(conn)) {
+          EXPECT_EQ(p->tcp.seq,
+                    last_query_seq[conn] + options.query_bytes);
+        }
+        last_query_seq[conn] = p->tcp.seq;
+        break;
+      }
+      case TraceEventKind::kArrivalAck:
+        EXPECT_TRUE(p->payload.empty());
+        EXPECT_TRUE(p->tcp.has(net::TcpFlag::kAck));
+        break;
+      case TraceEventKind::kTransmit:
+      case TraceEventKind::kOpen:
+      case TraceEventKind::kClose:
+        break;
+    }
+  }
+}
+
+TEST(TracePackets, ExactlyOneResponsePerTransaction) {
+  const Trace trace = tpca_trace(5);
+  const auto packets = synthesize_packets(trace, keys_for(trace));
+  std::size_t responses = 0;
+  std::size_t acks = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto p = net::Packet::parse(packets[i].wire);
+    ASSERT_TRUE(p.has_value());
+    if (trace.events[i].kind == TraceEventKind::kTransmit &&
+        !p->payload.empty()) {
+      ++responses;
+    }
+    if (trace.events[i].kind == TraceEventKind::kArrivalAck) ++acks;
+  }
+  EXPECT_EQ(responses, acks);
+}
+
+TEST(TracePackets, BulkTraceHasOnlyPureServerAcks) {
+  BulkWorkloadParams bp;
+  bp.connections = 3;
+  bp.duration = 1.0;
+  const Trace trace = generate_bulk_trace(bp);
+  const auto packets = synthesize_packets(trace, keys_for(trace));
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (trace.events[i].kind != TraceEventKind::kTransmit) continue;
+    const auto p = net::Packet::parse(packets[i].wire);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->payload.empty()) << "bulk server segments are acks";
+  }
+}
+
+TEST(TracePackets, ServerSegmentsCanBeSuppressed) {
+  const Trace trace = tpca_trace(3);
+  TracePacketOptions options;
+  options.include_server_segments = false;
+  const auto packets = synthesize_packets(trace, keys_for(trace), options);
+  EXPECT_EQ(packets.size(), trace.arrivals());
+  for (const TimedPacket& tp : packets) EXPECT_TRUE(tp.to_server);
+}
+
+TEST(TracePackets, ThrowsOnMissingKeys) {
+  const Trace trace = tpca_trace(10);
+  AddressSpaceParams p;
+  p.clients = 3;
+  EXPECT_THROW(synthesize_packets(trace, make_client_keys(p)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::sim {
+namespace {
+
+TEST(Trace, SortByTimeIsStable) {
+  Trace t;
+  t.connections = 3;
+  t.events = {{2.0, 0, TraceEventKind::kArrivalData},
+              {1.0, 1, TraceEventKind::kArrivalData},
+              {1.0, 1, TraceEventKind::kTransmit},  // same time: keep order
+              {0.5, 2, TraceEventKind::kArrivalAck}};
+  t.sort_by_time();
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[0].conn, 2u);
+  EXPECT_EQ(t.events[1].kind, TraceEventKind::kArrivalData);
+  EXPECT_EQ(t.events[2].kind, TraceEventKind::kTransmit);
+  EXPECT_EQ(t.events[3].conn, 0u);
+}
+
+TEST(Trace, ValidChecksOrderingAndConnRange) {
+  Trace t;
+  t.connections = 2;
+  t.events = {{1.0, 0, TraceEventKind::kArrivalData},
+              {2.0, 1, TraceEventKind::kArrivalAck}};
+  EXPECT_TRUE(t.valid());
+  t.events.push_back({1.5, 0, TraceEventKind::kArrivalData});
+  EXPECT_FALSE(t.valid());  // out of order
+  t.sort_by_time();
+  EXPECT_TRUE(t.valid());
+  t.events.push_back({3.0, 7, TraceEventKind::kArrivalData});
+  EXPECT_FALSE(t.valid());  // conn out of range
+}
+
+TEST(Trace, ArrivalsExcludeTransmits) {
+  Trace t;
+  t.connections = 1;
+  t.events = {{1.0, 0, TraceEventKind::kArrivalData},
+              {1.0, 0, TraceEventKind::kTransmit},
+              {2.0, 0, TraceEventKind::kArrivalAck}};
+  EXPECT_EQ(t.arrivals(), 2u);
+}
+
+TEST(Trace, MergeRemapsConnections) {
+  Trace a;
+  a.connections = 2;
+  a.events = {{1.0, 0, TraceEventKind::kArrivalData},
+              {3.0, 1, TraceEventKind::kArrivalData}};
+  Trace b;
+  b.connections = 3;
+  b.events = {{2.0, 0, TraceEventKind::kArrivalAck},
+              {4.0, 2, TraceEventKind::kArrivalData}};
+  a.merge(b);
+  EXPECT_EQ(a.connections, 5u);
+  ASSERT_EQ(a.events.size(), 4u);
+  EXPECT_TRUE(a.valid());
+  // b's conn 0 became 2, b's conn 2 became 4.
+  EXPECT_EQ(a.events[1].conn, 2u);
+  EXPECT_EQ(a.events[3].conn, 4u);
+}
+
+TEST(Trace, MergeWithEmpty) {
+  Trace a;
+  a.connections = 1;
+  a.events = {{1.0, 0, TraceEventKind::kArrivalData}};
+  Trace empty;
+  a.merge(empty);
+  EXPECT_EQ(a.connections, 1u);
+  EXPECT_EQ(a.events.size(), 1u);
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_EQ(to_string(TraceEventKind::kArrivalData), "data");
+  EXPECT_EQ(to_string(TraceEventKind::kArrivalAck), "ack");
+  EXPECT_EQ(to_string(TraceEventKind::kTransmit), "xmit");
+}
+
+TEST(Trace, EmptyTraceIsValid) {
+  Trace t;
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.arrivals(), 0u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim

@@ -1,0 +1,120 @@
+#include "tcp/host.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace tcpdemux::tcp {
+namespace {
+
+using net::Ipv4Addr;
+using net::TcpFlag;
+
+constexpr Ipv4Addr kServerAddr{10, 0, 0, 1};
+constexpr std::uint16_t kPort = 1521;
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest()
+      : host_(core::DemuxConfig{core::Algorithm::kSequent},
+              [this](std::vector<std::uint8_t> wire, const core::Pcb&) {
+                outbound_.push_back(std::move(wire));
+              }) {
+    host_.table().listen(kServerAddr, kPort);
+  }
+
+  std::vector<std::uint8_t> syn(std::uint16_t port) {
+    return net::PacketBuilder()
+        .from({Ipv4Addr(10, 1, 0, 2), port})
+        .to({kServerAddr, kPort})
+        .seq(100)
+        .flags(TcpFlag::kSyn)
+        .build();
+  }
+
+  /// A large query on an established connection, fragmentable.
+  std::vector<std::uint8_t> big_data(std::uint16_t port, std::uint32_t seq,
+                                     std::size_t payload) {
+    auto wire = net::PacketBuilder()
+                    .from({Ipv4Addr(10, 1, 0, 2), port})
+                    .to({kServerAddr, kPort})
+                    .seq(seq)
+                    .ack_seq(1)
+                    .flags(TcpFlag::kPsh)
+                    .payload_size(payload)
+                    .build();
+    auto h = net::Ipv4Header::parse(wire);
+    h->dont_fragment = false;
+    h->serialize(wire);
+    return wire;
+  }
+
+  Host host_;
+  std::vector<std::vector<std::uint8_t>> outbound_;
+};
+
+TEST_F(HostTest, UnfragmentedPacketFlowsThrough) {
+  const auto r = host_.input(syn(40001), 0.0);
+  EXPECT_EQ(r.status, SocketTable::Delivery::kNewConnection);
+  EXPECT_EQ(host_.pending_fragments(), 0u);
+}
+
+TEST_F(HostTest, FragmentedSegmentIsReassembledThenDelivered) {
+  host_.input(syn(40001), 0.0);
+  // Complete the handshake so payload lands on an ESTABLISHED pcb.
+  const auto synack = net::Packet::parse(outbound_.back());
+  ASSERT_TRUE(synack.has_value());
+  const auto ack = net::PacketBuilder()
+                       .from({Ipv4Addr(10, 1, 0, 2), 40001})
+                       .to({kServerAddr, kPort})
+                       .seq(101)
+                       .ack_seq(synack->tcp.seq + 1)
+                       .build();
+  ASSERT_EQ(host_.input(ack, 0.0).status,
+            SocketTable::Delivery::kDelivered);
+
+  // A 1200-byte query fragmented at MTU 400 arrives piecewise.
+  const auto fragments =
+      net::fragment_packet(big_data(40001, 101, 1200), 400);
+  ASSERT_GT(fragments.size(), 2u);
+  for (std::size_t i = 0; i + 1 < fragments.size(); ++i) {
+    const auto r = host_.input(fragments[i], 0.1);
+    EXPECT_EQ(r.pcb, nullptr) << "delivered before reassembly completed";
+    EXPECT_EQ(host_.pending_fragments(), 1u);
+  }
+  const auto r = host_.input(fragments.back(), 0.1);
+  EXPECT_EQ(r.status, SocketTable::Delivery::kDelivered);
+  ASSERT_NE(r.pcb, nullptr);
+  EXPECT_EQ(r.pcb->bytes_in, 1200u);
+  EXPECT_EQ(host_.pending_fragments(), 0u);
+}
+
+TEST_F(HostTest, OutOfOrderFragmentsStillDeliver) {
+  host_.input(syn(40002), 0.0);
+  auto fragments = net::fragment_packet(big_data(40002, 101, 900), 300);
+  ASSERT_GE(fragments.size(), 3u);
+  std::swap(fragments[0], fragments[2]);
+  SocketTable::DeliverResult last;
+  for (const auto& f : fragments) last = host_.input(f, 0.0);
+  // The half-open pcb exists (SYN_RCVD): data is demuxed to it.
+  EXPECT_NE(last.pcb, nullptr);
+}
+
+TEST_F(HostTest, ExpireDropsStaleFragments) {
+  const auto fragments =
+      net::fragment_packet(big_data(40003, 1, 1000), 300);
+  host_.input(fragments[0], 0.0);
+  EXPECT_EQ(host_.pending_fragments(), 1u);
+  EXPECT_EQ(host_.expire_fragments(31.0), 1u);
+  EXPECT_EQ(host_.pending_fragments(), 0u);
+}
+
+TEST_F(HostTest, GarbageNeitherDeliversNorAccumulates) {
+  const std::vector<std::uint8_t> junk(64, 0x42);
+  const auto r = host_.input(junk, 0.0);
+  EXPECT_EQ(r.status, SocketTable::Delivery::kParseError);
+  EXPECT_EQ(host_.pending_fragments(), 0u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::tcp

@@ -1,0 +1,222 @@
+// Loss recovery through the socket table: retransmission queues, RTT
+// sampling (with Karn's rule), RTO backoff, and the accept queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "tcp/socket_table.h"
+
+namespace tcpdemux::tcp {
+namespace {
+
+using net::Ipv4Addr;
+using net::Packet;
+using net::TcpFlag;
+
+constexpr Ipv4Addr kServerAddr{10, 0, 0, 1};
+constexpr Ipv4Addr kClientAddr{10, 1, 0, 2};
+constexpr std::uint16_t kPort = 1521;
+
+/// Two hosts with a manually pumped, droppable link and a manual clock.
+class ReliabilityTest : public ::testing::Test {
+ protected:
+  ReliabilityTest()
+      : server_(core::DemuxConfig{core::Algorithm::kSequent},
+                [this](std::vector<std::uint8_t> wire, const core::Pcb&) {
+                  to_client_.push_back(std::move(wire));
+                }),
+        client_(core::DemuxConfig{core::Algorithm::kBsd},
+                [this](std::vector<std::uint8_t> wire, const core::Pcb&) {
+                  to_server_.push_back(std::move(wire));
+                }) {
+    server_.set_clock([this] { return now_; });
+    client_.set_clock([this] { return now_; });
+    server_.listen(kServerAddr, kPort);
+  }
+
+  /// Delivers all queued packets in both directions until quiescent.
+  void pump() {
+    while (!to_client_.empty() || !to_server_.empty()) {
+      auto client_batch = std::move(to_client_);
+      to_client_.clear();
+      for (const auto& wire : client_batch) client_.deliver_wire(wire);
+      auto server_batch = std::move(to_server_);
+      to_server_.clear();
+      for (const auto& wire : server_batch) server_.deliver_wire(wire);
+    }
+  }
+
+  core::Pcb* establish() {
+    core::Pcb* pcb =
+        client_.connect({kClientAddr, 40001, kServerAddr, kPort});
+    pump();
+    EXPECT_EQ(pcb->state, core::TcpState::kEstablished);
+    return pcb;
+  }
+
+  double now_ = 0.0;
+  std::vector<std::vector<std::uint8_t>> to_client_;
+  std::vector<std::vector<std::uint8_t>> to_server_;
+  SocketTable server_;
+  SocketTable client_;
+};
+
+TEST_F(ReliabilityTest, AcceptQueueYieldsEstablishedConnections) {
+  EXPECT_EQ(server_.accept(), nullptr);
+  establish();
+  EXPECT_EQ(server_.accept_backlog(), 1u);
+  core::Pcb* pcb = server_.accept();
+  ASSERT_NE(pcb, nullptr);
+  EXPECT_EQ(pcb->state, core::TcpState::kEstablished);
+  EXPECT_EQ(pcb->key.foreign_port, 40001);
+  EXPECT_EQ(server_.accept(), nullptr);  // queue drained
+}
+
+TEST_F(ReliabilityTest, AcceptQueueIsFifo) {
+  for (std::uint16_t port = 50001; port <= 50003; ++port) {
+    client_.connect({kClientAddr, port, kServerAddr, kPort});
+    pump();
+  }
+  EXPECT_EQ(server_.accept_backlog(), 3u);
+  EXPECT_EQ(server_.accept()->key.foreign_port, 50001);
+  EXPECT_EQ(server_.accept()->key.foreign_port, 50002);
+  EXPECT_EQ(server_.accept()->key.foreign_port, 50003);
+}
+
+TEST_F(ReliabilityTest, RttSampleFeedsEstimator) {
+  core::Pcb* pcb = establish();
+  pcb->srtt_us = 0;  // no samples yet
+  client_.send_data(*pcb, 100);
+  now_ += 0.05;  // the ACK comes back 50 ms later
+  pump();
+  EXPECT_EQ(pcb->srtt_us, 50'000u);
+  EXPECT_EQ(pcb->rttvar_us, 25'000u);
+}
+
+TEST_F(ReliabilityTest, LostDataIsRetransmittedAndRecovered) {
+  core::Pcb* pcb = establish();
+  client_.send_data(*pcb, 200);
+  ASSERT_EQ(to_server_.size(), 1u);
+  to_server_.clear();  // the network eats the segment
+
+  // Nothing outstanding is acked; the RTO (1 s floor) expires.
+  now_ += 1.5;
+  EXPECT_EQ(client_.poll_retransmits(), 1u);
+  EXPECT_EQ(client_.counters().retransmissions, 1u);
+  pump();  // retransmission + its ACK flow
+
+  EXPECT_EQ(pcb->snd_una, pcb->snd_nxt) << "data finally acknowledged";
+  core::Pcb* server_pcb =
+      server_.find({kServerAddr, kPort, kClientAddr, 40001});
+  ASSERT_NE(server_pcb, nullptr);
+  EXPECT_EQ(server_pcb->bytes_in, 200u);
+}
+
+TEST_F(ReliabilityTest, RtoBacksOffAcrossTimeouts) {
+  core::Pcb* pcb = establish();
+  const std::uint32_t base_rto = pcb->rto_us;
+  client_.send_data(*pcb, 100);
+  to_server_.clear();  // drop
+  now_ += base_rto / 1e6 + 0.1;
+  EXPECT_EQ(client_.poll_retransmits(), 1u);
+  const std::uint32_t backed_off = pcb->rto_us;
+  EXPECT_EQ(backed_off, base_rto * 2);
+  // Drop the retransmission too.
+  to_server_.clear();
+  now_ += backed_off / 1e6 + 0.1;
+  EXPECT_EQ(client_.poll_retransmits(), 1u);
+  EXPECT_EQ(pcb->rto_us, base_rto * 4);
+}
+
+TEST_F(ReliabilityTest, KarnsRuleNoSampleFromRetransmission) {
+  core::Pcb* pcb = establish();
+  pcb->srtt_us = 0;
+  client_.send_data(*pcb, 100);
+  to_server_.clear();  // drop the first copy
+  now_ += 1.5;
+  client_.poll_retransmits();
+  now_ += 0.05;
+  pump();  // the retransmission is acked
+  EXPECT_EQ(pcb->snd_una, pcb->snd_nxt);
+  EXPECT_EQ(pcb->srtt_us, 0u) << "retransmitted segment must not be sampled";
+}
+
+TEST_F(ReliabilityTest, NoSpuriousRetransmissionBeforeRto) {
+  core::Pcb* pcb = establish();
+  client_.send_data(*pcb, 100);
+  now_ += 0.2;  // well under the 1 s RTO floor
+  EXPECT_EQ(client_.poll_retransmits(), 0u);
+  pump();
+  EXPECT_EQ(pcb->snd_una, pcb->snd_nxt);
+  now_ += 5.0;
+  EXPECT_EQ(client_.poll_retransmits(), 0u) << "acked data retransmitted";
+}
+
+TEST_F(ReliabilityTest, CountersTrackTraffic) {
+  establish();
+  core::Pcb* pcb = server_.accept();
+  ASSERT_NE(pcb, nullptr);
+  EXPECT_EQ(server_.counters().new_connections, 1u);
+  EXPECT_GT(server_.counters().delivered, 0u);
+  EXPECT_EQ(server_.counters().parse_errors, 0u);
+  std::vector<std::uint8_t> junk(64, 0x7e);
+  server_.deliver_wire(junk);
+  EXPECT_EQ(server_.counters().parse_errors, 1u);
+}
+
+TEST_F(ReliabilityTest, EraseCleansAcceptQueueAndRetransmitState) {
+  core::Pcb* pcb = establish();
+  client_.send_data(*pcb, 50);
+  to_server_.clear();  // leave a segment outstanding on the client
+  EXPECT_TRUE(client_.erase({kClientAddr, 40001, kServerAddr, kPort}));
+  now_ += 5.0;
+  EXPECT_EQ(client_.poll_retransmits(), 0u) << "stale queue survived erase";
+
+  EXPECT_EQ(server_.accept_backlog(), 1u);
+  EXPECT_TRUE(server_.erase({kServerAddr, kPort, kClientAddr, 40001}));
+  EXPECT_EQ(server_.accept_backlog(), 0u);
+  EXPECT_EQ(server_.accept(), nullptr);
+}
+
+TEST_F(ReliabilityTest, TimeWaitReapedAfterTwoMsl) {
+  core::Pcb* pcb = establish();
+  core::Pcb* server_pcb =
+      server_.find({kServerAddr, kPort, kClientAddr, 40001});
+  ASSERT_NE(server_pcb, nullptr);
+  // Full close from the client side.
+  EXPECT_TRUE(client_.close(*pcb));
+  pump();
+  EXPECT_TRUE(server_.close(*server_pcb));
+  pump();
+  EXPECT_EQ(pcb->state, core::TcpState::kTimeWait);
+  EXPECT_EQ(server_pcb->state, core::TcpState::kClosed);
+
+  // Server side: CLOSED reaps immediately.
+  EXPECT_EQ(server_.reap_closed(10.0), 1u);
+  EXPECT_EQ(server_.connection_count(), 0u);
+
+  // Client side: TIME_WAIT holds for 2*MSL, then goes.
+  EXPECT_EQ(client_.reap_closed(10.0), 0u);
+  EXPECT_EQ(client_.connection_count(), 1u);
+  now_ += 21.0;
+  EXPECT_EQ(client_.reap_closed(10.0), 1u);
+  EXPECT_EQ(client_.connection_count(), 0u);
+}
+
+TEST_F(ReliabilityTest, ReapLeavesLiveConnectionsAlone) {
+  establish();
+  now_ += 1000.0;
+  EXPECT_EQ(client_.reap_closed(10.0), 0u);
+  EXPECT_EQ(server_.reap_closed(10.0), 0u);
+  EXPECT_EQ(server_.connection_count(), 1u);
+}
+
+TEST_F(ReliabilityTest, WithoutClockNoRetransmitState) {
+  SocketTable plain(core::DemuxConfig{core::Algorithm::kBsd},
+                    [](std::vector<std::uint8_t>, const core::Pcb&) {});
+  EXPECT_EQ(plain.poll_retransmits(), 0u);
+}
+
+}  // namespace
+}  // namespace tcpdemux::tcp

@@ -1,0 +1,55 @@
+#include "tcp/seq_math.h"
+
+#include <gtest/gtest.h>
+
+namespace tcpdemux::tcp {
+namespace {
+
+TEST(SeqMath, BasicOrdering) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_FALSE(seq_lt(2, 1));
+  EXPECT_FALSE(seq_lt(5, 5));
+  EXPECT_TRUE(seq_leq(5, 5));
+  EXPECT_TRUE(seq_gt(9, 3));
+  EXPECT_TRUE(seq_geq(9, 9));
+}
+
+TEST(SeqMath, WrapAround) {
+  // 0xffffffff + 2 wraps to 1; in sequence space 0xffffffff < 1.
+  EXPECT_TRUE(seq_lt(0xffffffffu, 1u));
+  EXPECT_TRUE(seq_gt(1u, 0xffffffffu));
+  EXPECT_TRUE(seq_leq(0xfffffff0u, 0x10u));
+}
+
+TEST(SeqMath, HalfSpaceBoundary) {
+  // A difference of exactly 2^31 is ambiguous: the int32 convention calls
+  // *both* directions "less" (INT32_MIN is negative either way). One past
+  // the boundary the ordering is well-defined again.
+  EXPECT_TRUE(seq_lt(0x80000000u, 0u));
+  EXPECT_TRUE(seq_lt(0u, 0x80000000u));
+  EXPECT_FALSE(seq_lt(0u, 0x80000001u));
+  EXPECT_TRUE(seq_lt(0x80000001u, 0u));
+}
+
+TEST(SeqMath, WindowMembership) {
+  EXPECT_TRUE(seq_in_window(5, 5, 10));
+  EXPECT_TRUE(seq_in_window(14, 5, 10));
+  EXPECT_FALSE(seq_in_window(15, 5, 10));
+  EXPECT_FALSE(seq_in_window(4, 5, 10));
+  EXPECT_FALSE(seq_in_window(5, 5, 0));
+}
+
+TEST(SeqMath, WindowAcrossWrap) {
+  EXPECT_TRUE(seq_in_window(2, 0xfffffffcu, 10));
+  EXPECT_TRUE(seq_in_window(0xfffffffdu, 0xfffffffcu, 10));
+  EXPECT_FALSE(seq_in_window(7, 0xfffffffcu, 10));
+}
+
+TEST(SeqMath, Constexpr) {
+  static_assert(seq_lt(1, 2));
+  static_assert(seq_in_window(3, 1, 5));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tcpdemux::tcp
