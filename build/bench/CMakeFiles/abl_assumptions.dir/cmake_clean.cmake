@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_assumptions.dir/abl_assumptions.cc.o"
+  "CMakeFiles/abl_assumptions.dir/abl_assumptions.cc.o.d"
+  "abl_assumptions"
+  "abl_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

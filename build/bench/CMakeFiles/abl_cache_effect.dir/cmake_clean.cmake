@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cache_effect.dir/abl_cache_effect.cc.o"
+  "CMakeFiles/abl_cache_effect.dir/abl_cache_effect.cc.o.d"
+  "abl_cache_effect"
+  "abl_cache_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

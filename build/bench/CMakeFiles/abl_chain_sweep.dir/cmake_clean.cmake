@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chain_sweep.dir/abl_chain_sweep.cc.o"
+  "CMakeFiles/abl_chain_sweep.dir/abl_chain_sweep.cc.o.d"
+  "abl_chain_sweep"
+  "abl_chain_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chain_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

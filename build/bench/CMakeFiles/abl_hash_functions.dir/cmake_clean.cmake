@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hash_functions.dir/abl_hash_functions.cc.o"
+  "CMakeFiles/abl_hash_functions.dir/abl_hash_functions.cc.o.d"
+  "abl_hash_functions"
+  "abl_hash_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hash_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

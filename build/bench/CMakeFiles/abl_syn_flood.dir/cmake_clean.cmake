@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_syn_flood.dir/abl_syn_flood.cc.o"
+  "CMakeFiles/abl_syn_flood.dir/abl_syn_flood.cc.o.d"
+  "abl_syn_flood"
+  "abl_syn_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_syn_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_workload_mix.dir/abl_workload_mix.cc.o"
+  "CMakeFiles/abl_workload_mix.dir/abl_workload_mix.cc.o.d"
+  "abl_workload_mix"
+  "abl_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_users_entering.dir/fig04_users_entering.cc.o"
+  "CMakeFiles/fig04_users_entering.dir/fig04_users_entering.cc.o.d"
+  "fig04_users_entering"
+  "fig04_users_entering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_users_entering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

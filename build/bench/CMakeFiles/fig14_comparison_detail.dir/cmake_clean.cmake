@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_comparison_detail.dir/fig14_comparison_detail.cc.o"
+  "CMakeFiles/fig14_comparison_detail.dir/fig14_comparison_detail.cc.o.d"
+  "fig14_comparison_detail"
+  "fig14_comparison_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_comparison_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

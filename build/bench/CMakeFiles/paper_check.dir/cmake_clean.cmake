@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_check.dir/paper_check.cc.o"
+  "CMakeFiles/paper_check.dir/paper_check.cc.o.d"
+  "paper_check"
+  "paper_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

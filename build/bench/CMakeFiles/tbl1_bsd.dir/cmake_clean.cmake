@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl1_bsd.dir/tbl1_bsd.cc.o"
+  "CMakeFiles/tbl1_bsd.dir/tbl1_bsd.cc.o.d"
+  "tbl1_bsd"
+  "tbl1_bsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl1_bsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl1_bsd.
+# This may be replaced when dependencies are built.

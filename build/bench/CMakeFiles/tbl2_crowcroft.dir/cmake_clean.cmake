@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl2_crowcroft.dir/tbl2_crowcroft.cc.o"
+  "CMakeFiles/tbl2_crowcroft.dir/tbl2_crowcroft.cc.o.d"
+  "tbl2_crowcroft"
+  "tbl2_crowcroft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl2_crowcroft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl2_crowcroft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl3_srcache.dir/tbl3_srcache.cc.o"
+  "CMakeFiles/tbl3_srcache.dir/tbl3_srcache.cc.o.d"
+  "tbl3_srcache"
+  "tbl3_srcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl3_srcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

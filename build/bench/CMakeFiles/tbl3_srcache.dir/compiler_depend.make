@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl3_srcache.
+# This may be replaced when dependencies are built.

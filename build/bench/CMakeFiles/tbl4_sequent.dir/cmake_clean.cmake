@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl4_sequent.dir/tbl4_sequent.cc.o"
+  "CMakeFiles/tbl4_sequent.dir/tbl4_sequent.cc.o.d"
+  "tbl4_sequent"
+  "tbl4_sequent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl4_sequent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

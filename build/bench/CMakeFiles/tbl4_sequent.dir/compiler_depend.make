@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl4_sequent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl4_sequent.
+# This may be replaced when dependencies are built.

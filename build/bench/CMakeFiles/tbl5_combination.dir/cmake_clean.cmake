@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl5_combination.dir/tbl5_combination.cc.o"
+  "CMakeFiles/tbl5_combination.dir/tbl5_combination.cc.o.d"
+  "tbl5_combination"
+  "tbl5_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl5_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

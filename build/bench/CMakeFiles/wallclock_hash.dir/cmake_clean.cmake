@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_hash.dir/wallclock_hash.cc.o"
+  "CMakeFiles/wallclock_hash.dir/wallclock_hash.cc.o.d"
+  "wallclock_hash"
+  "wallclock_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

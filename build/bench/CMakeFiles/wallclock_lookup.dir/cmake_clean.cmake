@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_lookup.dir/wallclock_lookup.cc.o"
+  "CMakeFiles/wallclock_lookup.dir/wallclock_lookup.cc.o.d"
+  "wallclock_lookup"
+  "wallclock_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_parallel.dir/wallclock_parallel.cc.o"
+  "CMakeFiles/wallclock_parallel.dir/wallclock_parallel.cc.o.d"
+  "wallclock_parallel"
+  "wallclock_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

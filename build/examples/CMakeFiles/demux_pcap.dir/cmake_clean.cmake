@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demux_pcap.dir/demux_pcap.cpp.o"
+  "CMakeFiles/demux_pcap.dir/demux_pcap.cpp.o.d"
+  "demux_pcap"
+  "demux_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demux_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_pcap.dir/export_pcap.cpp.o"
+  "CMakeFiles/export_pcap.dir/export_pcap.cpp.o.d"
+  "export_pcap"
+  "export_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_simulation.dir/lan_simulation.cpp.o"
+  "CMakeFiles/lan_simulation.dir/lan_simulation.cpp.o.d"
+  "lan_simulation"
+  "lan_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/binomial.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/binomial.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/binomial.cc.o.d"
+  "/root/repo/src/analytic/bsd_model.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/bsd_model.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/bsd_model.cc.o.d"
+  "/root/repo/src/analytic/crowcroft_model.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/crowcroft_model.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/crowcroft_model.cc.o.d"
+  "/root/repo/src/analytic/integrate.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/integrate.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/integrate.cc.o.d"
+  "/root/repo/src/analytic/sequent_model.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/sequent_model.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/sequent_model.cc.o.d"
+  "/root/repo/src/analytic/solvers.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/solvers.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/solvers.cc.o.d"
+  "/root/repo/src/analytic/srcache_model.cc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/srcache_model.cc.o" "gcc" "src/analytic/CMakeFiles/tcpdemux_analytic.dir/srcache_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_analytic.dir/binomial.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/binomial.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/bsd_model.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/bsd_model.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/crowcroft_model.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/crowcroft_model.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/integrate.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/integrate.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/sequent_model.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/sequent_model.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/solvers.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/solvers.cc.o.d"
+  "CMakeFiles/tcpdemux_analytic.dir/srcache_model.cc.o"
+  "CMakeFiles/tcpdemux_analytic.dir/srcache_model.cc.o.d"
+  "libtcpdemux_analytic.a"
+  "libtcpdemux_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

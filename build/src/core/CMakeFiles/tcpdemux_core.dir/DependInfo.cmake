@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bsd_list.cc" "src/core/CMakeFiles/tcpdemux_core.dir/bsd_list.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/bsd_list.cc.o.d"
+  "/root/repo/src/core/concurrent_demuxer.cc" "src/core/CMakeFiles/tcpdemux_core.dir/concurrent_demuxer.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/concurrent_demuxer.cc.o.d"
+  "/root/repo/src/core/connection_id.cc" "src/core/CMakeFiles/tcpdemux_core.dir/connection_id.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/connection_id.cc.o.d"
+  "/root/repo/src/core/demux_registry.cc" "src/core/CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o.d"
+  "/root/repo/src/core/dynamic_hash.cc" "src/core/CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o.d"
+  "/root/repo/src/core/hashed_mtf.cc" "src/core/CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o.d"
+  "/root/repo/src/core/move_to_front.cc" "src/core/CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o.d"
+  "/root/repo/src/core/pcb.cc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb.cc.o.d"
+  "/root/repo/src/core/pcb_list.cc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o.d"
+  "/root/repo/src/core/send_receive_cache.cc" "src/core/CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o.d"
+  "/root/repo/src/core/sequent_hash.cc" "src/core/CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

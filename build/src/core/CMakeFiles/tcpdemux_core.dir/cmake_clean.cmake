@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_core.dir/bsd_list.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/bsd_list.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/concurrent_demuxer.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/concurrent_demuxer.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/connection_id.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/connection_id.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/pcb.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/pcb.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o.d"
+  "libtcpdemux_core.a"
+  "libtcpdemux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/tcpdemux_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/tcpdemux_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/tcpdemux_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/flow_key.cc" "src/net/CMakeFiles/tcpdemux_net.dir/flow_key.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/flow_key.cc.o.d"
+  "/root/repo/src/net/fragment.cc" "src/net/CMakeFiles/tcpdemux_net.dir/fragment.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/fragment.cc.o.d"
+  "/root/repo/src/net/hash_quality.cc" "src/net/CMakeFiles/tcpdemux_net.dir/hash_quality.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/hash_quality.cc.o.d"
+  "/root/repo/src/net/hashers.cc" "src/net/CMakeFiles/tcpdemux_net.dir/hashers.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/hashers.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/tcpdemux_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/ip_addr.cc" "src/net/CMakeFiles/tcpdemux_net.dir/ip_addr.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/ip_addr.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/tcpdemux_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/tcpdemux_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/tcp_options.cc" "src/net/CMakeFiles/tcpdemux_net.dir/tcp_options.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/tcp_options.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/tcpdemux_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/tcpdemux_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

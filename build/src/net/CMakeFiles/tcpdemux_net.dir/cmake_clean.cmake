@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_net.dir/arp.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/arp.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/checksum.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/checksum.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/ethernet.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/flow_key.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/flow_key.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/fragment.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/fragment.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/hash_quality.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/hash_quality.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/hashers.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/hashers.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/headers.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/headers.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/ip_addr.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/ip_addr.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/packet.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/packet.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/pcap.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/pcap.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/tcp_options.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/tcp_options.cc.o.d"
+  "CMakeFiles/tcpdemux_net.dir/udp.cc.o"
+  "CMakeFiles/tcpdemux_net.dir/udp.cc.o.d"
+  "libtcpdemux_net.a"
+  "libtcpdemux_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

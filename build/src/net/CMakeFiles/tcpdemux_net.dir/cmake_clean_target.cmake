@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcpdemux_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_report.dir/ascii_plot.cc.o"
+  "CMakeFiles/tcpdemux_report.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/tcpdemux_report.dir/csv.cc.o"
+  "CMakeFiles/tcpdemux_report.dir/csv.cc.o.d"
+  "CMakeFiles/tcpdemux_report.dir/table.cc.o"
+  "CMakeFiles/tcpdemux_report.dir/table.cc.o.d"
+  "libtcpdemux_report.a"
+  "libtcpdemux_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

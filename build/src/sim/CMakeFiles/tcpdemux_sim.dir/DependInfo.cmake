@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_space.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/address_space.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/address_space.cc.o.d"
+  "/root/repo/src/sim/bulk_workload.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/bulk_workload.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/bulk_workload.cc.o.d"
+  "/root/repo/src/sim/ethernet_switch.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/ethernet_switch.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/ethernet_switch.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/flash_crowd_workload.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/flash_crowd_workload.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/flash_crowd_workload.cc.o.d"
+  "/root/repo/src/sim/polling_workload.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/polling_workload.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/polling_workload.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/replay.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/replay.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/tpca_workload.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/tpca_workload.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/tpca_workload.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace_io.cc.o.d"
+  "/root/repo/src/sim/trace_packets.cc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace_packets.cc.o" "gcc" "src/sim/CMakeFiles/tcpdemux_sim.dir/trace_packets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_sim.dir/address_space.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/address_space.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/bulk_workload.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/bulk_workload.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/ethernet_switch.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/ethernet_switch.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/flash_crowd_workload.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/flash_crowd_workload.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/polling_workload.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/polling_workload.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/replay.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/replay.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/rng.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/rng.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/stats.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/tpca_workload.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/tpca_workload.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/trace.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/trace.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/trace_io.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/trace_io.cc.o.d"
+  "CMakeFiles/tcpdemux_sim.dir/trace_packets.cc.o"
+  "CMakeFiles/tcpdemux_sim.dir/trace_packets.cc.o.d"
+  "libtcpdemux_sim.a"
+  "libtcpdemux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/lan_host.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/lan_host.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/lan_host.cc.o.d"
+  "/root/repo/src/tcp/retransmit_queue.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/retransmit_queue.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/retransmit_queue.cc.o.d"
+  "/root/repo/src/tcp/rtt.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/rtt.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/rtt.cc.o.d"
+  "/root/repo/src/tcp/socket_table.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/socket_table.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/socket_table.cc.o.d"
+  "/root/repo/src/tcp/syn_cache.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/syn_cache.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/syn_cache.cc.o.d"
+  "/root/repo/src/tcp/tcp_machine.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/tcp_machine.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/tcp_machine.cc.o.d"
+  "/root/repo/src/tcp/udp_table.cc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/udp_table.cc.o" "gcc" "src/tcp/CMakeFiles/tcpdemux_tcp.dir/udp_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpdemux_tcp.dir/lan_host.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/lan_host.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/retransmit_queue.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/retransmit_queue.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/rtt.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/rtt.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/socket_table.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/socket_table.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/syn_cache.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/syn_cache.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/tcp_machine.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/tcp_machine.cc.o.d"
+  "CMakeFiles/tcpdemux_tcp.dir/udp_table.cc.o"
+  "CMakeFiles/tcpdemux_tcp.dir/udp_table.cc.o.d"
+  "libtcpdemux_tcp.a"
+  "libtcpdemux_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpdemux_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

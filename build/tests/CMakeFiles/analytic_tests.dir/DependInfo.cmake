@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic/binomial_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/binomial_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/binomial_test.cc.o.d"
+  "/root/repo/tests/analytic/bsd_model_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/bsd_model_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/bsd_model_test.cc.o.d"
+  "/root/repo/tests/analytic/crowcroft_model_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/crowcroft_model_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/crowcroft_model_test.cc.o.d"
+  "/root/repo/tests/analytic/exp_math_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/exp_math_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/exp_math_test.cc.o.d"
+  "/root/repo/tests/analytic/integrate_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/integrate_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/integrate_test.cc.o.d"
+  "/root/repo/tests/analytic/model_consistency_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/model_consistency_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/model_consistency_test.cc.o.d"
+  "/root/repo/tests/analytic/sequent_model_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/sequent_model_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/sequent_model_test.cc.o.d"
+  "/root/repo/tests/analytic/solvers_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/solvers_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/solvers_test.cc.o.d"
+  "/root/repo/tests/analytic/srcache_model_test.cc" "tests/CMakeFiles/analytic_tests.dir/analytic/srcache_model_test.cc.o" "gcc" "tests/CMakeFiles/analytic_tests.dir/analytic/srcache_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

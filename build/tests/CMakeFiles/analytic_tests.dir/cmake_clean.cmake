@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_tests.dir/analytic/binomial_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/binomial_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/bsd_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/bsd_model_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/crowcroft_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/crowcroft_model_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/exp_math_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/exp_math_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/integrate_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/integrate_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/model_consistency_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/model_consistency_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/sequent_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/sequent_model_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/solvers_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/solvers_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/srcache_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/srcache_model_test.cc.o.d"
+  "analytic_tests"
+  "analytic_tests.pdb"
+  "analytic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bsd_list_test.cc" "tests/CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o.d"
+  "/root/repo/tests/core/concurrent_demuxer_test.cc" "tests/CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o.d"
+  "/root/repo/tests/core/connection_id_test.cc" "tests/CMakeFiles/core_tests.dir/core/connection_id_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/connection_id_test.cc.o.d"
+  "/root/repo/tests/core/demux_registry_test.cc" "tests/CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o.d"
+  "/root/repo/tests/core/demuxer_property_test.cc" "tests/CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o.d"
+  "/root/repo/tests/core/differential_test.cc" "tests/CMakeFiles/core_tests.dir/core/differential_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/differential_test.cc.o.d"
+  "/root/repo/tests/core/dynamic_hash_test.cc" "tests/CMakeFiles/core_tests.dir/core/dynamic_hash_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dynamic_hash_test.cc.o.d"
+  "/root/repo/tests/core/hashed_mtf_test.cc" "tests/CMakeFiles/core_tests.dir/core/hashed_mtf_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hashed_mtf_test.cc.o.d"
+  "/root/repo/tests/core/memory_bytes_test.cc" "tests/CMakeFiles/core_tests.dir/core/memory_bytes_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/memory_bytes_test.cc.o.d"
+  "/root/repo/tests/core/move_to_front_test.cc" "tests/CMakeFiles/core_tests.dir/core/move_to_front_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/move_to_front_test.cc.o.d"
+  "/root/repo/tests/core/pcb_list_test.cc" "tests/CMakeFiles/core_tests.dir/core/pcb_list_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pcb_list_test.cc.o.d"
+  "/root/repo/tests/core/send_receive_cache_test.cc" "tests/CMakeFiles/core_tests.dir/core/send_receive_cache_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/send_receive_cache_test.cc.o.d"
+  "/root/repo/tests/core/sequent_hash_test.cc" "tests/CMakeFiles/core_tests.dir/core/sequent_hash_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sequent_hash_test.cc.o.d"
+  "/root/repo/tests/core/wildcard_property_test.cc" "tests/CMakeFiles/core_tests.dir/core/wildcard_property_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wildcard_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/connection_id_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/connection_id_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/differential_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/differential_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/dynamic_hash_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/dynamic_hash_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/hashed_mtf_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/hashed_mtf_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/memory_bytes_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/memory_bytes_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/move_to_front_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/move_to_front_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pcb_list_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pcb_list_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/send_receive_cache_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/send_receive_cache_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/sequent_hash_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/sequent_hash_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/wildcard_property_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/wildcard_property_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/arp_test.cc" "tests/CMakeFiles/net_tests.dir/net/arp_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/arp_test.cc.o.d"
+  "/root/repo/tests/net/checksum_test.cc" "tests/CMakeFiles/net_tests.dir/net/checksum_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/checksum_test.cc.o.d"
+  "/root/repo/tests/net/ethernet_test.cc" "tests/CMakeFiles/net_tests.dir/net/ethernet_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/ethernet_test.cc.o.d"
+  "/root/repo/tests/net/flow_key_test.cc" "tests/CMakeFiles/net_tests.dir/net/flow_key_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/flow_key_test.cc.o.d"
+  "/root/repo/tests/net/fragment_test.cc" "tests/CMakeFiles/net_tests.dir/net/fragment_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/fragment_test.cc.o.d"
+  "/root/repo/tests/net/hash_pattern_property_test.cc" "tests/CMakeFiles/net_tests.dir/net/hash_pattern_property_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/hash_pattern_property_test.cc.o.d"
+  "/root/repo/tests/net/hash_quality_test.cc" "tests/CMakeFiles/net_tests.dir/net/hash_quality_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/hash_quality_test.cc.o.d"
+  "/root/repo/tests/net/hashers_test.cc" "tests/CMakeFiles/net_tests.dir/net/hashers_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/hashers_test.cc.o.d"
+  "/root/repo/tests/net/headers_test.cc" "tests/CMakeFiles/net_tests.dir/net/headers_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/headers_test.cc.o.d"
+  "/root/repo/tests/net/ip_addr_test.cc" "tests/CMakeFiles/net_tests.dir/net/ip_addr_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/ip_addr_test.cc.o.d"
+  "/root/repo/tests/net/packet_test.cc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cc.o.d"
+  "/root/repo/tests/net/parser_robustness_test.cc" "tests/CMakeFiles/net_tests.dir/net/parser_robustness_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/parser_robustness_test.cc.o.d"
+  "/root/repo/tests/net/pcap_test.cc" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/pcap_test.cc.o.d"
+  "/root/repo/tests/net/tcp_options_test.cc" "tests/CMakeFiles/net_tests.dir/net/tcp_options_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/tcp_options_test.cc.o.d"
+  "/root/repo/tests/net/udp_test.cc" "tests/CMakeFiles/net_tests.dir/net/udp_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/udp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/address_space_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/address_space_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/address_space_test.cc.o.d"
+  "/root/repo/tests/sim/bulk_workload_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/bulk_workload_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/bulk_workload_test.cc.o.d"
+  "/root/repo/tests/sim/churn_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/churn_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/churn_test.cc.o.d"
+  "/root/repo/tests/sim/ethernet_switch_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/ethernet_switch_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/ethernet_switch_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/flash_crowd_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/flash_crowd_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/flash_crowd_test.cc.o.d"
+  "/root/repo/tests/sim/link_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/link_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/link_test.cc.o.d"
+  "/root/repo/tests/sim/polling_workload_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/polling_workload_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/polling_workload_test.cc.o.d"
+  "/root/repo/tests/sim/replay_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/replay_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/replay_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/sim/tpca_workload_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/tpca_workload_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/tpca_workload_test.cc.o.d"
+  "/root/repo/tests/sim/trace_io_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_io_test.cc.o.d"
+  "/root/repo/tests/sim/trace_packets_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/trace_packets_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_packets_test.cc.o.d"
+  "/root/repo/tests/sim/trace_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/delayed_ack_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cc.o.d"
+  "/root/repo/tests/tcp/host_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/host_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/host_test.cc.o.d"
+  "/root/repo/tests/tcp/reliability_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/reliability_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/reliability_test.cc.o.d"
+  "/root/repo/tests/tcp/retransmit_queue_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/retransmit_queue_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/retransmit_queue_test.cc.o.d"
+  "/root/repo/tests/tcp/rtt_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/rtt_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/rtt_test.cc.o.d"
+  "/root/repo/tests/tcp/seq_math_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/seq_math_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/seq_math_test.cc.o.d"
+  "/root/repo/tests/tcp/socket_table_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/socket_table_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/socket_table_test.cc.o.d"
+  "/root/repo/tests/tcp/syn_cache_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/syn_cache_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/syn_cache_test.cc.o.d"
+  "/root/repo/tests/tcp/tcp_machine_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/tcp_machine_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/tcp_machine_test.cc.o.d"
+  "/root/repo/tests/tcp/udp_table_test.cc" "tests/CMakeFiles/tcp_tests.dir/tcp/udp_table_test.cc.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/udp_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

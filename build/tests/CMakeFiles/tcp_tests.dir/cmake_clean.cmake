@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/host_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/host_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/reliability_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/reliability_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/retransmit_queue_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/retransmit_queue_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/rtt_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/rtt_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/seq_math_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/seq_math_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/socket_table_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/socket_table_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/syn_cache_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/syn_cache_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/tcp_machine_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/tcp_machine_test.cc.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/udp_table_test.cc.o"
+  "CMakeFiles/tcp_tests.dir/tcp/udp_table_test.cc.o.d"
+  "tcp_tests"
+  "tcp_tests.pdb"
+  "tcp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
