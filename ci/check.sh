@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate + concurrency gate.
+#
+#   1. Build everything and run the full test suite (the tier-1 check
+#      from ROADMAP.md).
+#   2. Rebuild with ThreadSanitizer (-DTCPDEMUX_SANITIZE=thread) and run
+#      the `concurrency`-labelled stress suites; any data-race report
+#      fails the script (halt_on_error) and so does any test failure.
+#
+# Usage: ci/check.sh [jobs]      (default: nproc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + full ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "== concurrency: rebuild under ThreadSanitizer, run -L concurrency =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTCPDEMUX_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" --target concurrency_tests -j "$JOBS"
+TSAN_OPTIONS="halt_on_error=1 abort_on_error=0 ${TSAN_OPTIONS:-}" \
+  ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure \
+        -j "$JOBS"
+
+echo "== ci/check.sh: all gates passed =="

@@ -8,6 +8,7 @@
 #include "core/dynamic_hash.h"
 #include "core/hashed_mtf.h"
 #include "core/move_to_front.h"
+#include "core/rcu_demuxer.h"
 #include "core/send_receive_cache.h"
 #include "core/sequent_hash.h"
 
@@ -53,6 +54,9 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
     case Algorithm::kDynamic:
       return std::make_unique<DynamicHashDemuxer>(DynamicHashDemuxer::Options{
           config.chains, 2.0, config.hasher, config.per_chain_cache});
+    case Algorithm::kRcu:
+      return std::make_unique<RcuDemuxerAdapter>(RcuSequentDemuxer::Options{
+          config.chains, config.hasher, config.per_chain_cache});
   }
   return nullptr;
 }
@@ -73,6 +77,7 @@ std::string_view algorithm_name(Algorithm algorithm) noexcept {
     case Algorithm::kHashedMtf: return "hashed_mtf";
     case Algorithm::kConnectionId: return "connection_id";
     case Algorithm::kDynamic: return "dynamic";
+    case Algorithm::kRcu: return "rcu";
   }
   return "?";
 }
@@ -95,13 +100,16 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     config.algorithm = Algorithm::kConnectionId;
   } else if (head == "dynamic") {
     config.algorithm = Algorithm::kDynamic;
+  } else if (head == "rcu") {
+    config.algorithm = Algorithm::kRcu;
   } else {
     return std::nullopt;
   }
 
   const bool takes_chains = config.algorithm == Algorithm::kSequent ||
                             config.algorithm == Algorithm::kHashedMtf ||
-                            config.algorithm == Algorithm::kDynamic;
+                            config.algorithm == Algorithm::kDynamic ||
+                            config.algorithm == Algorithm::kRcu;
   if (parts.size() > 1 && !takes_chains) return std::nullopt;
 
   if (parts.size() > 1) {
@@ -115,9 +123,9 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     config.hasher = *hasher;
   }
   if (parts.size() > 3) {
-    if (parts[3] != "nocache" || config.algorithm != Algorithm::kSequent) {
-      return std::nullopt;
-    }
+    const bool cacheable = config.algorithm == Algorithm::kSequent ||
+                           config.algorithm == Algorithm::kRcu;
+    if (parts[3] != "nocache" || !cacheable) return std::nullopt;
     config.per_chain_cache = false;
   }
   if (parts.size() > 4) return std::nullopt;

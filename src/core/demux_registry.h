@@ -21,6 +21,7 @@ enum class Algorithm : std::uint8_t {
   kHashedMtf,     ///< §3.5 rejected combination
   kConnectionId,  ///< §3.5 protocol-extension strawman
   kDynamic,       ///< self-resizing hash chains (post-paper extension)
+  kRcu,           ///< lock-free-read hash chains + epoch reclaim (RCU)
 };
 
 struct DemuxConfig {
@@ -39,6 +40,7 @@ struct DemuxConfig {
 ///   "sequent[:chains[:hasher[:nocache]]]"   e.g. "sequent:101:crc32"
 ///   "hashed_mtf[:chains[:hasher]]"
 ///   "dynamic[:initial_chains[:hasher]]"      (self-resizing chain table)
+///   "rcu[:chains[:hasher[:nocache]]]"        (lock-free-read Sequent)
 /// Returns nullopt on any unrecognized token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);

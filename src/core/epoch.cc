@@ -1,0 +1,131 @@
+#include "core/epoch.h"
+
+#include <thread>
+
+namespace tcpdemux::core {
+namespace {
+
+std::atomic<std::uint64_t> next_manager_id{1};
+
+// Per-thread cache mapping manager id -> that thread's slot, so a pin
+// after the first is a couple of loads plus the slot stores. Manager ids
+// are never reused, so a stale entry (manager destroyed) can never match
+// a live manager.
+struct SlotCacheEntry {
+  std::uint64_t manager_id;
+  void* slot;
+};
+
+thread_local std::vector<SlotCacheEntry> tls_slot_cache;
+
+}  // namespace
+
+EpochManager::EpochManager()
+    : id_(next_manager_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EpochManager::~EpochManager() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& bucket : limbo_) free_bucket(bucket);
+}
+
+EpochManager::Slot* EpochManager::slot_for_this_thread() {
+  // Newest-first: a thread typically works against the manager it
+  // registered with most recently, and entries for destroyed managers
+  // (never matched again) accumulate at the front.
+  for (auto it = tls_slot_cache.rbegin(); it != tls_slot_cache.rend(); ++it) {
+    if (it->manager_id == id_) return static_cast<Slot*>(it->slot);
+  }
+  const std::scoped_lock lock(mutex_);
+  slots_.push_back(std::make_unique<Slot>());
+  Slot* slot = slots_.back().get();
+  tls_slot_cache.push_back(SlotCacheEntry{id_, slot});
+  return slot;
+}
+
+void EpochManager::pin(Slot& slot) noexcept {
+  // Publish "active at epoch e", then confirm e is still current; loop
+  // otherwise. On exit the global epoch equalled our published epoch at
+  // some point after the publication, so any later advance scan sees us
+  // and cannot move more than one epoch ahead while we stay pinned.
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot.state.store((e << 1) | kActiveBit, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+  }
+}
+
+void EpochManager::unpin(Slot& slot) noexcept {
+  // Release (not seq_cst: this is the read-side hot path) so every
+  // read-side access precedes the store; the advance scan's seq_cst load
+  // of this slot acquires it, ordering those accesses before any
+  // subsequent free. A scanner that instead reads the stale "active"
+  // value merely declines to advance — delayed reclamation, never unsafe.
+  slot.state.store(slot.state.load(std::memory_order_relaxed) & ~kActiveBit,
+                   std::memory_order_release);
+}
+
+EpochManager::Guard::Guard(EpochManager& manager)
+    : manager_(&manager), slot_(manager.slot_for_this_thread()) {
+  if (slot_->nest++ == 0) manager_->pin(*slot_);
+}
+
+EpochManager::Guard::~Guard() {
+  if (--slot_->nest == 0) manager_->unpin(*slot_);
+}
+
+void EpochManager::retire(void* ptr, void (*deleter)(void*)) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    limbo_[e % 3].push_back(Retired{ptr, deleter});
+  }
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  try_advance();
+}
+
+bool EpochManager::try_advance() {
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const auto& slot : slots_) {
+    const std::uint64_t s = slot->state.load(std::memory_order_seq_cst);
+    if ((s & kActiveBit) != 0 && (s >> 1) != e) return false;
+  }
+  // Every active reader has observed e, so nothing pinned at e-1 remains
+  // and the bucket retired under e-2 (== (e+1) mod 3) is unreachable.
+  // Free it before publishing e+1; readers that pin at e+1 synchronize
+  // with the store below and can therefore never have touched it.
+  free_bucket(limbo_[(e + 1) % 3]);
+  global_epoch_.store(e + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+void EpochManager::drain() {
+  while (pending_count() > 0) {
+    if (!try_advance()) std::this_thread::yield();
+  }
+}
+
+void EpochManager::free_bucket(std::vector<Retired>& bucket) {
+  if (bucket.empty()) return;
+  for (const Retired& r : bucket) r.deleter(r.ptr);
+  freed_.fetch_add(bucket.size(), std::memory_order_relaxed);
+  bucket.clear();
+}
+
+std::size_t EpochManager::registered_threads() const {
+  const std::scoped_lock lock(mutex_);
+  return slots_.size();
+}
+
+std::size_t EpochManager::memory_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t bytes = sizeof(*this) + slots_.capacity() * sizeof(Slot);
+  for (const auto& bucket : limbo_) {
+    bytes += bucket.capacity() * sizeof(Retired);
+  }
+  return bytes;
+}
+
+}  // namespace tcpdemux::core

@@ -1,0 +1,136 @@
+// EpochManager: lightweight epoch-based memory reclamation (EBR) for
+// read-mostly data structures.
+//
+// The paper's first author went on to invent RCU [McK98]; this is the
+// library-level analogue of the kernel scheme, specialized for the
+// demultiplexing hot path. Readers enter a *read-side critical section*
+// (EpochManager::Guard) with two uncontended atomic stores and no locks,
+// no RMW instructions, and no shared cache-line writes other than the
+// thread's own epoch slot. Writers unlink nodes from their structure,
+// then retire() them; a retired node is physically freed only after every
+// thread that could still hold a reference has left its critical section.
+//
+// Scheme (classic 3-epoch EBR, Fraser 2004): a global epoch counter E
+// advances only when every *active* reader has observed the current
+// value. A node retired under epoch e can be referenced only by readers
+// pinned at e-1 or e, so once E reaches e+2 the node is unreachable and
+// its limbo bucket (e mod 3) may be freed. Three buckets therefore
+// suffice.
+//
+// Thread registration is implicit: the first Guard a thread constructs
+// against a given manager allocates that thread's epoch slot (one mutex
+// acquisition, once per thread per manager); subsequent pins are
+// wait-free. Slots are owned by the manager and survive thread exit
+// (an exited thread's slot stays inactive and never blocks advancement).
+//
+// Lifetime contract: the caller must ensure no Guard is alive and no
+// retire() is in flight when the manager is destroyed; the destructor
+// frees everything still in limbo.
+#ifndef TCPDEMUX_CORE_EPOCH_H_
+#define TCPDEMUX_CORE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tcpdemux::core {
+
+class EpochManager {
+ private:
+  struct Slot;  // defined below; Guard holds a pointer to its own slot
+
+ public:
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII read-side critical section. Construction pins the calling
+  /// thread at the current epoch; destruction unpins it. Nesting is
+  /// supported (inner guards are free). No locks are taken after the
+  /// thread's first guard against this manager.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& manager);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* manager_;
+    Slot* slot_;
+  };
+
+  /// Hands `ptr` to the manager for deferred destruction via `deleter`.
+  /// Must be called *after* `ptr` has been unlinked from the shared
+  /// structure (new readers can no longer reach it). Thread-safe.
+  void retire(void* ptr, void (*deleter)(void*));
+
+  /// Attempts one epoch advance; frees the limbo bucket that the advance
+  /// proves unreachable. Returns true if the epoch advanced. Called
+  /// automatically by retire() but exposed for tests and idle reclaim.
+  bool try_advance();
+
+  /// Advances until every retired node has been freed. Spins while
+  /// readers are active, so only call from a quiescent writer (tests,
+  /// shutdown paths).
+  void drain();
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Nodes handed to retire() so far.
+  [[nodiscard]] std::uint64_t retired_count() const noexcept {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  /// Nodes physically freed so far (always <= retired_count()).
+  [[nodiscard]] std::uint64_t freed_count() const noexcept {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  /// Nodes still in limbo.
+  [[nodiscard]] std::uint64_t pending_count() const noexcept {
+    return retired_count() - freed_count();
+  }
+  /// Threads that have ever pinned against this manager.
+  [[nodiscard]] std::size_t registered_threads() const;
+
+  /// Bytes of manager-side bookkeeping (slots + limbo entries), for
+  /// Demuxer::memory_bytes accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  // One cache line per thread: bit 0 = active, bits 63..1 = pinned epoch.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> state{0};
+    int nest = 0;  // accessed only by the owning thread
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  static constexpr std::uint64_t kActiveBit = 1;
+
+  Slot* slot_for_this_thread();
+  void pin(Slot& slot) noexcept;
+  void unpin(Slot& slot) noexcept;
+  // Frees one limbo bucket. Caller holds mutex_.
+  void free_bucket(std::vector<Retired>& bucket);
+
+  const std::uint64_t id_;  // process-unique, for the thread-local cache
+  std::atomic<std::uint64_t> global_epoch_{1};
+  mutable std::mutex mutex_;  // guards slots_ registration + limbo_
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::array<std::vector<Retired>, 3> limbo_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_EPOCH_H_

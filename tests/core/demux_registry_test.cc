@@ -9,7 +9,7 @@ TEST(Registry, MakesEveryAlgorithm) {
   for (const Algorithm algo :
        {Algorithm::kBsd, Algorithm::kMtf, Algorithm::kSrCache,
         Algorithm::kSequent, Algorithm::kHashedMtf,
-        Algorithm::kConnectionId, Algorithm::kDynamic}) {
+        Algorithm::kConnectionId, Algorithm::kDynamic, Algorithm::kRcu}) {
     DemuxConfig config;
     config.algorithm = algo;
     const auto d = make_demuxer(config);
@@ -26,7 +26,8 @@ TEST(Registry, ParseSimpleNames) {
            {"srcache", Algorithm::kSrCache},
            {"sequent", Algorithm::kSequent},
            {"hashed_mtf", Algorithm::kHashedMtf},
-           {"connection_id", Algorithm::kConnectionId}}) {
+           {"connection_id", Algorithm::kConnectionId},
+           {"rcu", Algorithm::kRcu}}) {
     const auto config = parse_demux_spec(spec);
     ASSERT_TRUE(config.has_value()) << spec;
     EXPECT_EQ(config->algorithm, algo) << spec;
@@ -82,6 +83,23 @@ TEST(Registry, ParseHasherNames) {
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(parse_hasher_name("nope").has_value());
+}
+
+TEST(Registry, ParseRcuSpec) {
+  const auto config = parse_demux_spec("rcu:101:crc32");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kRcu);
+  EXPECT_EQ(config->chains, 101u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kCrc32);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "rcu(h=101,crc32)");
+}
+
+TEST(Registry, ParseRcuNoCache) {
+  const auto config = parse_demux_spec("rcu:19:xor_fold:nocache");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_FALSE(config->per_chain_cache);
+  EXPECT_FALSE(parse_demux_spec("rcu:0").has_value());
 }
 
 TEST(Registry, ParseDynamicSpec) {

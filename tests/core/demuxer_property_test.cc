@@ -156,6 +156,68 @@ TEST_P(DemuxerProperty, RepeatedLookupOfSameKeyCostsAtMostFirstCost) {
   }
 }
 
+// The RCU demuxer is the Sequent algorithm under a different memory
+// discipline, so driven single-threaded through the registry it must be
+// *indistinguishable*: same hits, same PCB keys, same examined counts,
+// same cache behavior, on identical random op sequences.
+class RcuVsSequentDifferential
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(RcuVsSequentDifferential, IdenticalCostsOnRandomOps) {
+  const auto [rcu_spec, sequent_spec] = GetParam();
+  auto rcu = make_demuxer(*parse_demux_spec(rcu_spec));
+  auto seq = make_demuxer(*parse_demux_spec(sequent_spec));
+  std::mt19937_64 rng(4242);
+  for (int step = 0; step < 6000; ++step) {
+    const net::FlowKey k = key(static_cast<std::uint32_t>(rng() % 350));
+    switch (rng() % 8) {
+      case 0: {
+        Pcb* a = rcu->insert(k);
+        Pcb* b = seq->insert(k);
+        ASSERT_EQ(a == nullptr, b == nullptr) << "step " << step;
+        break;
+      }
+      case 1: {
+        ASSERT_EQ(rcu->erase(k), seq->erase(k)) << "step " << step;
+        break;
+      }
+      default: {  // lookups dominate, as in the modelled workload
+        const auto kind =
+            (rng() % 2 == 0) ? SegmentKind::kData : SegmentKind::kAck;
+        const auto a = rcu->lookup(k, kind);
+        const auto b = seq->lookup(k, kind);
+        ASSERT_EQ(a.pcb == nullptr, b.pcb == nullptr) << "step " << step;
+        if (a.pcb != nullptr) {
+          ASSERT_EQ(a.pcb->key, b.pcb->key) << "step " << step;
+          ASSERT_EQ(a.pcb->conn_id, b.pcb->conn_id) << "step " << step;
+        }
+        ASSERT_EQ(a.examined, b.examined) << "step " << step;
+        ASSERT_EQ(a.cache_hit, b.cache_hit) << "step " << step;
+        break;
+      }
+    }
+    ASSERT_EQ(rcu->size(), seq->size());
+  }
+  EXPECT_EQ(rcu->stats().lookups, seq->stats().lookups);
+  EXPECT_EQ(rcu->stats().pcbs_examined, seq->stats().pcbs_examined);
+  EXPECT_EQ(rcu->stats().cache_hits, seq->stats().cache_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RcuMirrorsSequent, RcuVsSequentDifferential,
+    ::testing::Values(
+        std::pair("rcu", "sequent"),
+        std::pair("rcu:101:crc32", "sequent:101:crc32"),
+        std::pair("rcu:19:xor_fold:nocache", "sequent:19:xor_fold:nocache"),
+        std::pair("rcu:1:jenkins", "sequent:1:jenkins")),
+    [](const auto& info) {
+      std::string name = info.param.first;
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, DemuxerProperty,
     ::testing::Values("bsd", "mtf", "srcache", "sequent", "sequent:1",
@@ -164,7 +226,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "sequent:19:multiplicative", "sequent:19:add_fold",
                       "sequent:19:bsd_modulo", "hashed_mtf",
                       "hashed_mtf:101:crc32", "connection_id", "dynamic",
-                      "dynamic:41:jenkins"),
+                      "dynamic:41:jenkins", "rcu", "rcu:101:crc32",
+                      "rcu:19:xor_fold:nocache"),
     [](const auto& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -24,7 +24,7 @@ const char* kSpecs[] = {"bsd",          "mtf",
                         "srcache",      "sequent:19:crc32",
                         "sequent:1",    "sequent:101:toeplitz",
                         "hashed_mtf",   "dynamic",
-                        "connection_id"};
+                        "connection_id", "rcu:19:crc32"};
 
 TEST(Differential, AllAlgorithmsAgreeOnMembership) {
   std::vector<std::unique_ptr<Demuxer>> demuxers;

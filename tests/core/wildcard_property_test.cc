@@ -78,7 +78,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, WildcardProperty,
                          ::testing::Values("bsd", "mtf", "srcache",
                                            "sequent", "sequent:101:crc32",
                                            "hashed_mtf", "dynamic",
-                                           "connection_id"),
+                                           "connection_id", "rcu",
+                                           "rcu:101:crc32"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {
