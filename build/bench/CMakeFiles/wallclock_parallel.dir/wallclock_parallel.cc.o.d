@@ -183,7 +183,7 @@ bench/CMakeFiles/wallclock_parallel.dir/wallclock_parallel.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/array /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -217,13 +217,13 @@ bench/CMakeFiles/wallclock_parallel.dir/wallclock_parallel.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/core/pcb.h /root/repo/src/net/flow_key.h \
- /root/repo/src/net/ip_addr.h /usr/include/c++/12/optional \
- /root/repo/src/core/pcb_list.h /root/repo/src/core/concurrent_demuxer.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/pcb.h \
+ /root/repo/src/net/flow_key.h /root/repo/src/net/ip_addr.h \
+ /usr/include/c++/12/optional /root/repo/src/core/pcb_list.h \
+ /root/repo/src/core/concurrent_demuxer.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/hashers.h \
- /usr/include/c++/12/span /root/repo/src/core/sequent_hash.h \
+ /usr/include/c++/12/span /root/repo/src/core/rcu_demuxer.h \
+ /root/repo/src/core/epoch.h /root/repo/src/core/sequent_hash.h \
  /root/repo/src/sim/address_space.h

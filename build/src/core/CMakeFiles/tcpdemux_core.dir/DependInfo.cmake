@@ -13,10 +13,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/connection_id.cc" "src/core/CMakeFiles/tcpdemux_core.dir/connection_id.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/connection_id.cc.o.d"
   "/root/repo/src/core/demux_registry.cc" "src/core/CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o.d"
   "/root/repo/src/core/dynamic_hash.cc" "src/core/CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o.d"
+  "/root/repo/src/core/epoch.cc" "src/core/CMakeFiles/tcpdemux_core.dir/epoch.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/epoch.cc.o.d"
   "/root/repo/src/core/hashed_mtf.cc" "src/core/CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o.d"
   "/root/repo/src/core/move_to_front.cc" "src/core/CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o.d"
   "/root/repo/src/core/pcb.cc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb.cc.o.d"
   "/root/repo/src/core/pcb_list.cc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o.d"
+  "/root/repo/src/core/rcu_demuxer.cc" "src/core/CMakeFiles/tcpdemux_core.dir/rcu_demuxer.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/rcu_demuxer.cc.o.d"
   "/root/repo/src/core/send_receive_cache.cc" "src/core/CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o.d"
   "/root/repo/src/core/sequent_hash.cc" "src/core/CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o" "gcc" "src/core/CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o.d"
   )

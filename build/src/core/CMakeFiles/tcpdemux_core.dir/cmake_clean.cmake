@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o"
   "CMakeFiles/tcpdemux_core.dir/dynamic_hash.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/epoch.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/epoch.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o"
   "CMakeFiles/tcpdemux_core.dir/hashed_mtf.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/move_to_front.cc.o"
@@ -17,6 +19,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tcpdemux_core.dir/pcb.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o"
   "CMakeFiles/tcpdemux_core.dir/pcb_list.cc.o.d"
+  "CMakeFiles/tcpdemux_core.dir/rcu_demuxer.cc.o"
+  "CMakeFiles/tcpdemux_core.dir/rcu_demuxer.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o"
   "CMakeFiles/tcpdemux_core.dir/send_receive_cache.cc.o.d"
   "CMakeFiles/tcpdemux_core.dir/sequent_hash.cc.o"

@@ -217,5 +217,10 @@ src/core/CMakeFiles/tcpdemux_core.dir/demux_registry.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/connection_id.h /root/repo/src/core/dynamic_hash.h \
  /root/repo/src/core/hashed_mtf.h /root/repo/src/core/move_to_front.h \
+ /root/repo/src/core/rcu_demuxer.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/epoch.h \
  /root/repo/src/core/send_receive_cache.h \
  /root/repo/src/core/sequent_hash.h

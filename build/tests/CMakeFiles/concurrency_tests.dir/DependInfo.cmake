@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/concurrent_demuxer_test.cc" "tests/CMakeFiles/concurrency_tests.dir/core/concurrent_demuxer_test.cc.o" "gcc" "tests/CMakeFiles/concurrency_tests.dir/core/concurrent_demuxer_test.cc.o.d"
+  "/root/repo/tests/core/concurrent_stress_test.cc" "tests/CMakeFiles/concurrency_tests.dir/core/concurrent_stress_test.cc.o" "gcc" "tests/CMakeFiles/concurrency_tests.dir/core/concurrent_stress_test.cc.o.d"
+  "/root/repo/tests/core/rcu_demuxer_test.cc" "tests/CMakeFiles/concurrency_tests.dir/core/rcu_demuxer_test.cc.o" "gcc" "tests/CMakeFiles/concurrency_tests.dir/core/rcu_demuxer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcpdemux_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcpdemux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcpdemux_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcpdemux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/tcpdemux_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tcpdemux_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_tests.dir/core/concurrent_demuxer_test.cc.o"
+  "CMakeFiles/concurrency_tests.dir/core/concurrent_demuxer_test.cc.o.d"
+  "CMakeFiles/concurrency_tests.dir/core/concurrent_stress_test.cc.o"
+  "CMakeFiles/concurrency_tests.dir/core/concurrent_stress_test.cc.o.d"
+  "CMakeFiles/concurrency_tests.dir/core/rcu_demuxer_test.cc.o"
+  "CMakeFiles/concurrency_tests.dir/core/rcu_demuxer_test.cc.o.d"
+  "concurrency_tests"
+  "concurrency_tests.pdb"
+  "concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,7 +9,6 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/bsd_list_test.cc" "tests/CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o.d"
-  "/root/repo/tests/core/concurrent_demuxer_test.cc" "tests/CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o.d"
   "/root/repo/tests/core/connection_id_test.cc" "tests/CMakeFiles/core_tests.dir/core/connection_id_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/connection_id_test.cc.o.d"
   "/root/repo/tests/core/demux_registry_test.cc" "tests/CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o.d"
   "/root/repo/tests/core/demuxer_property_test.cc" "tests/CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/demuxer_property_test.cc.o.d"

@@ -1,8 +1,6 @@
 file(REMOVE_RECURSE
   "CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o"
   "CMakeFiles/core_tests.dir/core/bsd_list_test.cc.o.d"
-  "CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o"
-  "CMakeFiles/core_tests.dir/core/concurrent_demuxer_test.cc.o.d"
   "CMakeFiles/core_tests.dir/core/connection_id_test.cc.o"
   "CMakeFiles/core_tests.dir/core/connection_id_test.cc.o.d"
   "CMakeFiles/core_tests.dir/core/demux_registry_test.cc.o"

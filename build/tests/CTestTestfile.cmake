@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/net_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_tests[1]_include.cmake")
 include("/root/repo/build/tests/analytic_tests[1]_include.cmake")
 include("/root/repo/build/tests/sim_tests[1]_include.cmake")
 include("/root/repo/build/tests/tcp_tests[1]_include.cmake")
