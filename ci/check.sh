@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate + concurrency gate.
+# Staged correctness gate. Every stage is independently skippable so
+# contributors without a sanitizer-capable toolchain can still run the
+# tier-1 and lint stages.
 #
-#   1. Build everything and run the full test suite (the tier-1 check
-#      from ROADMAP.md).
-#   2. Rebuild with ThreadSanitizer (-DTCPDEMUX_SANITIZE=thread) and run
-#      the `concurrency`-labelled stress suites; any data-race report
-#      fails the script (halt_on_error) and so does any test failure.
+#   stage 1  tier1   build + full ctest                 (SKIP_TIER1=1 skips)
+#   stage 2  asan    ASan+UBSan rebuild, full ctest     (SKIP_ASAN=1 skips)
+#   stage 3  tsan    TSan rebuild, `-L concurrency`     (SKIP_TSAN=1 skips)
+#   stage 4  lint    repo lint ctest (`-L lint`)        (SKIP_LINT=1 skips)
+#
+# All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
 # Usage: ci/check.sh [jobs]      (default: nproc)
 set -euo pipefail
@@ -13,16 +16,51 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc)}"
 
-echo "== tier-1: build + full ctest =="
-cmake -B "$ROOT/build" -S "$ROOT"
-cmake --build "$ROOT/build" -j "$JOBS"
-ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+stage() { echo; echo "== stage $1: $2 =="; }
+skipped() { echo; echo "== stage $1: skipped ($2=1) =="; }
 
-echo "== concurrency: rebuild under ThreadSanitizer, run -L concurrency =="
-cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTCPDEMUX_SANITIZE=thread
-cmake --build "$ROOT/build-tsan" --target concurrency_tests -j "$JOBS"
-TSAN_OPTIONS="halt_on_error=1 abort_on_error=0 ${TSAN_OPTIONS:-}" \
-  ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure \
-        -j "$JOBS"
+if [[ "${SKIP_TIER1:-0}" != "1" ]]; then
+  stage tier1 "build + full ctest"
+  cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  cmake --build "$ROOT/build" -j "$JOBS"
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+else
+  skipped tier1 SKIP_TIER1
+fi
 
-echo "== ci/check.sh: all gates passed =="
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  stage asan "rebuild under ASan+UBSan, full ctest (zero reports)"
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DTCPDEMUX_WERROR=ON \
+        -DTCPDEMUX_SANITIZE="address;undefined"
+  cmake --build "$ROOT/build-asan" -j "$JOBS"
+  ASAN_OPTIONS="detect_leaks=1 halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}" \
+    ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+else
+  skipped asan SKIP_ASAN
+fi
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  stage tsan "rebuild under ThreadSanitizer, run -L concurrency"
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DTCPDEMUX_WERROR=ON \
+        -DTCPDEMUX_SANITIZE=thread
+  cmake --build "$ROOT/build-tsan" --target concurrency_tests -j "$JOBS"
+  TSAN_OPTIONS="halt_on_error=1 abort_on_error=0 ${TSAN_OPTIONS:-}" \
+    ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure \
+          -j "$JOBS"
+else
+  skipped tsan SKIP_TSAN
+fi
+
+if [[ "${SKIP_LINT:-0}" != "1" ]]; then
+  stage lint "repo-specific lint (ctest -L lint)"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  ctest --test-dir "$ROOT/build" -L lint --output-on-failure
+else
+  skipped lint SKIP_LINT
+fi
+
+echo
+echo "== ci/check.sh: all requested stages passed =="

@@ -31,6 +31,9 @@ class BsdListDemuxer final : public Demuxer {
   [[nodiscard]] const Pcb* cached() const noexcept { return cache_; }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   PcbList list_;
   Pcb* cache_ = nullptr;
 };

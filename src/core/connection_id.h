@@ -59,6 +59,9 @@ class ConnectionIdDemuxer final : public Demuxer {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   std::size_t capacity_;
   std::vector<std::unique_ptr<Pcb>> slots_;
   std::vector<std::uint32_t> free_ids_;

@@ -106,6 +106,16 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     return std::nullopt;
   }
 
+  if (config.algorithm == Algorithm::kConnectionId) {
+    if (parts.size() > 2) return std::nullopt;
+    if (parts.size() == 2) {
+      const auto capacity = parse_u32(parts[1]);
+      if (!capacity || *capacity == 0) return std::nullopt;
+      config.id_capacity = *capacity;
+    }
+    return config;
+  }
+
   const bool takes_chains = config.algorithm == Algorithm::kSequent ||
                             config.algorithm == Algorithm::kHashedMtf ||
                             config.algorithm == Algorithm::kDynamic ||

@@ -36,7 +36,8 @@ struct DemuxConfig {
 [[nodiscard]] std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config);
 
 /// Parses a spec string:
-///   "bsd" | "mtf" | "srcache" | "connection_id"
+///   "bsd" | "mtf" | "srcache"
+///   "connection_id[:capacity]"               (negotiated ID-space size)
 ///   "sequent[:chains[:hasher[:nocache]]]"   e.g. "sequent:101:crc32"
 ///   "hashed_mtf[:chains[:hasher]]"
 ///   "dynamic[:initial_chains[:hasher]]"      (self-resizing chain table)

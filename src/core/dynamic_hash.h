@@ -58,6 +58,9 @@ class DynamicHashDemuxer final : public Demuxer {
   [[nodiscard]] static std::uint32_t next_table_size(std::uint32_t n) noexcept;
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   struct Bucket {
     PcbList list;
     Pcb* cache = nullptr;

@@ -43,6 +43,9 @@ class HashedMtfDemuxer final : public Demuxer {
   }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   [[nodiscard]] std::uint32_t chain_of(const net::FlowKey& key) const noexcept {
     return net::hash_chain(options_.hasher, key, options_.chains);
   }

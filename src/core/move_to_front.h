@@ -34,6 +34,9 @@ class MoveToFrontDemuxer final : public Demuxer {
   [[nodiscard]] const Pcb* front() const noexcept { return list_.head(); }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   PcbList list_;
 };
 

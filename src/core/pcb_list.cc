@@ -20,7 +20,7 @@ PcbList& PcbList::operator=(PcbList&& other) noexcept {
 }
 
 Pcb* PcbList::emplace_front(const net::FlowKey& key, std::uint64_t conn_id) {
-  Pcb* pcb = new Pcb(key, conn_id);
+  Pcb* pcb = new Pcb(key, conn_id);  // NOLINT(raw-owning-memory)
   link_front(pcb);
   return pcb;
 }
@@ -66,7 +66,7 @@ void PcbList::move_to_front(Pcb* pcb) noexcept {
 
 void PcbList::erase(Pcb* pcb) noexcept {
   unlink(pcb);
-  delete pcb;
+  delete pcb;  // NOLINT(raw-owning-memory)
 }
 
 Pcb* PcbList::extract_front() noexcept {
@@ -81,7 +81,7 @@ void PcbList::clear() noexcept {
   Pcb* p = head_;
   while (p != nullptr) {
     Pcb* next = p->next;
-    delete p;
+    delete p;  // NOLINT(raw-owning-memory)
     p = next;
   }
   head_ = tail_ = nullptr;

@@ -68,6 +68,7 @@ class PcbList {
   void clear() noexcept;
 
   [[nodiscard]] Pcb* head() const noexcept { return head_; }
+  [[nodiscard]] Pcb* tail() const noexcept { return tail_; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 

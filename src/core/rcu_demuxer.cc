@@ -24,7 +24,7 @@ RcuSequentDemuxer::~RcuSequentDemuxer() {
     Node* n = bucket->head.load(std::memory_order_relaxed);
     while (n != nullptr) {
       Node* next = n->next.load(std::memory_order_relaxed);
-      delete n;
+      delete n;  // NOLINT(raw-owning-memory)
       n = next;
     }
   }
@@ -37,6 +37,7 @@ Pcb* RcuSequentDemuxer::insert(const net::FlowKey& key) {
        n = n->next.load(std::memory_order_relaxed)) {
     if (n->pcb.key == key) return nullptr;
   }
+  // NOLINTNEXTLINE(raw-owning-memory): chain nodes are epoch-owned.
   Node* node = new Node(key, conn_seq_.fetch_add(1, std::memory_order_relaxed));
   node->next.store(b.head.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);

@@ -117,6 +117,9 @@ class RcuSequentDemuxer {
   [[nodiscard]] EpochManager& epoch_manager() noexcept { return epoch_; }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h (quiescent only)
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   struct Node {
     Node(const net::FlowKey& k, std::uint64_t id) noexcept : pcb(k, id) {}
     Pcb pcb;
@@ -137,6 +140,7 @@ class RcuSequentDemuxer {
   /// The read path proper; caller must hold an epoch guard.
   LookupResult lookup_in_chain(Bucket& b, const net::FlowKey& key) noexcept;
 
+  // NOLINTNEXTLINE(raw-owning-memory): the epoch manager owns retired nodes.
   static void delete_node(void* p) { delete static_cast<Node*>(p); }
 
   Options options_;
@@ -182,6 +186,9 @@ class RcuDemuxerAdapter final : public Demuxer {
   }
 
   [[nodiscard]] RcuSequentDemuxer& inner() noexcept { return inner_; }
+  [[nodiscard]] const RcuSequentDemuxer& inner() const noexcept {
+    return inner_;
+  }
 
  private:
   RcuSequentDemuxer inner_;

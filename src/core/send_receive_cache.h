@@ -38,6 +38,9 @@ class SendReceiveCacheDemuxer final : public Demuxer {
   [[nodiscard]] const Pcb* send_cached() const noexcept { return send_cache_; }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   /// Probes one cache slot; returns true on hit.
   static bool probe(Pcb* slot, const net::FlowKey& key,
                     LookupResult& r) noexcept;

@@ -61,6 +61,9 @@ class SequentDemuxer final : public Demuxer {
   }
 
  private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
   struct Bucket {
     PcbList list;
     Pcb* cache = nullptr;

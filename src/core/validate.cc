@@ -1,0 +1,500 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/bsd_list.h"
+#include "core/connection_id.h"
+#include "core/demuxer.h"
+#include "core/dynamic_hash.h"
+#include "core/hashed_mtf.h"
+#include "core/move_to_front.h"
+#include "core/pcb_list.h"
+#include "core/rcu_demuxer.h"
+#include "core/send_receive_cache.h"
+#include "core/sequent_hash.h"
+
+namespace tcpdemux::core {
+namespace {
+
+// Collector for validation errors with printf-lite formatting via streams.
+class Errors {
+ public:
+  explicit Errors(ValidationReport& report) : report_(report) {}
+
+  template <typename... Parts>
+  void add(const Parts&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    report_.errors.push_back(os.str());
+  }
+
+ private:
+  ValidationReport& report_;
+};
+
+// Walks `list` checking doubly-linked consistency, and appends every member
+// to `members` (when non-null) for cache/duplicate checks by the caller.
+// The cycle guard caps the walk at size()+1 nodes so a corrupted next
+// pointer cannot hang the validator.
+void check_list(const PcbList& list, const char* what, Errors& errors,
+                std::vector<const Pcb*>* members) {
+  std::size_t count = 0;
+  const Pcb* prev = nullptr;
+  for (const Pcb* p = list.head(); p != nullptr; p = p->next) {
+    if (count > list.size()) {
+      errors.add(what, ": more nodes reachable than size()=", list.size(),
+                 " (cycle or lost count)");
+      return;
+    }
+    if (p->prev != prev) {
+      errors.add(what, ": node ", count, " (", p->key.to_string(),
+                 ") has prev link inconsistent with walk order");
+    }
+    if (members != nullptr) members->push_back(p);
+    prev = p;
+    ++count;
+  }
+  if (count != list.size()) {
+    errors.add(what, ": reachable nodes (", count, ") != size() (",
+               list.size(), ")");
+  }
+  if (list.tail() != prev) {
+    errors.add(what, ": tail does not point at the last reachable node");
+  }
+  if (list.head() != nullptr && list.head()->prev != nullptr) {
+    errors.add(what, ": head node has non-null prev");
+  }
+}
+
+// Cache slots must point at a live member of the structure they cache for;
+// a stale pointer (freed PCB, or a PCB that migrated elsewhere) is the
+// classic intrusive-cache corruption.
+void check_cache_member(const Pcb* cache, const char* what,
+                        const std::vector<const Pcb*>& members,
+                        Errors& errors) {
+  if (cache == nullptr) return;
+  if (std::find(members.begin(), members.end(), cache) == members.end()) {
+    errors.add(what, ": cache points at a PCB that is not a live member");
+  }
+}
+
+// No PCB may be reachable twice and no two PCBs may share a key; either
+// breaks erase() (double free / wrong victim) and the examined-count
+// accounting.
+void check_unique(const std::vector<const Pcb*>& members, const char* what,
+                  Errors& errors) {
+  std::unordered_set<const Pcb*> seen;
+  std::unordered_set<net::FlowKey> keys;
+  for (const Pcb* p : members) {
+    if (!seen.insert(p).second) {
+      errors.add(what, ": PCB ", p->key.to_string(), " is reachable twice");
+    }
+    if (!keys.insert(p->key).second) {
+      errors.add(what, ": duplicate key ", p->key.to_string());
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const std::string& e : errors) {
+    if (!out.empty()) out += '\n';
+    out += e;
+  }
+  return out;
+}
+
+ValidationReport StructuralValidator::validate(const PcbList& list) {
+  ValidationReport report;
+  Errors errors(report);
+  check_list(list, "pcb_list", errors, nullptr);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(const BsdListDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::vector<const Pcb*> members;
+  check_list(demuxer.list_, "bsd", errors, &members);
+  check_unique(members, "bsd", errors);
+  check_cache_member(demuxer.cache_, "bsd", members, errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const MoveToFrontDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::vector<const Pcb*> members;
+  check_list(demuxer.list_, "mtf", errors, &members);
+  check_unique(members, "mtf", errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const SendReceiveCacheDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::vector<const Pcb*> members;
+  check_list(demuxer.list_, "srcache", errors, &members);
+  check_unique(members, "srcache", errors);
+  check_cache_member(demuxer.recv_cache_, "srcache(recv)", members, errors);
+  check_cache_member(demuxer.send_cache_, "srcache(send)", members, errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(const SequentDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::vector<const Pcb*> all;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < demuxer.buckets_.size(); ++c) {
+    const SequentDemuxer::Bucket& bucket = demuxer.buckets_[c];
+    std::vector<const Pcb*> members;
+    std::ostringstream what;
+    what << "sequent chain " << c;
+    check_list(bucket.list, what.str().c_str(), errors, &members);
+    for (const Pcb* p : members) {
+      if (demuxer.chain_of(p->key) != c) {
+        errors.add("sequent: PCB ", p->key.to_string(), " hashes to chain ",
+                   demuxer.chain_of(p->key), " but sits on chain ", c);
+      }
+    }
+    if (!demuxer.options_.per_chain_cache && bucket.cache != nullptr) {
+      errors.add("sequent chain ", c,
+                 ": cache installed but per_chain_cache is disabled");
+    }
+    check_cache_member(bucket.cache, what.str().c_str(), members, errors);
+    total += members.size();
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  if (total != demuxer.size_) {
+    errors.add("sequent: chain occupancy total (", total,
+               ") != size counter (", demuxer.size_, ")");
+  }
+  check_unique(all, "sequent", errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const HashedMtfDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::vector<const Pcb*> all;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < demuxer.buckets_.size(); ++c) {
+    std::vector<const Pcb*> members;
+    std::ostringstream what;
+    what << "hashed_mtf chain " << c;
+    check_list(demuxer.buckets_[c], what.str().c_str(), errors, &members);
+    for (const Pcb* p : members) {
+      if (demuxer.chain_of(p->key) != c) {
+        errors.add("hashed_mtf: PCB ", p->key.to_string(),
+                   " hashes to chain ", demuxer.chain_of(p->key),
+                   " but sits on chain ", c);
+      }
+    }
+    total += members.size();
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  if (total != demuxer.size_) {
+    errors.add("hashed_mtf: chain occupancy total (", total,
+               ") != size counter (", demuxer.size_, ")");
+  }
+  check_unique(all, "hashed_mtf", errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const DynamicHashDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  if (demuxer.buckets_.empty()) {
+    errors.add("dynamic: bucket table is empty");
+    return report;
+  }
+  std::vector<const Pcb*> all;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < demuxer.buckets_.size(); ++c) {
+    const DynamicHashDemuxer::Bucket& bucket = demuxer.buckets_[c];
+    std::vector<const Pcb*> members;
+    std::ostringstream what;
+    what << "dynamic chain " << c;
+    check_list(bucket.list, what.str().c_str(), errors, &members);
+    for (const Pcb* p : members) {
+      if (demuxer.chain_of(p->key) != c) {
+        errors.add("dynamic: PCB ", p->key.to_string(), " hashes to chain ",
+                   demuxer.chain_of(p->key), " but sits on chain ", c);
+      }
+    }
+    if (!demuxer.options_.per_chain_cache && bucket.cache != nullptr) {
+      errors.add("dynamic chain ", c,
+                 ": cache installed but per_chain_cache is disabled");
+    }
+    check_cache_member(bucket.cache, what.str().c_str(), members, errors);
+    total += members.size();
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  if (total != demuxer.size_) {
+    errors.add("dynamic: chain occupancy total (", total,
+               ") != size counter (", demuxer.size_, ")");
+  }
+  check_unique(all, "dynamic", errors);
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const ConnectionIdDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+
+  // Side table -> slot array: every mapping must land on a live slot whose
+  // PCB carries the mapped key and whose conn_id is its own slot index.
+  std::size_t occupied = 0;
+  for (const auto& slot : demuxer.slots_) {
+    if (slot != nullptr) ++occupied;
+  }
+  for (const auto& [key, id] : demuxer.id_by_key_) {
+    if (id >= demuxer.slots_.size()) {
+      errors.add("connection_id: key ", key.to_string(),
+                 " maps to out-of-range id ", id);
+      continue;
+    }
+    const Pcb* pcb = demuxer.slots_[id].get();
+    if (pcb == nullptr) {
+      errors.add("connection_id: key ", key.to_string(),
+                 " maps to empty slot ", id);
+    } else {
+      if (pcb->key != key) {
+        errors.add("connection_id: slot ", id, " holds key ",
+                   pcb->key.to_string(), " but the table maps ",
+                   key.to_string(), " to it");
+      }
+      if (pcb->conn_id != id) {
+        errors.add("connection_id: slot ", id, " PCB carries conn_id ",
+                   pcb->conn_id, " != its slot index");
+      }
+    }
+  }
+  if (occupied != demuxer.id_by_key_.size()) {
+    errors.add("connection_id: occupied slots (", occupied,
+               ") != side-table entries (", demuxer.id_by_key_.size(), ")");
+  }
+
+  // Free list: in-range, unique, and only over empty slots; together with
+  // the occupied slots it must account for the whole ID space.
+  std::unordered_set<std::uint32_t> free_seen;
+  for (const std::uint32_t id : demuxer.free_ids_) {
+    if (id >= demuxer.capacity_) {
+      errors.add("connection_id: free list holds out-of-range id ", id);
+      continue;
+    }
+    if (!free_seen.insert(id).second) {
+      errors.add("connection_id: free list holds id ", id, " twice");
+    }
+    if (demuxer.slots_[id] != nullptr) {
+      errors.add("connection_id: free list holds id ", id,
+                 " whose slot is occupied");
+    }
+  }
+  if (free_seen.size() + occupied != demuxer.capacity_) {
+    errors.add("connection_id: free ids (", free_seen.size(),
+               ") + occupied slots (", occupied, ") != capacity (",
+               demuxer.capacity_, ")");
+  }
+  return report;
+}
+
+ValidationReport StructuralValidator::validate(
+    const RcuSequentDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  std::unordered_set<const Pcb*> seen;
+  std::unordered_set<net::FlowKey> keys;
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < demuxer.buckets_.size(); ++c) {
+    const RcuSequentDemuxer::Bucket& bucket = *demuxer.buckets_[c];
+    std::unordered_set<const RcuSequentDemuxer::Node*> chain_nodes;
+    std::size_t count = 0;
+    for (const RcuSequentDemuxer::Node* n =
+             bucket.head.load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (count > demuxer.size() + 1) {
+        errors.add("rcu chain ", c, ": more nodes reachable than size()=",
+                   demuxer.size(), " (cycle or lost count)");
+        break;
+      }
+      chain_nodes.insert(n);
+      if (n->retired) {
+        errors.add("rcu chain ", c, ": reachable node ",
+                   n->pcb.key.to_string(), " is flagged retired");
+      }
+      if (demuxer.chain_of(n->pcb.key) != c) {
+        errors.add("rcu: PCB ", n->pcb.key.to_string(), " hashes to chain ",
+                   demuxer.chain_of(n->pcb.key), " but sits on chain ", c);
+      }
+      if (!seen.insert(&n->pcb).second) {
+        errors.add("rcu: PCB ", n->pcb.key.to_string(),
+                   " is reachable twice");
+      }
+      if (!keys.insert(n->pcb.key).second) {
+        errors.add("rcu: duplicate key ", n->pcb.key.to_string());
+      }
+      ++count;
+    }
+    total += count;
+
+    const RcuSequentDemuxer::Node* cache =
+        bucket.cache.load(std::memory_order_acquire);
+    if (cache != nullptr) {
+      if (!demuxer.options_.per_chain_cache) {
+        errors.add("rcu chain ", c,
+                   ": cache installed but per_chain_cache is disabled");
+      }
+      if (!chain_nodes.contains(cache)) {
+        errors.add("rcu chain ", c,
+                   ": cache points at a node that is not on the chain");
+      } else if (cache->retired) {
+        errors.add("rcu chain ", c, ": cache resurrects a retired node");
+      }
+    }
+  }
+  if (total != demuxer.size()) {
+    errors.add("rcu: chain occupancy total (", total, ") != size counter (",
+               demuxer.size(), ")");
+  }
+  if (demuxer.epoch_.freed_count() > demuxer.epoch_.retired_count()) {
+    errors.add("rcu: epoch manager freed (", demuxer.epoch_.freed_count(),
+               ") more nodes than were retired (",
+               demuxer.epoch_.retired_count(), ")");
+  }
+  return report;
+}
+
+ValidationReport validate_demuxer(const Demuxer& demuxer) {
+  if (const auto* d = dynamic_cast<const BsdListDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const MoveToFrontDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const SendReceiveCacheDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const SequentDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const HashedMtfDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const DynamicHashDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const ConnectionIdDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const RcuDemuxerAdapter*>(&demuxer)) {
+    return StructuralValidator::validate(d->inner());
+  }
+  ValidationReport report;
+  report.errors.push_back("validate_demuxer: no validator for demuxer '" +
+                          demuxer.name() + "'");
+  return report;
+}
+
+// --- test-only access ------------------------------------------------------
+
+PcbList& ValidatorTestAccess::list(BsdListDemuxer& d) { return d.list_; }
+Pcb*& ValidatorTestAccess::cache(BsdListDemuxer& d) { return d.cache_; }
+PcbList& ValidatorTestAccess::list(MoveToFrontDemuxer& d) { return d.list_; }
+PcbList& ValidatorTestAccess::list(SendReceiveCacheDemuxer& d) {
+  return d.list_;
+}
+Pcb*& ValidatorTestAccess::recv_cache(SendReceiveCacheDemuxer& d) {
+  return d.recv_cache_;
+}
+Pcb*& ValidatorTestAccess::send_cache(SendReceiveCacheDemuxer& d) {
+  return d.send_cache_;
+}
+PcbList& ValidatorTestAccess::chain(SequentDemuxer& d, std::uint32_t chain) {
+  return d.buckets_[chain].list;
+}
+Pcb*& ValidatorTestAccess::cache(SequentDemuxer& d, std::uint32_t chain) {
+  return d.buckets_[chain].cache;
+}
+std::size_t& ValidatorTestAccess::size(SequentDemuxer& d) { return d.size_; }
+PcbList& ValidatorTestAccess::chain(HashedMtfDemuxer& d, std::uint32_t chain) {
+  return d.buckets_[chain];
+}
+std::size_t& ValidatorTestAccess::size(HashedMtfDemuxer& d) { return d.size_; }
+PcbList& ValidatorTestAccess::chain(DynamicHashDemuxer& d,
+                                    std::uint32_t chain) {
+  return d.buckets_[chain].list;
+}
+Pcb*& ValidatorTestAccess::cache(DynamicHashDemuxer& d, std::uint32_t chain) {
+  return d.buckets_[chain].cache;
+}
+std::size_t& ValidatorTestAccess::size(DynamicHashDemuxer& d) {
+  return d.size_;
+}
+
+void ValidatorTestAccess::rebind_id(ConnectionIdDemuxer& d, const Pcb& pcb,
+                                    std::uint32_t id) {
+  d.id_by_key_[pcb.key] = id;
+}
+void ValidatorTestAccess::push_free_id(ConnectionIdDemuxer& d,
+                                       std::uint32_t id) {
+  d.free_ids_.push_back(id);
+}
+void ValidatorTestAccess::pop_free_id(ConnectionIdDemuxer& d) {
+  d.free_ids_.pop_back();
+}
+
+bool ValidatorTestAccess::rcu_move_head(RcuSequentDemuxer& d,
+                                        std::uint32_t from, std::uint32_t to) {
+  RcuSequentDemuxer::Bucket& src = *d.buckets_[from];
+  RcuSequentDemuxer::Bucket& dst = *d.buckets_[to];
+  RcuSequentDemuxer::Node* n = src.head.load(std::memory_order_relaxed);
+  if (n == nullptr) return false;
+  src.head.store(n->next.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  n->next.store(dst.head.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  dst.head.store(n, std::memory_order_relaxed);
+  return true;
+}
+bool ValidatorTestAccess::rcu_cache_foreign_head(RcuSequentDemuxer& d,
+                                                 std::uint32_t chain,
+                                                 std::uint32_t other) {
+  RcuSequentDemuxer::Node* n =
+      d.buckets_[other]->head.load(std::memory_order_relaxed);
+  if (n == nullptr) return false;
+  d.buckets_[chain]->cache.store(n, std::memory_order_relaxed);
+  return true;
+}
+void ValidatorTestAccess::rcu_clear_cache(RcuSequentDemuxer& d,
+                                          std::uint32_t chain) {
+  d.buckets_[chain]->cache.store(nullptr, std::memory_order_relaxed);
+}
+bool ValidatorTestAccess::rcu_toggle_head_retired(RcuSequentDemuxer& d,
+                                                  std::uint32_t chain) {
+  RcuSequentDemuxer::Node* n =
+      d.buckets_[chain]->head.load(std::memory_order_relaxed);
+  if (n == nullptr) return false;
+  n->retired = !n->retired;
+  return true;
+}
+void ValidatorTestAccess::rcu_adjust_size(RcuSequentDemuxer& d,
+                                          std::ptrdiff_t delta) {
+  d.size_.store(d.size_.load(std::memory_order_relaxed) +
+                    static_cast<std::size_t>(delta),
+                std::memory_order_relaxed);
+}
+
+}  // namespace tcpdemux::core

@@ -49,6 +49,16 @@ TEST(Registry, ParseSequentNoCache) {
   EXPECT_FALSE(config->per_chain_cache);
 }
 
+TEST(Registry, ParseConnectionIdCapacity) {
+  const auto config = parse_demux_spec("connection_id:256");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kConnectionId);
+  EXPECT_EQ(config->id_capacity, 256u);
+  EXPECT_FALSE(parse_demux_spec("connection_id:0").has_value());
+  EXPECT_FALSE(parse_demux_spec("connection_id:abc").has_value());
+  EXPECT_FALSE(parse_demux_spec("connection_id:256:extra").has_value());
+}
+
 TEST(Registry, ParseRejectsUnknownAlgorithm) {
   EXPECT_FALSE(parse_demux_spec("quantum").has_value());
   EXPECT_FALSE(parse_demux_spec("").has_value());
