@@ -1,13 +1,21 @@
-// Shared helpers for the table/figure benches: standard TPC/A runs and
-// paper-vs-model-vs-simulation formatting.
+// Shared helpers for the table/figure benches: standard TPC/A runs,
+// paper-vs-model-vs-simulation formatting, and — for the wallclock_*
+// binaries — the one calibrated timing loop they all use plus --json /
+// --smoke command-line handling.
 #ifndef TCPDEMUX_BENCH_BENCH_UTIL_H_
 #define TCPDEMUX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/demux_registry.h"
+#include "report/bench_json.h"
 #include "sim/replay.h"
 #include "sim/tpca_workload.h"
 
@@ -54,6 +62,129 @@ inline core::DemuxConfig config_of(std::string_view spec) {
   const auto config = core::parse_demux_spec(spec);
   if (!config) throw std::invalid_argument("bad demux spec");
   return *config;
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock timing. One calibrated loop shared by every wallclock_* bench
+// so they cannot drift apart in methodology: calibrate the per-rep call
+// count to a minimum wall time, run R timed reps, report the median.
+// ---------------------------------------------------------------------------
+
+/// Keeps `value` observable so the optimizer cannot delete the computation
+/// that produced it.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile T sink;
+  sink = value;
+#endif
+}
+
+/// Full compiler barrier: forces pending writes to be considered visible,
+/// so stores into bench-owned buffers cannot be sunk out of the timed
+/// region.
+inline void clobber_memory() {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" ::: "memory");
+#endif
+}
+
+struct TimeLoopOptions {
+  int reps = 5;                   ///< timed repetitions; the median wins
+  double min_rep_seconds = 0.05;  ///< calibration target per rep
+};
+
+struct Timing {
+  double ns_per_op = 0.0;         ///< median over reps
+  std::uint64_t calls_per_rep = 0;
+  int reps = 0;
+};
+
+/// Times `body` (which performs `ops_per_call` operations per invocation).
+/// Calibrates the number of calls per rep so each rep runs at least
+/// `min_rep_seconds`, then takes the median ns/op over `reps` reps —
+/// robust against a stray scheduler preemption in any single rep.
+template <typename F>
+Timing time_loop(std::uint64_t ops_per_call, F&& body,
+                 TimeLoopOptions opt = {}) {
+  using clock = std::chrono::steady_clock;
+  const auto run = [&](std::uint64_t calls) {
+    const auto t0 = clock::now();
+    for (std::uint64_t c = 0; c < calls; ++c) {
+      body();
+      clobber_memory();
+    }
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  std::uint64_t calls = 1;
+  double seconds = run(calls);
+  while (seconds < opt.min_rep_seconds && calls < (1ULL << 40)) {
+    // Scale toward the target in one or two steps instead of doubling
+    // forever; the 1.4 headroom compensates for sub-linear re-runs.
+    const double scale =
+        std::max(2.0, 1.4 * opt.min_rep_seconds / std::max(seconds, 1e-9));
+    calls = static_cast<std::uint64_t>(static_cast<double>(calls) * scale);
+    seconds = run(calls);
+  }
+
+  std::vector<double> per_op(static_cast<std::size_t>(opt.reps));
+  per_op[0] = seconds * 1e9 /
+              (static_cast<double>(calls) * static_cast<double>(ops_per_call));
+  for (int r = 1; r < opt.reps; ++r) {
+    per_op[static_cast<std::size_t>(r)] =
+        run(calls) * 1e9 /
+        (static_cast<double>(calls) * static_cast<double>(ops_per_call));
+  }
+  std::sort(per_op.begin(), per_op.end());
+  return Timing{per_op[per_op.size() / 2], calls, opt.reps};
+}
+
+// ---------------------------------------------------------------------------
+// Command line shared by the wallclock_* binaries:
+//   --json <path>   export a JSON record array (report/bench_json.h)
+//   --smoke         minimum-size, minimum-rep run for CI sanity checking
+// ---------------------------------------------------------------------------
+
+struct BenchOptions {
+  bool smoke = false;
+  std::string json_path;  ///< empty = no JSON export
+
+  /// Rep/time budget honouring --smoke: CI only needs "it runs and the
+  /// numbers are plausible", not statistical confidence.
+  [[nodiscard]] TimeLoopOptions timing() const {
+    return smoke ? TimeLoopOptions{3, 0.002} : TimeLoopOptions{};
+  }
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Writes the accumulated records if --json was given. Exits non-zero on
+/// I/O failure so CI catches a bad path instead of silently shipping no
+/// file.
+inline void finish_json(const report::BenchJsonWriter& writer,
+                        const BenchOptions& opts) {
+  if (opts.json_path.empty()) return;
+  if (!writer.write_file(opts.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace tcpdemux::bench

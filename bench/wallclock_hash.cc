@@ -1,62 +1,49 @@
-// Wall-clock cost of the flow-key hash functions (google-benchmark).
+// Wall-clock cost of the flow-key hash functions.
 //
 // §3.5: "The only added cost of the Sequent algorithm over BSD is the
 // memory required for the hash-chain headers and the computation of the
 // hash function itself." This bench shows that computation is nanoseconds
-// for every candidate.
-#include <benchmark/benchmark.h>
-
+// for every candidate, using the shared calibrated timing loop.
+//
+//   wallclock_hash [--smoke] [--json <path>]
+#include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "net/hashers.h"
 #include "sim/address_space.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace tcpdemux;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  report::BenchJsonWriter writer;
 
-using namespace tcpdemux;
-
-void run_hash_bench(benchmark::State& state, net::HasherKind kind) {
   sim::AddressSpaceParams ap;
   ap.clients = 1024;
   ap.pattern = sim::ClientPattern::kRandom;
   const auto keys = sim::make_client_keys(ap);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net::hash_flow(kind, keys[i]));
-    i = (i + 1) & 1023;
+
+  std::printf("%-16s %10s\n", "hasher", "ns/hash");
+  for (const net::HasherKind kind : net::kAllHashers) {
+    const bench::Timing t = bench::time_loop(
+        keys.size(),
+        [&] {
+          std::uint32_t acc = 0;
+          for (const auto& k : keys) acc ^= net::hash_flow(kind, k);
+          bench::do_not_optimize(acc);
+        },
+        opts.timing());
+    const auto name = net::hasher_name(kind);
+    std::printf("%-16.*s %10.2f\n", static_cast<int>(name.size()),
+                name.data(), t.ns_per_op);
+
+    report::BenchRecord rec;
+    rec.bench = "wallclock_hash";
+    rec.name = std::string(name);
+    rec.add_metric("ns_per_hash", t.ns_per_op);
+    writer.add(std::move(rec));
   }
-}
 
-void BM_BsdModulo(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kBsdModulo);
+  bench::finish_json(writer, opts);
+  return 0;
 }
-void BM_XorFold(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kXorFold);
-}
-void BM_AddFold(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kAddFold);
-}
-void BM_Multiplicative(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kMultiplicative);
-}
-void BM_Crc32(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kCrc32);
-}
-void BM_Jenkins(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kJenkins);
-}
-void BM_Toeplitz(benchmark::State& s) {
-  run_hash_bench(s, net::HasherKind::kToeplitz);
-}
-
-}  // namespace
-
-BENCHMARK(BM_BsdModulo);
-BENCHMARK(BM_XorFold);
-BENCHMARK(BM_AddFold);
-BENCHMARK(BM_Multiplicative);
-BENCHMARK(BM_Crc32);
-BENCHMARK(BM_Jenkins);
-BENCHMARK(BM_Toeplitz);
-
-BENCHMARK_MAIN();

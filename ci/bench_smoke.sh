@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench smoke: builds the wallclock suite, runs every binary in --smoke
+# mode (minimum sizes, minimum reps — this checks "runs and emits sane
+# records", not performance), and merges the per-binary JSON exports into
+# one JSON array. Default output is BENCH_wallclock.json at the repo root;
+# ci/check.sh overrides it into the build tree so smoke-sized numbers never
+# clobber the checked-in full-size export.
+#
+# Usage: ci/bench_smoke.sh [jobs] [output.json]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+OUT="${2:-$ROOT/BENCH_wallclock.json}"
+
+BENCHES=(wallclock_hash wallclock_lookup wallclock_batch wallclock_parallel)
+
+cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+cmake --build "$ROOT/build" -j "$JOBS" --target "${BENCHES[@]}"
+
+TMPDIR_JSON="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_JSON"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  echo "== bench smoke: $b =="
+  "$ROOT/build/bench/$b" --smoke --json "$TMPDIR_JSON/$b.json"
+done
+
+# Each export is a JSON array; merge them into one array.
+python3 - "$OUT" "$TMPDIR_JSON"/*.json <<'EOF'
+import json, sys
+out, *parts = sys.argv[1:]
+records = []
+for p in parts:
+    with open(p) as f:
+        records.extend(json.load(f))
+with open(out, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"merged {len(records)} records -> {out}")
+EOF

@@ -7,6 +7,7 @@
 #   stage 2  asan    ASan+UBSan rebuild, full ctest     (SKIP_ASAN=1 skips)
 #   stage 3  tsan    TSan rebuild, `-L concurrency`     (SKIP_TSAN=1 skips)
 #   stage 4  lint    repo lint ctest (`-L lint`)        (SKIP_LINT=1 skips)
+#   stage 5  bench   wallclock suite --smoke + JSON     (SKIP_BENCH=1 skips)
 #
 # All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
@@ -60,6 +61,15 @@ if [[ "${SKIP_LINT:-0}" != "1" ]]; then
   ctest --test-dir "$ROOT/build" -L lint --output-on-failure
 else
   skipped lint SKIP_LINT
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  stage bench "wallclock suite smoke run + merged JSON export"
+  # Smoke output goes to the build tree: the checked-in BENCH_wallclock.json
+  # holds full-size numbers and must not be clobbered by smoke-sized runs.
+  "$ROOT/ci/bench_smoke.sh" "$JOBS" "$ROOT/build/BENCH_wallclock.smoke.json"
+else
+  skipped bench SKIP_BENCH
 fi
 
 echo

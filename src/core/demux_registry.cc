@@ -6,6 +6,7 @@
 #include "core/bsd_list.h"
 #include "core/connection_id.h"
 #include "core/dynamic_hash.h"
+#include "core/flat_demuxer.h"
 #include "core/hashed_mtf.h"
 #include "core/move_to_front.h"
 #include "core/rcu_demuxer.h"
@@ -57,6 +58,9 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
     case Algorithm::kRcu:
       return std::make_unique<RcuDemuxerAdapter>(RcuSequentDemuxer::Options{
           config.chains, config.hasher, config.per_chain_cache});
+    case Algorithm::kFlat:
+      return std::make_unique<FlatDemuxer>(
+          FlatDemuxer::Options{config.flat_capacity, config.hasher});
   }
   return nullptr;
 }
@@ -78,6 +82,7 @@ std::string_view algorithm_name(Algorithm algorithm) noexcept {
     case Algorithm::kConnectionId: return "connection_id";
     case Algorithm::kDynamic: return "dynamic";
     case Algorithm::kRcu: return "rcu";
+    case Algorithm::kFlat: return "flat";
   }
   return "?";
 }
@@ -102,6 +107,8 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     config.algorithm = Algorithm::kDynamic;
   } else if (head == "rcu") {
     config.algorithm = Algorithm::kRcu;
+  } else if (head == "flat") {
+    config.algorithm = Algorithm::kFlat;
   } else {
     return std::nullopt;
   }
@@ -112,6 +119,21 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
       const auto capacity = parse_u32(parts[1]);
       if (!capacity || *capacity == 0) return std::nullopt;
       config.id_capacity = *capacity;
+    }
+    return config;
+  }
+
+  if (config.algorithm == Algorithm::kFlat) {
+    if (parts.size() > 3) return std::nullopt;
+    if (parts.size() >= 2) {
+      const auto capacity = parse_u32(parts[1]);
+      if (!capacity || *capacity == 0) return std::nullopt;
+      config.flat_capacity = *capacity;
+    }
+    if (parts.size() == 3) {
+      const auto hasher = parse_hasher_name(parts[2]);
+      if (!hasher) return std::nullopt;
+      config.hasher = *hasher;
     }
     return config;
   }

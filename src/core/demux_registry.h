@@ -22,6 +22,7 @@ enum class Algorithm : std::uint8_t {
   kConnectionId,  ///< §3.5 protocol-extension strawman
   kDynamic,       ///< self-resizing hash chains (post-paper extension)
   kRcu,           ///< lock-free-read hash chains + epoch reclaim (RCU)
+  kFlat,          ///< open-addressing robin-hood table, fingerprint tags
 };
 
 struct DemuxConfig {
@@ -30,6 +31,7 @@ struct DemuxConfig {
   net::HasherKind hasher = net::HasherKind::kXorFold;
   bool per_chain_cache = true;       ///< Sequent only
   std::size_t id_capacity = 65536;   ///< connection-ID only
+  std::size_t flat_capacity = 1024;  ///< flat only (initial slots)
 };
 
 /// Instantiates the configured demuxer.
@@ -42,6 +44,7 @@ struct DemuxConfig {
 ///   "hashed_mtf[:chains[:hasher]]"
 ///   "dynamic[:initial_chains[:hasher]]"      (self-resizing chain table)
 ///   "rcu[:chains[:hasher[:nocache]]]"        (lock-free-read Sequent)
+///   "flat[:capacity[:hasher]]"               (open-addressing flat table)
 /// Returns nullopt on any unrecognized token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "core/pcb.h"
@@ -87,6 +88,21 @@ class Demuxer {
   /// re-expose it with `using Demuxer::lookup;`.
   LookupResult lookup(const net::FlowKey& key) {
     return lookup(key, SegmentKind::kData);
+  }
+
+  /// Demultiplexes a burst of packets, writing results[i] for keys[i].
+  /// `results.size()` must be >= `keys.size()`. Results and stats are
+  /// identical to issuing `keys.size()` lookup() calls in order — batching
+  /// is purely a latency optimization. Overrides pipeline the work (hash
+  /// every key, prefetch every target bucket/tag line, then probe) so a
+  /// burst's DRAM misses overlap instead of serializing; this default is
+  /// the correct scalar loop for algorithms with no such override.
+  virtual void lookup_batch(std::span<const net::FlowKey> keys,
+                            std::span<LookupResult> results,
+                            SegmentKind kind = SegmentKind::kData) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      results[i] = lookup(keys[i], kind);
+    }
   }
 
   /// Notes that the host transmitted a segment on `pcb`'s connection.

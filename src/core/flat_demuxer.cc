@@ -1,0 +1,245 @@
+#include "core/flat_demuxer.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+#include "core/prefetch.h"
+
+namespace tcpdemux::core {
+namespace {
+
+constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlatDemuxer::FlatDemuxer(Options options) : options_(options) {
+  if (options_.initial_capacity == 0) {
+    throw std::invalid_argument("FlatDemuxer: capacity must be >= 1");
+  }
+  const std::size_t capacity =
+      round_up_pow2(std::max(options_.initial_capacity, kMinCapacity));
+  mask_ = capacity - 1;
+  tags_.assign(capacity, 0);
+  hashes_.assign(capacity, 0);
+  keys_.assign(capacity, net::FlowKey{});
+  pcbs_.resize(capacity);
+}
+
+FlatDemuxer::Probe FlatDemuxer::find_slot(
+    std::uint32_t h, const net::FlowKey& key) const noexcept {
+  Probe r;
+  const std::uint8_t tag = tag_of(h);
+  std::size_t i = h & mask_;
+  std::size_t dist = 0;
+  while (dist <= mask_) {
+    const std::uint8_t t = tags_[i];
+    if (t == 0) return r;  // empty slot terminates the probe run
+    if (t == tag) {
+      ++r.examined;
+      if (keys_[i] == key) {
+        r.slot = i;
+        return r;
+      }
+    }
+    // Robin-hood bound: residents are ordered by displacement, so a
+    // resident closer to its own home than we are to ours proves the key
+    // was never placed at or beyond this slot.
+    if (probe_distance(i) < dist) return r;
+    i = (i + 1) & mask_;
+    ++dist;
+  }
+  return r;  // unreachable in a well-formed table (load factor < 1)
+}
+
+Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
+  const std::uint32_t h = hash_of(key);
+  if (find_slot(h, key).slot != kNpos) return nullptr;
+  // Grow at 7/8 occupancy: beyond that, probe runs lengthen sharply and
+  // the tag array stops saving traffic.
+  if ((size_ + 1) * 8 > capacity() * 7) grow();
+  auto pcb = std::make_unique<Pcb>(key, next_conn_id());
+  Pcb* const raw = pcb.get();
+  place(h, key, std::move(pcb));
+  ++size_;
+  return raw;
+}
+
+void FlatDemuxer::place(std::uint32_t h, net::FlowKey key,
+                        std::unique_ptr<Pcb> pcb) {
+  std::size_t i = h & mask_;
+  std::size_t dist = 0;
+  while (tags_[i] != 0) {
+    const std::size_t d = probe_distance(i);
+    if (d < dist) {
+      // Rob the rich: the resident is closer to home than we are, so it
+      // can better afford the longer walk. Swap and keep placing it.
+      std::swap(h, hashes_[i]);
+      std::swap(key, keys_[i]);
+      std::swap(pcb, pcbs_[i]);
+      tags_[i] = tag_of(hashes_[i]);
+      dist = d;
+    }
+    i = (i + 1) & mask_;
+    ++dist;
+  }
+  tags_[i] = tag_of(h);
+  hashes_[i] = h;
+  keys_[i] = key;
+  pcbs_[i] = std::move(pcb);
+}
+
+bool FlatDemuxer::erase(const net::FlowKey& key) {
+  const Probe p = find_slot(hash_of(key), key);
+  if (p.slot == kNpos) return false;
+  remove_at(p.slot);
+  --size_;
+  return true;
+}
+
+void FlatDemuxer::remove_at(std::size_t i) {
+  pcbs_[i].reset();
+  // Backward shift: slide the rest of the probe run down one slot so no
+  // tombstone is needed. The run ends at an empty slot or a resident
+  // already sitting in its home slot (which a shift would only hurt).
+  std::size_t j = i;
+  while (true) {
+    const std::size_t n = (j + 1) & mask_;
+    if (tags_[n] == 0 || probe_distance(n) == 0) break;
+    tags_[j] = tags_[n];
+    hashes_[j] = hashes_[n];
+    keys_[j] = keys_[n];
+    pcbs_[j] = std::move(pcbs_[n]);
+    j = n;
+  }
+  tags_[j] = 0;
+  pcbs_[j].reset();
+}
+
+void FlatDemuxer::grow() {
+  const std::size_t old_capacity = capacity();
+  std::vector<std::uint8_t> old_tags = std::move(tags_);
+  std::vector<std::uint32_t> old_hashes = std::move(hashes_);
+  std::vector<net::FlowKey> old_keys = std::move(keys_);
+  std::vector<std::unique_ptr<Pcb>> old_pcbs = std::move(pcbs_);
+
+  const std::size_t capacity = old_capacity * 2;
+  mask_ = capacity - 1;
+  tags_.assign(capacity, 0);
+  hashes_.assign(capacity, 0);
+  keys_.assign(capacity, net::FlowKey{});
+  pcbs_.clear();
+  pcbs_.resize(capacity);
+
+  for (std::size_t i = 0; i < old_capacity; ++i) {
+    if (old_tags[i] == 0) continue;
+    place(old_hashes[i], old_keys[i], std::move(old_pcbs[i]));
+  }
+}
+
+LookupResult FlatDemuxer::lookup(const net::FlowKey& key,
+                                 SegmentKind /*kind*/) {
+  const Probe p = find_slot(hash_of(key), key);
+  LookupResult r;
+  r.examined = p.examined;
+  if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+  stats_.record(r);
+  return r;
+}
+
+void FlatDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
+                               std::span<LookupResult> results,
+                               SegmentKind /*kind*/) {
+  // Pipeline: hash the whole chunk and issue prefetches for every home
+  // slot's tag and key lines, then probe. By the time the first probe
+  // dereferences its slot the remaining loads are already in flight, so a
+  // burst pays ~one DRAM latency instead of one per packet.
+  constexpr std::size_t kChunk = 16;
+  std::array<std::uint32_t, kChunk> h;
+  for (std::size_t base = 0; base < keys.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, keys.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      h[i] = hash_of(keys[base + i]);
+      const std::size_t home = h[i] & mask_;
+      prefetch_read(&tags_[home]);
+      prefetch_read(&hashes_[home]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      prefetch_read(&keys_[h[i] & mask_]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Probe p = find_slot(h[i], keys[base + i]);
+      LookupResult r;
+      r.examined = p.examined;
+      if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+      stats_.record(r);
+      results[base + i] = r;
+    }
+  }
+}
+
+LookupResult FlatDemuxer::lookup_wildcard(const net::FlowKey& key) {
+  // Exact probe first (cheap), then BSD best-match over every resident:
+  // wildcard-bearing keys hash elsewhere, so nothing short of a sweep can
+  // find them — exactly the chained demuxers' all-chains fallback.
+  const Probe p = find_slot(hash_of(key), key);
+  LookupResult best;
+  best.examined = p.examined;
+  if (p.slot != kNpos) {
+    best.pcb = pcbs_[p.slot].get();
+    return best;
+  }
+  int best_score = -1;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    if (tags_[i] == 0) continue;
+    ++best.examined;
+    const int score = keys_[i].match_score(key);
+    if (score < 0) continue;
+    if (score == 0) {
+      best.pcb = pcbs_[i].get();
+      return best;
+    }
+    if (best_score < 0 || score < best_score) {
+      best_score = score;
+      best.pcb = pcbs_[i].get();
+    }
+  }
+  return best;
+}
+
+void FlatDemuxer::for_each_pcb(
+    const std::function<void(const Pcb&)>& fn) const {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    if (tags_[i] != 0) fn(*pcbs_[i]);
+  }
+}
+
+std::size_t FlatDemuxer::max_probe_distance() const noexcept {
+  std::size_t max = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    if (tags_[i] != 0) max = std::max(max, probe_distance(i));
+  }
+  return max;
+}
+
+std::size_t FlatDemuxer::memory_bytes() const {
+  return size_ * sizeof(Pcb) + sizeof(*this) +
+         capacity() * (sizeof(std::uint8_t) + sizeof(std::uint32_t) +
+                       sizeof(net::FlowKey) + sizeof(std::unique_ptr<Pcb>));
+}
+
+std::string FlatDemuxer::name() const {
+  std::string n = "flat(cap=";
+  n += std::to_string(capacity());
+  n += ',';
+  n += net::hasher_name(options_.hasher);
+  n += ')';
+  return n;
+}
+
+}  // namespace tcpdemux::core

@@ -1,0 +1,142 @@
+// Cache-conscious flat demuxer: open addressing with robin-hood probing,
+// one-byte fingerprint tags, and tombstone-free backward-shift deletion.
+//
+// The paper's figure of merit — PCBs examined per lookup — is a surrogate
+// for memory traffic: every chain-following demuxer in this library (BSD,
+// MTF, SR, Sequent, RCU) pays at least one dependent pointer chase into a
+// few-hundred-byte PCB per examined node. This structure attacks the
+// traffic directly, the way modern flow tables (Cuckoo++ [LeS17], DPDK
+// hash) do:
+//
+//   * power-of-two slot array, structure-of-arrays layout: a probe walks a
+//     dense 1-byte tag array first, so resolving a slot costs a fraction
+//     of a cache line, not a PCB-sized load;
+//   * the tag holds an occupied bit plus 7 fingerprint bits from the top
+//     of the hash. A key comparison (the 96-bit flow key, in its own dense
+//     array) happens only on a fingerprint match — with 7 bits, ~1/128 of
+//     colliding probes are false positives;
+//   * robin-hood insertion bounds probe-sequence variance (an inserting
+//     key displaces any resident closer to its home slot), which keeps the
+//     early-exit bound on misses tight;
+//   * deletion backward-shifts the following probe run instead of leaving
+//     tombstones, so load factor — and therefore probe length — never
+//     degrades with churn;
+//   * growth doubles the table at 7/8 occupancy and rehashes in place
+//     (amortized O(1) per insert). Pcb objects are individually owned, so
+//     Pcb* stay stable across growth and slot shifts.
+//
+// Accounting: `examined` counts key comparisons (fingerprint hits), the
+// moments this structure actually touches a connection's identity. Tag
+// probes are free by design — that is the whole point of the layout — so
+// a miss that never matches a fingerprint reports 0 examined PCBs.
+//
+// The hash is finalized with a 32-bit avalanche mix before use: the table
+// masks low bits for the slot index and takes the top bits as the
+// fingerprint, so weak folds (the 1992 candidates) would otherwise cluster
+// both. Chained tables hide this behind a prime modulus; a flat table must
+// repair it itself.
+#ifndef TCPDEMUX_CORE_FLAT_DEMUXER_H_
+#define TCPDEMUX_CORE_FLAT_DEMUXER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/demuxer.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::core {
+
+class FlatDemuxer final : public Demuxer {
+ public:
+  struct Options {
+    std::size_t initial_capacity = 1024;  ///< rounded up to a power of two
+    net::HasherKind hasher = net::HasherKind::kXorFold;
+  };
+
+  FlatDemuxer() : FlatDemuxer(Options()) {}
+  explicit FlatDemuxer(Options options);
+
+  Pcb* insert(const net::FlowKey& key) override;
+  bool erase(const net::FlowKey& key) override;
+  using Demuxer::lookup;
+  LookupResult lookup(const net::FlowKey& key, SegmentKind kind) override;
+  void lookup_batch(std::span<const net::FlowKey> keys,
+                    std::span<LookupResult> results,
+                    SegmentKind kind) override;
+  LookupResult lookup_wildcard(const net::FlowKey& key) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  void for_each_pcb(
+      const std::function<void(const Pcb&)>& fn) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
+  /// Current slot count (doubles as the table grows). Test/bench hook.
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Longest probe sequence any resident key currently needs (test hook:
+  /// robin-hood keeps this small even at high load).
+  [[nodiscard]] std::size_t max_probe_distance() const noexcept;
+
+ private:
+  friend class StructuralValidator;   // src/core/validate.h
+  friend struct ValidatorTestAccess;  // negative validator tests only
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// 32-bit avalanche finalizer (Prospector's low-bias constants): every
+  /// input bit reaches the masked index bits and the fingerprint bits.
+  [[nodiscard]] static constexpr std::uint32_t mix32(std::uint32_t x) noexcept {
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+  }
+
+  /// Tag byte: occupied bit (0x80) | top 7 hash bits. 0 means empty.
+  [[nodiscard]] static constexpr std::uint8_t tag_of(std::uint32_t h) noexcept {
+    return static_cast<std::uint8_t>(0x80U | (h >> 25));
+  }
+
+  [[nodiscard]] std::uint32_t hash_of(const net::FlowKey& key) const noexcept {
+    return mix32(net::hash_flow(options_.hasher, key));
+  }
+
+  /// Distance of slot `i`'s resident from its home slot, in probe steps.
+  [[nodiscard]] std::size_t probe_distance(std::size_t i) const noexcept {
+    return (i - (hashes_[i] & mask_)) & mask_;
+  }
+
+  struct Probe {
+    std::size_t slot = kNpos;      ///< kNpos when absent
+    std::uint32_t examined = 0;    ///< key comparisons performed
+  };
+  [[nodiscard]] Probe find_slot(std::uint32_t h,
+                                const net::FlowKey& key) const noexcept;
+
+  /// Robin-hood placement of a (pre-hashed) entry; the caller has already
+  /// established the key is absent and the load factor is acceptable.
+  void place(std::uint32_t h, net::FlowKey key, std::unique_ptr<Pcb> pcb);
+  /// Backward-shift removal of the resident at slot `i`.
+  void remove_at(std::size_t i);
+  /// Doubles the slot array and re-places every resident.
+  void grow();
+
+  Options options_;
+  std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
+  std::size_t size_ = 0;
+  // Structure-of-arrays slot storage. Parallel, all sized capacity():
+  // a probe touches tags_ (1 B/slot), then hashes_ for the robin-hood
+  // bound (4 B/slot), and keys_ (12 B/slot) only on a fingerprint match.
+  // The PCB itself is touched only when returned to the caller.
+  std::vector<std::uint8_t> tags_;
+  std::vector<std::uint32_t> hashes_;
+  std::vector<net::FlowKey> keys_;
+  std::vector<std::unique_ptr<Pcb>> pcbs_;
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_FLAT_DEMUXER_H_

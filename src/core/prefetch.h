@@ -1,0 +1,27 @@
+// Software-prefetch portability shim.
+//
+// The batched lookup pipelines (Demuxer::lookup_batch overrides) hide DRAM
+// latency by issuing prefetches for every bucket/tag line in a burst before
+// probing any of them. All prefetching goes through this header so the
+// compiler intrinsic appears in exactly one place (the repo lint enforces
+// this) and non-GNU toolchains degrade to a no-op instead of a build break.
+#ifndef TCPDEMUX_CORE_PREFETCH_H_
+#define TCPDEMUX_CORE_PREFETCH_H_
+
+namespace tcpdemux::core {
+
+/// Hints the CPU to pull the cache line holding `addr` toward L1 for a
+/// read. `addr` may be any address, including past the end of an array —
+/// prefetch never faults.
+inline void prefetch_read(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  // 0 = read, 3 = high temporal locality (keep in all cache levels).
+  __builtin_prefetch(addr, 0, 3);  // NOLINT(prefetch-discipline)
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_PREFETCH_H_

@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/prefetch.h"
+
 namespace tcpdemux::core {
 
 RcuSequentDemuxer::RcuSequentDemuxer(Options options) : options_(options) {
@@ -145,7 +147,7 @@ void RcuSequentDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
     // so the chain walks below start with the heads already in flight.
     for (std::size_t i = 0; i < n; ++i) {
       chain[i] = buckets_[chain_of(keys[base + i])].get();
-      __builtin_prefetch(chain[i], 0, 3);
+      prefetch_read(chain[i]);
     }
     for (std::size_t i = 0; i < n; ++i) {
       results[base + i] = lookup_in_chain(*chain[i], keys[base + i]);

@@ -172,6 +172,12 @@ class RcuDemuxerAdapter final : public Demuxer {
     stats_.record(r);
     return r;
   }
+  void lookup_batch(std::span<const net::FlowKey> keys,
+                    std::span<LookupResult> results,
+                    SegmentKind kind) override {
+    inner_.lookup_batch(keys, results, kind);
+    for (std::size_t i = 0; i < keys.size(); ++i) stats_.record(results[i]);
+  }
   LookupResult lookup_wildcard(const net::FlowKey& key) override {
     return inner_.lookup_wildcard(key);
   }

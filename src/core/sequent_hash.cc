@@ -1,6 +1,10 @@
 #include "core/sequent_hash.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
+
+#include "core/prefetch.h"
 
 namespace tcpdemux::core {
 
@@ -29,16 +33,14 @@ bool SequentDemuxer::erase(const net::FlowKey& key) {
   return true;
 }
 
-LookupResult SequentDemuxer::lookup(const net::FlowKey& key,
-                                    SegmentKind /*kind*/) {
-  Bucket& b = buckets_[chain_of(key)];
+LookupResult SequentDemuxer::lookup_in_bucket(Bucket& b,
+                                              const net::FlowKey& key) {
   LookupResult r;
   if (options_.per_chain_cache && b.cache != nullptr) {
     ++r.examined;
     if (b.cache->key == key) {
       r.pcb = b.cache;
       r.cache_hit = true;
-      stats_.record(r);
       return r;
     }
   }
@@ -46,8 +48,45 @@ LookupResult SequentDemuxer::lookup(const net::FlowKey& key,
   r.examined += scan.examined;
   r.pcb = scan.pcb;
   if (options_.per_chain_cache && scan.pcb != nullptr) b.cache = scan.pcb;
+  return r;
+}
+
+LookupResult SequentDemuxer::lookup(const net::FlowKey& key,
+                                    SegmentKind /*kind*/) {
+  const LookupResult r = lookup_in_bucket(buckets_[chain_of(key)], key);
   stats_.record(r);
   return r;
+}
+
+void SequentDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
+                                  std::span<LookupResult> results,
+                                  SegmentKind /*kind*/) {
+  // Three-stage pipeline per chunk: (1) hash every key and prefetch its
+  // bucket header (cache pointer + chain head); (2) with the headers
+  // landing, prefetch the first PCB each probe will touch — the cached
+  // entry when the cache is armed, else the chain head; (3) probe. The
+  // dependent loads of a whole burst overlap instead of serializing.
+  constexpr std::size_t kChunk = 16;
+  std::array<Bucket*, kChunk> bucket;
+  for (std::size_t base = 0; base < keys.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, keys.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      bucket[i] = &buckets_[chain_of(keys[base + i])];
+      prefetch_read(bucket[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Bucket& b = *bucket[i];
+      const Pcb* const first =
+          (options_.per_chain_cache && b.cache != nullptr) ? b.cache
+                                                           : b.list.head();
+      if (first != nullptr) prefetch_read(first);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const LookupResult r = lookup_in_bucket(*bucket[i], keys[base + i]);
+      stats_.record(r);
+      results[base + i] = r;
+    }
+  }
 }
 
 LookupResult SequentDemuxer::lookup_wildcard(const net::FlowKey& key) {

@@ -40,6 +40,12 @@ class SequentDemuxer final : public Demuxer {
   bool erase(const net::FlowKey& key) override;
   using Demuxer::lookup;
   LookupResult lookup(const net::FlowKey& key, SegmentKind kind) override;
+  /// Pipelined batch: hashes the burst, prefetches every target chain's
+  /// bucket header and cached/head PCB, then probes. Results and stats are
+  /// exactly those of scalar lookups issued in order.
+  void lookup_batch(std::span<const net::FlowKey> keys,
+                    std::span<LookupResult> results,
+                    SegmentKind kind) override;
   LookupResult lookup_wildcard(const net::FlowKey& key) override;
   [[nodiscard]] std::size_t size() const override { return size_; }
   void for_each_pcb(
@@ -72,6 +78,10 @@ class SequentDemuxer final : public Demuxer {
   [[nodiscard]] std::uint32_t chain_of(const net::FlowKey& key) const noexcept {
     return net::hash_chain(options_.hasher, key, options_.chains);
   }
+
+  /// The lookup fast path against one bucket (cache probe, then chain
+  /// scan, cache install); shared by lookup() and lookup_batch().
+  LookupResult lookup_in_bucket(Bucket& b, const net::FlowKey& key);
 
   Options options_;
   std::vector<Bucket> buckets_;

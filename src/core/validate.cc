@@ -10,6 +10,7 @@
 #include "core/connection_id.h"
 #include "core/demuxer.h"
 #include "core/dynamic_hash.h"
+#include "core/flat_demuxer.h"
 #include "core/hashed_mtf.h"
 #include "core/move_to_front.h"
 #include "core/pcb_list.h"
@@ -377,6 +378,86 @@ ValidationReport StructuralValidator::validate(
   return report;
 }
 
+ValidationReport StructuralValidator::validate(const FlatDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  const std::size_t capacity = demuxer.capacity();
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    errors.add("flat: capacity ", capacity, " is not a power of two");
+    return report;
+  }
+  if (demuxer.tags_.size() != capacity || demuxer.hashes_.size() != capacity ||
+      demuxer.keys_.size() != capacity || demuxer.pcbs_.size() != capacity) {
+    errors.add("flat: slot arrays are not all sized to capacity ", capacity);
+    return report;
+  }
+
+  std::unordered_set<net::FlowKey> keys;
+  std::size_t occupied = 0;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    if (demuxer.tags_[i] == 0) {
+      if (demuxer.pcbs_[i] != nullptr) {
+        errors.add("flat slot ", i, ": empty tag but a PCB is still owned");
+      }
+      continue;
+    }
+    ++occupied;
+    const Pcb* const pcb = demuxer.pcbs_[i].get();
+    if (pcb == nullptr) {
+      errors.add("flat slot ", i, ": occupied tag but no PCB");
+      continue;
+    }
+    // Tag <-> hash <-> key agreement: the fingerprint array and the hash
+    // array must both describe the key actually stored in the slot, or
+    // lookups silently stop finding it.
+    if (pcb->key != demuxer.keys_[i]) {
+      errors.add("flat slot ", i, ": PCB key ", pcb->key.to_string(),
+                 " != slot key ", demuxer.keys_[i].to_string());
+    }
+    const std::uint32_t h = demuxer.hash_of(demuxer.keys_[i]);
+    if (demuxer.hashes_[i] != h) {
+      errors.add("flat slot ", i, ": stored hash ", demuxer.hashes_[i],
+                 " != hash of stored key ", h);
+    }
+    if (demuxer.tags_[i] != FlatDemuxer::tag_of(demuxer.hashes_[i])) {
+      errors.add("flat slot ", i, ": tag ",
+                 static_cast<unsigned>(demuxer.tags_[i]),
+                 " disagrees with stored hash's fingerprint ",
+                 static_cast<unsigned>(
+                     FlatDemuxer::tag_of(demuxer.hashes_[i])));
+    }
+    // Robin-hood probe invariant: a displaced resident implies an occupied
+    // predecessor at most one step closer to its own home. A violation
+    // breaks the miss early-exit (keys become unreachable).
+    const std::size_t dist = demuxer.probe_distance(i);
+    if (dist > 0) {
+      const std::size_t prev = (i - 1) & demuxer.mask_;
+      if (demuxer.tags_[prev] == 0) {
+        errors.add("flat slot ", i, ": probe distance ", dist,
+                   " but predecessor slot is empty");
+      } else if (demuxer.probe_distance(prev) + 1 < dist) {
+        errors.add("flat slot ", i, ": probe distance ", dist,
+                   " exceeds predecessor's by more than one (",
+                   demuxer.probe_distance(prev), ")");
+      }
+    }
+    if (!keys.insert(demuxer.keys_[i]).second) {
+      errors.add("flat: duplicate key ", demuxer.keys_[i].to_string());
+    }
+  }
+  if (occupied != demuxer.size_) {
+    errors.add("flat: occupied slots (", occupied, ") != size counter (",
+               demuxer.size_, ")");
+  }
+  // Growth keeps occupancy at or below 7/8; a violation means the next
+  // insert was allowed to degrade probe runs past the design bound.
+  if (demuxer.size_ * 8 > capacity * 7) {
+    errors.add("flat: occupancy ", demuxer.size_, " exceeds 7/8 of capacity ",
+               capacity);
+  }
+  return report;
+}
+
 ValidationReport validate_demuxer(const Demuxer& demuxer) {
   if (const auto* d = dynamic_cast<const BsdListDemuxer*>(&demuxer)) {
     return StructuralValidator::validate(*d);
@@ -401,6 +482,9 @@ ValidationReport validate_demuxer(const Demuxer& demuxer) {
   }
   if (const auto* d = dynamic_cast<const RcuDemuxerAdapter*>(&demuxer)) {
     return StructuralValidator::validate(d->inner());
+  }
+  if (const auto* d = dynamic_cast<const FlatDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
   }
   ValidationReport report;
   report.errors.push_back("validate_demuxer: no validator for demuxer '" +
@@ -495,6 +579,21 @@ void ValidatorTestAccess::rcu_adjust_size(RcuSequentDemuxer& d,
   d.size_.store(d.size_.load(std::memory_order_relaxed) +
                     static_cast<std::size_t>(delta),
                 std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t>& ValidatorTestAccess::flat_tags(FlatDemuxer& d) {
+  return d.tags_;
+}
+std::size_t& ValidatorTestAccess::flat_size(FlatDemuxer& d) {
+  return d.size_;
+}
+void ValidatorTestAccess::flat_move_slot(FlatDemuxer& d, std::size_t from,
+                                         std::size_t to) {
+  d.tags_[to] = d.tags_[from];
+  d.hashes_[to] = d.hashes_[from];
+  d.keys_[to] = d.keys_[from];
+  d.pcbs_[to] = std::move(d.pcbs_[from]);
+  d.tags_[from] = 0;
 }
 
 }  // namespace tcpdemux::core

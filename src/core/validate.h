@@ -39,6 +39,7 @@ class HashedMtfDemuxer;
 class DynamicHashDemuxer;
 class ConnectionIdDemuxer;
 class RcuSequentDemuxer;
+class FlatDemuxer;
 class Demuxer;
 struct Pcb;
 
@@ -65,6 +66,9 @@ class StructuralValidator {
   static ValidationReport validate(const ConnectionIdDemuxer& demuxer);
   /// RCU variant: caller must be quiescent (no concurrent readers/writers).
   static ValidationReport validate(const RcuSequentDemuxer& demuxer);
+  /// Flat table: tag/key/hash agreement per slot, robin-hood probe-distance
+  /// ordering, occupancy vs size() vs load-factor bound.
+  static ValidationReport validate(const FlatDemuxer& demuxer);
 };
 
 /// Validates a registry-created demuxer by dynamic type. Reports an error
@@ -112,6 +116,12 @@ struct ValidatorTestAccess {
   static bool rcu_toggle_head_retired(RcuSequentDemuxer& d,
                                       std::uint32_t chain);
   static void rcu_adjust_size(RcuSequentDemuxer& d, std::ptrdiff_t delta);
+  /// Flat-table plants: the slot-tag byte (flip a fingerprint bit), the
+  /// size counter, and a whole-slot move (from must be occupied, to empty)
+  /// that breaks the robin-hood probe invariant. Undo by moving back.
+  static std::vector<std::uint8_t>& flat_tags(FlatDemuxer& d);
+  static std::size_t& flat_size(FlatDemuxer& d);
+  static void flat_move_slot(FlatDemuxer& d, std::size_t from, std::size_t to);
 };
 
 }  // namespace tcpdemux::core

@@ -1,0 +1,81 @@
+#include "report/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tcpdemux::report {
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_number(std::ostringstream& os, double v) {
+  // JSON has no NaN/Inf; null keeps the file parseable if a metric was
+  // never measured.
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void BenchJsonWriter::add(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::string BenchJsonWriter::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    os << "  {\"bench\": ";
+    append_escaped(os, r.bench);
+    os << ", \"name\": ";
+    append_escaped(os, r.name);
+    os << ", \"metrics\": {";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m != 0) os << ", ";
+      append_escaped(os, r.metrics[m].first);
+      os << ": ";
+      append_number(os, r.metrics[m].second);
+    }
+    os << "}}";
+    if (i + 1 != records_.size()) os << ',';
+    os << '\n';
+  }
+  os << "]\n";
+  return os.str();
+}
+
+bool BenchJsonWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace tcpdemux::report

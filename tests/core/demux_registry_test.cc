@@ -9,7 +9,8 @@ TEST(Registry, MakesEveryAlgorithm) {
   for (const Algorithm algo :
        {Algorithm::kBsd, Algorithm::kMtf, Algorithm::kSrCache,
         Algorithm::kSequent, Algorithm::kHashedMtf,
-        Algorithm::kConnectionId, Algorithm::kDynamic, Algorithm::kRcu}) {
+        Algorithm::kConnectionId, Algorithm::kDynamic, Algorithm::kRcu,
+        Algorithm::kFlat}) {
     DemuxConfig config;
     config.algorithm = algo;
     const auto d = make_demuxer(config);
@@ -27,7 +28,8 @@ TEST(Registry, ParseSimpleNames) {
            {"sequent", Algorithm::kSequent},
            {"hashed_mtf", Algorithm::kHashedMtf},
            {"connection_id", Algorithm::kConnectionId},
-           {"rcu", Algorithm::kRcu}}) {
+           {"rcu", Algorithm::kRcu},
+           {"flat", Algorithm::kFlat}}) {
     const auto config = parse_demux_spec(spec);
     ASSERT_TRUE(config.has_value()) << spec;
     EXPECT_EQ(config->algorithm, algo) << spec;
@@ -128,6 +130,39 @@ TEST(Registry, DynamicDefaultConfig) {
   const auto d = make_demuxer(*config);
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->size(), 0u);
+}
+
+TEST(Registry, ParseFlatSpec) {
+  const auto config = parse_demux_spec("flat:4096:crc32");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kFlat);
+  EXPECT_EQ(config->flat_capacity, 4096u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kCrc32);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "flat(cap=4096,crc32)");
+}
+
+TEST(Registry, FlatDefaultConfig) {
+  const auto config = parse_demux_spec("flat");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->flat_capacity, 1024u);
+  const auto d = make_demuxer(*config);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->name(), "flat(cap=1024,xor_fold)");
+}
+
+TEST(Registry, FlatCapacityRoundsUpToPowerOfTwo) {
+  // The table enforces power-of-two capacity; the registry passes the
+  // requested value through and the constructor rounds up.
+  const auto d = make_demuxer(*parse_demux_spec("flat:1000"));
+  EXPECT_EQ(d->name(), "flat(cap=1024,xor_fold)");
+}
+
+TEST(Registry, ParseRejectsBadFlatSpec) {
+  EXPECT_FALSE(parse_demux_spec("flat:0").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:abc").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:sha256").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:crc32:nocache").has_value());
 }
 
 TEST(Registry, ConfiguredDemuxerReflectsSpec) {

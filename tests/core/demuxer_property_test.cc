@@ -227,7 +227,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "sequent:19:bsd_modulo", "hashed_mtf",
                       "hashed_mtf:101:crc32", "connection_id", "dynamic",
                       "dynamic:41:jenkins", "rcu", "rcu:101:crc32",
-                      "rcu:19:xor_fold:nocache"),
+                      "rcu:19:xor_fold:nocache", "flat", "flat:64",
+                      "flat:1024:crc32"),
     [](const auto& info) {
       std::string name = info.param;
       for (char& c : name) {

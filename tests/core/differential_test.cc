@@ -24,7 +24,8 @@ const char* kSpecs[] = {"bsd",          "mtf",
                         "srcache",      "sequent:19:crc32",
                         "sequent:1",    "sequent:101:toeplitz",
                         "hashed_mtf",   "dynamic",
-                        "connection_id", "rcu:19:crc32"};
+                        "connection_id", "rcu:19:crc32",
+                        "flat",          "flat:64:crc32"};
 
 TEST(Differential, AllAlgorithmsAgreeOnMembership) {
   std::vector<std::unique_ptr<Demuxer>> demuxers;

@@ -1,8 +1,8 @@
 // Invariant-validated differential fuzzing for every registry-listed
 // demuxer.
 //
-// Drives long randomized insert/lookup/erase/lookup_wildcard (and, for the
-// RCU demuxer, lookup_batch) sequences through each algorithm against a
+// Drives long randomized insert/lookup/erase/lookup_wildcard/lookup_batch
+// sequences through each algorithm against a
 // naive reference map, asserting exact behavioural parity on every
 // operation and running the StructuralValidator after every mutation —
 // the whole point is that a dangling per-chain cache pointer or a
@@ -23,7 +23,6 @@
 
 #include "core/demux_registry.h"
 #include "core/demuxer.h"
-#include "core/rcu_demuxer.h"
 #include "core/validate.h"
 #include "net/flow_key.h"
 
@@ -70,7 +69,6 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
   ASSERT_TRUE(config.has_value()) << spec;
   const auto demuxer = make_demuxer(*config);
   ASSERT_NE(demuxer, nullptr);
-  auto* rcu = dynamic_cast<RcuDemuxerAdapter*>(demuxer.get());
 
   std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
   const auto pool = make_key_pool(192, rng);
@@ -129,13 +127,14 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
       ASSERT_EQ(demuxer->erase(k), expected) << "op " << op;
       reference.erase(k);
       ASSERT_EQ(invariant_errors(), "") << "after erase op " << op;
-    } else if (rcu != nullptr) {
-      // Batch lookup through the RCU fast path: results must agree with
-      // the reference entry-by-entry.
+    } else {
+      // Batch lookup through whatever pipeline the algorithm provides
+      // (default loop, flat/sequent prefetch pipelines, RCU fast path):
+      // results must agree with the reference entry-by-entry.
       std::vector<net::FlowKey> keys(8);
       std::vector<LookupResult> results(keys.size());
       for (auto& bk : keys) bk = pool[pick(rng)];
-      rcu->inner().lookup_batch(keys, results);
+      demuxer->lookup_batch(keys, results);
       for (std::size_t i = 0; i < keys.size(); ++i) {
         ASSERT_EQ(results[i].pcb != nullptr, reference.contains(keys[i]))
             << "op " << op << " batch index " << i;
@@ -143,10 +142,10 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
           ASSERT_EQ(results[i].pcb->key, keys[i]);
         }
       }
-    } else {
-      // Non-RCU algorithms spend the batch roll on a plain lookup.
-      const LookupResult r = demuxer->lookup(k);
-      ASSERT_EQ(r.pcb != nullptr, expected) << "op " << op;
+      if (++lookups_since_validate >= 64) {
+        lookups_since_validate = 0;
+        ASSERT_EQ(invariant_errors(), "") << "after batch op " << op;
+      }
     }
     ASSERT_EQ(demuxer->size(), reference.size()) << "op " << op;
   }
@@ -174,7 +173,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("bsd", "mtf", "srcache", "connection_id:256", "sequent",
                       "sequent:7:crc32:nocache", "hashed_mtf:19",
                       "dynamic:5:crc32", "rcu",
-                      "rcu:7:crc32:nocache"),
+                      "rcu:7:crc32:nocache", "flat",
+                      "flat:64:crc32"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

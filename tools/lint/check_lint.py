@@ -7,9 +7,16 @@ Enforces invariants that -Wall and clang-tidy cannot express:
                      through <random> engines (sim::Rng) so runs are seeded
                      and reproducible.
   raw-owning-memory  no raw owning new/delete in src/core: PCB ownership
-                     belongs to the intrusive-list/epoch primitives. The
-                     sanctioned owners carry an explicit
+                     belongs to the intrusive-list/epoch primitives or to
+                     std containers (the flat table's slot arrays are
+                     std::vector + std::unique_ptr and need no sanction).
+                     The sanctioned owners carry an explicit
                      NOLINT(raw-owning-memory) marker.
+  prefetch-discipline
+                     __builtin_prefetch only inside core/prefetch.h
+                     (prefetch_read): one audited shim keeps prefetches
+                     portable (no-op off GNU/Clang) and greppable, instead
+                     of intrinsics scattered through lookup paths.
   byte-order         network-order header fields are only touched through
                      net/byte_order.h: no htons/ntohl family, no
                      __builtin_bswap, no reinterpret_cast to multi-byte
@@ -57,6 +64,13 @@ CODE_RULES = [
         "raw owning new/delete in src/core is reserved for the list/epoch "
         "primitives; use the owning containers or mark the owner with "
         "NOLINT(raw-owning-memory)",
+    ),
+    (
+        "prefetch-discipline",
+        re.compile(r"__builtin_prefetch\b"),
+        ("src", "tests", "bench", "examples"),
+        "call core/prefetch.h's prefetch_read instead of the raw intrinsic "
+        "(portability no-op off GNU/Clang, and one greppable shim)",
     ),
     (
         "include-hygiene",
