@@ -13,7 +13,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc)}"
 OUT="${2:-$ROOT/BENCH_wallclock.json}"
 
-BENCHES=(wallclock_hash wallclock_lookup wallclock_batch wallclock_parallel)
+BENCHES=(wallclock_hash wallclock_lookup wallclock_batch wallclock_parallel
+         wallclock_attack)
 
 cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
 cmake --build "$ROOT/build" -j "$JOBS" --target "${BENCHES[@]}"

@@ -8,6 +8,7 @@
 #   stage 3  tsan    TSan rebuild, `-L concurrency`     (SKIP_TSAN=1 skips)
 #   stage 4  lint    repo lint ctest (`-L lint`)        (SKIP_LINT=1 skips)
 #   stage 5  bench   wallclock suite --smoke + JSON     (SKIP_BENCH=1 skips)
+#   stage 6  robust  `-L robustness` + attack smoke     (SKIP_ROBUSTNESS=1 skips)
 #
 # All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
@@ -70,6 +71,23 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   "$ROOT/ci/bench_smoke.sh" "$JOBS" "$ROOT/build/BENCH_wallclock.smoke.json"
 else
   skipped bench SKIP_BENCH
+fi
+
+if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
+  stage robust "hostile-traffic suite (-L robustness) + attack bench smoke"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  cmake --build "$ROOT/build" -j "$JOBS" \
+        --target robustness_tests wallclock_attack
+  ctest --test-dir "$ROOT/build" -L robustness --output-on-failure -j "$JOBS"
+  # Alloc-failure soak: every 13th allocation refused across the whole
+  # differential fuzz run; invariants must hold and no op may leak.
+  TCPDEMUX_FUZZ_ALLOC_EVERY=13 \
+    ctest --test-dir "$ROOT/build" -R FuzzOps --output-on-failure -j "$JOBS"
+  "$ROOT/build/bench/wallclock_attack" --smoke
+else
+  skipped robust SKIP_ROBUSTNESS
 fi
 
 echo

@@ -37,6 +37,7 @@ std::optional<std::uint32_t> parse_u32(std::string_view s) {
 }  // namespace
 
 std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
+  const net::HashSpec hasher{config.hasher, config.hash_seed};
   switch (config.algorithm) {
     case Algorithm::kBsd:
       return std::make_unique<BsdListDemuxer>();
@@ -46,7 +47,8 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
       return std::make_unique<SendReceiveCacheDemuxer>();
     case Algorithm::kSequent:
       return std::make_unique<SequentDemuxer>(SequentDemuxer::Options{
-          config.chains, config.hasher, config.per_chain_cache});
+          config.chains, hasher, config.per_chain_cache,
+          config.rehash_on_overload, config.max_pcbs});
     case Algorithm::kHashedMtf:
       return std::make_unique<HashedMtfDemuxer>(
           HashedMtfDemuxer::Options{config.chains, config.hasher});
@@ -54,13 +56,15 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
       return std::make_unique<ConnectionIdDemuxer>(config.id_capacity);
     case Algorithm::kDynamic:
       return std::make_unique<DynamicHashDemuxer>(DynamicHashDemuxer::Options{
-          config.chains, 2.0, config.hasher, config.per_chain_cache});
+          config.chains, 2.0, hasher, config.per_chain_cache,
+          config.max_pcbs});
     case Algorithm::kRcu:
       return std::make_unique<RcuDemuxerAdapter>(RcuSequentDemuxer::Options{
-          config.chains, config.hasher, config.per_chain_cache});
+          config.chains, hasher, config.per_chain_cache});
     case Algorithm::kFlat:
       return std::make_unique<FlatDemuxer>(
-          FlatDemuxer::Options{config.flat_capacity, config.hasher});
+          FlatDemuxer::Options{config.flat_capacity, hasher,
+                               config.rehash_on_overload, config.max_pcbs});
   }
   return nullptr;
 }
@@ -70,6 +74,23 @@ std::optional<net::HasherKind> parse_hasher_name(std::string_view name) {
     if (net::hasher_name(kind) == name) return kind;
   }
   return std::nullopt;
+}
+
+std::optional<net::HashSpec> parse_hash_spec_token(std::string_view token) {
+  const std::size_t at = token.find('@');
+  const auto kind = parse_hasher_name(token.substr(0, at));
+  if (!kind) return std::nullopt;
+  std::uint32_t seed = 0;
+  if (at != std::string_view::npos) {
+    const std::string_view hex = token.substr(at + 1);
+    if (hex.empty() || hex.size() > 8) return std::nullopt;
+    const auto [ptr, ec] =
+        std::from_chars(hex.data(), hex.data() + hex.size(), seed, 16);
+    if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+      return std::nullopt;
+    }
+  }
+  return net::HashSpec{*kind, seed};
 }
 
 std::string_view algorithm_name(Algorithm algorithm) noexcept {
@@ -123,44 +144,63 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     return config;
   }
 
-  if (config.algorithm == Algorithm::kFlat) {
-    if (parts.size() > 3) return std::nullopt;
-    if (parts.size() >= 2) {
-      const auto capacity = parse_u32(parts[1]);
-      if (!capacity || *capacity == 0) return std::nullopt;
-      config.flat_capacity = *capacity;
-    }
-    if (parts.size() == 3) {
-      const auto hasher = parse_hasher_name(parts[2]);
-      if (!hasher) return std::nullopt;
-      config.hasher = *hasher;
-    }
-    return config;
-  }
-
+  const bool is_flat = config.algorithm == Algorithm::kFlat;
   const bool takes_chains = config.algorithm == Algorithm::kSequent ||
                             config.algorithm == Algorithm::kHashedMtf ||
                             config.algorithm == Algorithm::kDynamic ||
                             config.algorithm == Algorithm::kRcu;
-  if (parts.size() > 1 && !takes_chains) return std::nullopt;
+  if (parts.size() > 1 && !takes_chains && !is_flat) return std::nullopt;
 
   if (parts.size() > 1) {
-    const auto chains = parse_u32(parts[1]);
-    if (!chains || *chains == 0) return std::nullopt;
-    config.chains = *chains;
+    const auto count = parse_u32(parts[1]);
+    if (!count || *count == 0) return std::nullopt;
+    if (is_flat) {
+      config.flat_capacity = *count;
+    } else {
+      config.chains = *count;
+    }
   }
-  if (parts.size() > 2) {
-    const auto hasher = parse_hasher_name(parts[2]);
-    if (!hasher) return std::nullopt;
-    config.hasher = *hasher;
+
+  // Optional positional hasher token ("crc32" or "crc32@1f2e"), then
+  // trailing option tokens, each at most once.
+  std::size_t idx = 2;
+  if (parts.size() > idx) {
+    if (const auto hs = parse_hash_spec_token(parts[idx])) {
+      // hashed_mtf is a frozen paper strawman: it stays unkeyed.
+      if (hs->seed != 0 && config.algorithm == Algorithm::kHashedMtf) {
+        return std::nullopt;
+      }
+      config.hasher = hs->kind;
+      config.hash_seed = hs->seed;
+      ++idx;
+    }
   }
-  if (parts.size() > 3) {
-    const bool cacheable = config.algorithm == Algorithm::kSequent ||
-                           config.algorithm == Algorithm::kRcu;
-    if (parts[3] != "nocache" || !cacheable) return std::nullopt;
-    config.per_chain_cache = false;
+
+  const bool cacheable = config.algorithm == Algorithm::kSequent ||
+                         config.algorithm == Algorithm::kRcu;
+  const bool rehashable = config.algorithm == Algorithm::kSequent || is_flat;
+  const bool cappable = config.algorithm == Algorithm::kSequent ||
+                        config.algorithm == Algorithm::kDynamic || is_flat;
+  bool saw_nocache = false;
+  bool saw_rehash = false;
+  bool saw_max = false;
+  for (; idx < parts.size(); ++idx) {
+    const std::string_view tok = parts[idx];
+    if (tok == "nocache" && cacheable && !saw_nocache) {
+      config.per_chain_cache = false;
+      saw_nocache = true;
+    } else if (tok == "rehash" && rehashable && !saw_rehash) {
+      config.rehash_on_overload = true;
+      saw_rehash = true;
+    } else if (tok.substr(0, 4) == "max=" && cappable && !saw_max) {
+      const auto cap = parse_u32(tok.substr(4));
+      if (!cap || *cap == 0) return std::nullopt;
+      config.max_pcbs = *cap;
+      saw_max = true;
+    } else {
+      return std::nullopt;
+    }
   }
-  if (parts.size() > 4) return std::nullopt;
   return config;
 }
 

@@ -32,6 +32,10 @@ struct DemuxConfig {
   bool per_chain_cache = true;       ///< Sequent only
   std::size_t id_capacity = 65536;   ///< connection-ID only
   std::size_t flat_capacity = 1024;  ///< flat only (initial slots)
+  // Adversarial-resilience knobs (see DESIGN.md "Adversarial resilience").
+  std::uint32_t hash_seed = 0;  ///< 0 = unkeyed (paper-fidelity default)
+  bool rehash_on_overload = false;  ///< sequent/flat: seed-rotating rehash
+  std::size_t max_pcbs = 0;         ///< sequent/dynamic/flat: 0 = unbounded
 };
 
 /// Instantiates the configured demuxer.
@@ -40,11 +44,20 @@ struct DemuxConfig {
 /// Parses a spec string:
 ///   "bsd" | "mtf" | "srcache"
 ///   "connection_id[:capacity]"               (negotiated ID-space size)
-///   "sequent[:chains[:hasher[:nocache]]]"   e.g. "sequent:101:crc32"
+///   "sequent[:chains[:hasher][:opts...]]"   e.g. "sequent:101:crc32"
 ///   "hashed_mtf[:chains[:hasher]]"
-///   "dynamic[:initial_chains[:hasher]]"      (self-resizing chain table)
-///   "rcu[:chains[:hasher[:nocache]]]"        (lock-free-read Sequent)
-///   "flat[:capacity[:hasher]]"               (open-addressing flat table)
+///   "dynamic[:initial_chains[:hasher][:opts...]]"
+///   "rcu[:chains[:hasher][:opts...]]"        (lock-free-read Sequent)
+///   "flat[:capacity[:hasher][:opts...]]"     (open-addressing flat table)
+///
+/// A hasher token may carry a hex seed suffix, "hasher@1f2e" — the keyed
+/// family (seed 0 == "@0" == unkeyed, bit-identical to the plain name).
+/// hashed_mtf, as a deliberately frozen strawman, rejects seeds.
+///
+/// Trailing option tokens, each at most once:
+///   "nocache"   sequent/rcu: disable the per-chain cache
+///   "rehash"    sequent/flat: rehash with a fresh seed on overload watermark
+///   "max=N"     sequent/dynamic/flat: shed inserts beyond N PCBs (N > 0)
 /// Returns nullopt on any unrecognized token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);
@@ -52,6 +65,11 @@ struct DemuxConfig {
 /// Parses a hasher name as printed by net::hasher_name().
 [[nodiscard]] std::optional<net::HasherKind> parse_hasher_name(
     std::string_view name);
+
+/// Parses "name" or "name@hexseed" (1-8 hex digits) into a HashSpec —
+/// the inverse of net::hash_spec_name().
+[[nodiscard]] std::optional<net::HashSpec> parse_hash_spec_token(
+    std::string_view token);
 
 /// Short algorithm name for display.
 [[nodiscard]] std::string_view algorithm_name(Algorithm algorithm) noexcept;

@@ -66,6 +66,15 @@ struct DemuxStats {
   void reset() noexcept { *this = DemuxStats{}; }
 };
 
+/// Hostile-traffic counters (see DESIGN.md "Adversarial resilience").
+/// Algorithms without overload machinery report all-zero defaults.
+struct ResilienceStats {
+  std::uint64_t overload_rehashes = 0;  ///< seed rotations forced by floods
+  std::uint64_t inserts_shed = 0;       ///< inserts refused at max_pcbs cap
+  std::uint64_t watermark = 0;       ///< worst chain length / probe distance
+  std::uint64_t watermark_limit = 0;  ///< current overload trigger threshold
+};
+
 /// Abstract PCB-lookup algorithm. Owns its PCBs.
 class Demuxer {
  public:
@@ -135,6 +144,10 @@ class Demuxer {
 
   [[nodiscard]] const DemuxStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
+
+  /// Hostile-traffic counters; all-zero for algorithms without overload
+  /// machinery (the default).
+  [[nodiscard]] virtual ResilienceStats resilience() const { return {}; }
 
  protected:
   /// Next dense connection id; shared by all subclasses' insert paths.

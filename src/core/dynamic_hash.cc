@@ -1,7 +1,10 @@
 #include "core/dynamic_hash.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+
+#include "core/fault_inject.h"
 
 namespace tcpdemux::core {
 namespace {
@@ -56,10 +59,20 @@ void DynamicHashDemuxer::maybe_grow() {
 Pcb* DynamicHashDemuxer::insert(const net::FlowKey& key) {
   Bucket& b = buckets_[chain_of(key)];
   if (b.list.find_scan(key).pcb != nullptr) return nullptr;
+  if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
+    ++inserts_shed_;
+    return nullptr;
+  }
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = b.list.emplace_front(key, next_conn_id());
   ++size_;
+  watermark_ = std::max<std::uint64_t>(watermark_, b.list.size());
   maybe_grow();
   return pcb;
+}
+
+ResilienceStats DynamicHashDemuxer::resilience() const {
+  return {0, inserts_shed_, watermark_, watermark_limit()};
 }
 
 bool DynamicHashDemuxer::erase(const net::FlowKey& key) {
@@ -124,7 +137,8 @@ std::string DynamicHashDemuxer::name() const {
   std::string n = "dynamic(h=";
   n += std::to_string(buckets_.size());
   n += ',';
-  n += net::hasher_name(options_.hasher);
+  n += net::hash_spec_name(options_.hasher);
+  if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
   n += ')';
   return n;
 }

@@ -25,8 +25,14 @@ class DynamicHashDemuxer final : public Demuxer {
   struct Options {
     std::uint32_t initial_chains = 19;
     double max_load = 2.0;  ///< rehash when size > max_load * chains
-    net::HasherKind hasher = net::HasherKind::kCrc32;
+    net::HashSpec hasher = net::HasherKind::kCrc32;  ///< seed 0 = unkeyed
     bool per_chain_cache = true;
+    /// Refuse inserts beyond this many PCBs (0 = unbounded). Refused
+    /// inserts return nullptr and count in resilience().inserts_shed.
+    /// There is no rehash-on-overload here: this table's answer to load is
+    /// growth, which dilutes benign skew but not a collision flood — pair
+    /// a keyed hasher with the cap for hostile deployments.
+    std::size_t max_pcbs = 0;
   };
 
   DynamicHashDemuxer() : DynamicHashDemuxer(Options()) {}
@@ -53,6 +59,14 @@ class DynamicHashDemuxer final : public Demuxer {
     return rehashes_;
   }
 
+  [[nodiscard]] ResilienceStats resilience() const override;
+  /// Longest chain an overload check would tolerate at the current size
+  /// (reported in resilience() so operators can watch skew even though
+  /// this table's only automatic response is growth).
+  [[nodiscard]] std::uint64_t watermark_limit() const noexcept {
+    return 16 + 8 * (size_ / buckets_.size() + 1);
+  }
+
   /// The next prime >= 2 * n from a fixed doubling-prime ladder (exposed
   /// for tests).
   [[nodiscard]] static std::uint32_t next_table_size(std::uint32_t n) noexcept;
@@ -76,6 +90,8 @@ class DynamicHashDemuxer final : public Demuxer {
   std::vector<Bucket> buckets_;
   std::size_t size_ = 0;
   std::uint64_t rehashes_ = 0;
+  std::uint64_t watermark_ = 0;
+  std::uint64_t inserts_shed_ = 0;
 };
 
 }  // namespace tcpdemux::core

@@ -1,0 +1,59 @@
+#include "core/fault_inject.h"
+
+namespace tcpdemux::core {
+
+FaultInjector& FaultInjector::instance() noexcept {
+  static FaultInjector injector;
+  return injector;
+}
+
+bool FaultInjector::poll_armed() noexcept {
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_sub gives each concurrent poller a distinct pre-decrement value,
+  // so exactly one thread observes the 1 -> 0 transition and injects.
+  const std::uint64_t before =
+      countdown_.fetch_sub(1, std::memory_order_acq_rel);
+  if (before != 1) {
+    if (before == 0) {
+      // Countdown had already expired (kOnce raced past zero): restore so
+      // the counter does not wrap into a giant period.
+      countdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  const Mode mode = mode_.load(std::memory_order_relaxed);
+  if (mode == Mode::kEvery) {
+    countdown_.store(period_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  } else {  // kOnce (or a concurrent disarm: injecting once more is benign)
+    mode_.store(Mode::kOff, std::memory_order_relaxed);
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::arm_every(std::uint64_t n) noexcept {
+  if (n == 0) n = 1;
+  period_.store(n, std::memory_order_relaxed);
+  countdown_.store(n, std::memory_order_relaxed);
+  mode_.store(Mode::kEvery, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_after(std::uint64_t n) noexcept {
+  if (n == 0) n = 1;
+  period_.store(0, std::memory_order_relaxed);
+  countdown_.store(n, std::memory_order_relaxed);
+  mode_.store(Mode::kOnce, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() noexcept {
+  mode_.store(Mode::kOff, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() noexcept {
+  disarm();
+  checkpoints_.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tcpdemux::core

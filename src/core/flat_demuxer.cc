@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/fault_inject.h"
 #include "core/prefetch.h"
 
 namespace tcpdemux::core {
@@ -58,22 +59,29 @@ FlatDemuxer::Probe FlatDemuxer::find_slot(
 }
 
 Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
-  const std::uint32_t h = hash_of(key);
+  std::uint32_t h = hash_of(key);
   if (find_slot(h, key).slot != kNpos) return nullptr;
+  if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
+    ++inserts_shed_;
+    return nullptr;
+  }
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
   // Grow at 7/8 occupancy: beyond that, probe runs lengthen sharply and
   // the tag array stops saving traffic.
   if ((size_ + 1) * 8 > capacity() * 7) grow();
   auto pcb = std::make_unique<Pcb>(key, next_conn_id());
   Pcb* const raw = pcb.get();
-  place(h, key, std::move(pcb));
+  const std::size_t dist = place(h, key, std::move(pcb));
   ++size_;
+  note_insert(dist);
   return raw;
 }
 
-void FlatDemuxer::place(std::uint32_t h, net::FlowKey key,
-                        std::unique_ptr<Pcb> pcb) {
+std::size_t FlatDemuxer::place(std::uint32_t h, net::FlowKey key,
+                               std::unique_ptr<Pcb> pcb) {
   std::size_t i = h & mask_;
   std::size_t dist = 0;
+  std::size_t max_dist = 0;
   while (tags_[i] != 0) {
     const std::size_t d = probe_distance(i);
     if (d < dist) {
@@ -87,11 +95,51 @@ void FlatDemuxer::place(std::uint32_t h, net::FlowKey key,
     }
     i = (i + 1) & mask_;
     ++dist;
+    max_dist = std::max(max_dist, dist);
   }
   tags_[i] = tag_of(h);
   hashes_[i] = h;
   keys_[i] = key;
   pcbs_[i] = std::move(pcb);
+  return max_dist;
+}
+
+void FlatDemuxer::note_insert(std::size_t place_distance) {
+  watermark_ = std::max<std::uint64_t>(watermark_, place_distance);
+  ++inserts_since_rehash_;
+  if (options_.rehash_on_overload && watermark_ > watermark_limit() &&
+      inserts_since_rehash_ >= rehash_cooldown_) {
+    rehash_with_fresh_seed();
+  }
+}
+
+void FlatDemuxer::rehash_with_fresh_seed() {
+  options_.hasher.seed = net::next_seed(options_.hasher.seed);
+  const std::size_t cap = capacity();
+  std::vector<std::uint8_t> old_tags = std::move(tags_);
+  std::vector<net::FlowKey> old_keys = std::move(keys_);
+  std::vector<std::unique_ptr<Pcb>> old_pcbs = std::move(pcbs_);
+  tags_.assign(cap, 0);
+  hashes_.assign(cap, 0);
+  keys_.assign(cap, net::FlowKey{});
+  pcbs_.clear();
+  pcbs_.resize(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (old_tags[i] == 0) continue;
+    // Hashes must be recomputed: the seed just changed.
+    place(hash_of(old_keys[i]), old_keys[i], std::move(old_pcbs[i]));
+  }
+  watermark_ = max_probe_distance();
+  ++overload_rehashes_;
+  inserts_since_rehash_ = 0;
+  // Hysteresis: even if every key collides under every seed (full-32-bit
+  // collisions survive the seeded post-mix of non-SipHash kinds), at most
+  // one rehash per `limit` further inserts — bounded thrash.
+  rehash_cooldown_ = watermark_limit();
+}
+
+ResilienceStats FlatDemuxer::resilience() const {
+  return {overload_rehashes_, inserts_shed_, watermark_, watermark_limit()};
 }
 
 bool FlatDemuxer::erase(const net::FlowKey& key) {
@@ -237,7 +285,9 @@ std::string FlatDemuxer::name() const {
   std::string n = "flat(cap=";
   n += std::to_string(capacity());
   n += ',';
-  n += net::hasher_name(options_.hasher);
+  n += net::hash_spec_name(options_.hasher);
+  if (options_.rehash_on_overload) n += ",rehash";
+  if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
   n += ')';
   return n;
 }

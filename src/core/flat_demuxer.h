@@ -51,7 +51,13 @@ class FlatDemuxer final : public Demuxer {
  public:
   struct Options {
     std::size_t initial_capacity = 1024;  ///< rounded up to a power of two
-    net::HasherKind hasher = net::HasherKind::kXorFold;
+    net::HashSpec hasher = net::HasherKind::kXorFold;  ///< seed 0 = unkeyed
+    /// Rotate the hash seed and rehash in place when an insert's probe run
+    /// exceeds the overload watermark (collision-flood defense).
+    bool rehash_on_overload = false;
+    /// Refuse inserts beyond this many PCBs (0 = unbounded). Refused
+    /// inserts return nullptr and count in resilience().inserts_shed.
+    std::size_t max_pcbs = 0;
   };
 
   FlatDemuxer() : FlatDemuxer(Options()) {}
@@ -77,6 +83,20 @@ class FlatDemuxer final : public Demuxer {
   /// robin-hood keeps this small even at high load).
   [[nodiscard]] std::size_t max_probe_distance() const noexcept;
 
+  [[nodiscard]] ResilienceStats resilience() const override;
+  /// Current hash spec (seed changes after an overload rehash; test hook).
+  [[nodiscard]] net::HashSpec hash_spec() const noexcept {
+    return options_.hasher;
+  }
+  /// Longest probe run an overload check tolerates: robin-hood keeps benign
+  /// probe runs near O(log capacity) even at 7/8 load, while a flood aimed
+  /// at one home slot grows a run linearly and crosses this quickly.
+  [[nodiscard]] std::uint64_t watermark_limit() const noexcept {
+    std::uint64_t log2 = 0;
+    for (std::size_t c = capacity(); c > 1; c >>= 1) ++log2;
+    return 24 + 4 * log2;
+  }
+
  private:
   friend class StructuralValidator;   // src/core/validate.h
   friend struct ValidatorTestAccess;  // negative validator tests only
@@ -84,24 +104,15 @@ class FlatDemuxer final : public Demuxer {
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
   static constexpr std::size_t kMinCapacity = 16;
 
-  /// 32-bit avalanche finalizer (Prospector's low-bias constants): every
-  /// input bit reaches the masked index bits and the fingerprint bits.
-  [[nodiscard]] static constexpr std::uint32_t mix32(std::uint32_t x) noexcept {
-    x ^= x >> 16;
-    x *= 0x7feb352dU;
-    x ^= x >> 15;
-    x *= 0x846ca68bU;
-    x ^= x >> 16;
-    return x;
-  }
-
   /// Tag byte: occupied bit (0x80) | top 7 hash bits. 0 means empty.
   [[nodiscard]] static constexpr std::uint8_t tag_of(std::uint32_t h) noexcept {
     return static_cast<std::uint8_t>(0x80U | (h >> 25));
   }
 
+  /// The avalanche finalizer (net::mix32_avalanche) repairs weak folds so
+  /// every input bit reaches the masked index bits and fingerprint bits.
   [[nodiscard]] std::uint32_t hash_of(const net::FlowKey& key) const noexcept {
-    return mix32(net::hash_flow(options_.hasher, key));
+    return net::mix32_avalanche(net::hash_flow(options_.hasher, key));
   }
 
   /// Distance of slot `i`'s resident from its home slot, in probe steps.
@@ -118,15 +129,31 @@ class FlatDemuxer final : public Demuxer {
 
   /// Robin-hood placement of a (pre-hashed) entry; the caller has already
   /// established the key is absent and the load factor is acceptable.
-  void place(std::uint32_t h, net::FlowKey key, std::unique_ptr<Pcb> pcb);
+  /// Returns the longest probe distance the placement walked (the overload
+  /// watermark signal).
+  std::size_t place(std::uint32_t h, net::FlowKey key,
+                    std::unique_ptr<Pcb> pcb);
   /// Backward-shift removal of the resident at slot `i`.
   void remove_at(std::size_t i);
   /// Doubles the slot array and re-places every resident.
   void grow();
+  /// Watermark bookkeeping after a successful insert; triggers a
+  /// seed-rotating rehash when the overload policy says so.
+  void note_insert(std::size_t place_distance);
+  /// Rotates the seed and re-places every resident at the same capacity
+  /// (pointer-stable).
+  void rehash_with_fresh_seed();
 
   Options options_;
   std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
   std::size_t size_ = 0;
+
+  // Overload / shedding state (see DESIGN.md "Adversarial resilience").
+  std::uint64_t watermark_ = 0;
+  std::uint64_t overload_rehashes_ = 0;
+  std::uint64_t inserts_shed_ = 0;
+  std::uint64_t inserts_since_rehash_ = 0;
+  std::uint64_t rehash_cooldown_ = 0;  ///< 0 until the first rehash
   // Structure-of-arrays slot storage. Parallel, all sized capacity():
   // a probe touches tags_ (1 B/slot), then hashes_ for the robin-hood
   // bound (4 B/slot), and keys_ (12 B/slot) only on a fingerprint match.

@@ -1,5 +1,7 @@
 #include "core/hashed_mtf.h"
 
+#include "core/fault_inject.h"
+
 #include <stdexcept>
 
 namespace tcpdemux::core {
@@ -14,6 +16,7 @@ HashedMtfDemuxer::HashedMtfDemuxer(Options options) : options_(options) {
 Pcb* HashedMtfDemuxer::insert(const net::FlowKey& key) {
   PcbList& list = buckets_[chain_of(key)];
   if (list.find_scan(key).pcb != nullptr) return nullptr;
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = list.emplace_front(key, next_conn_id());
   ++size_;
   return pcb;

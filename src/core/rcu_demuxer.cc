@@ -4,6 +4,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/fault_inject.h"
 #include "core/prefetch.h"
 
 namespace tcpdemux::core {
@@ -39,6 +40,7 @@ Pcb* RcuSequentDemuxer::insert(const net::FlowKey& key) {
        n = n->next.load(std::memory_order_relaxed)) {
     if (n->pcb.key == key) return nullptr;
   }
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
   // NOLINTNEXTLINE(raw-owning-memory): chain nodes are epoch-owned.
   Node* node = new Node(key, conn_seq_.fetch_add(1, std::memory_order_relaxed));
   node->next.store(b.head.load(std::memory_order_relaxed),
@@ -208,7 +210,7 @@ std::string RcuSequentDemuxer::name() const {
   std::string n = "rcu(h=";
   n += std::to_string(options_.chains);
   n += ',';
-  n += net::hasher_name(options_.hasher);
+  n += net::hash_spec_name(options_.hasher);
   if (!options_.per_chain_cache) n += ",nocache";
   n += ')';
   return n;

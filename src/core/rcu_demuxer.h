@@ -68,8 +68,12 @@ class RcuSequentDemuxer {
  public:
   struct Options {
     std::uint32_t chains = 19;
-    net::HasherKind hasher = net::HasherKind::kXorFold;
+    net::HashSpec hasher = net::HasherKind::kXorFold;  ///< seed 0 = unkeyed
     bool per_chain_cache = true;
+    // No rehash-on-overload here: a seed rotation would relocate every node
+    // under concurrent lock-free readers, a full-table RCU rebuild that is
+    // out of scope. Deployments facing collision floods run this table with
+    // a keyed hasher (siphash@seed) so the flood never lands.
   };
 
   RcuSequentDemuxer() : RcuSequentDemuxer(Options()) {}

@@ -4,6 +4,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/fault_inject.h"
 #include "core/prefetch.h"
 
 namespace tcpdemux::core {
@@ -18,9 +19,51 @@ SequentDemuxer::SequentDemuxer(Options options) : options_(options) {
 Pcb* SequentDemuxer::insert(const net::FlowKey& key) {
   Bucket& b = buckets_[chain_of(key)];
   if (b.list.find_scan(key).pcb != nullptr) return nullptr;
+  if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
+    ++inserts_shed_;
+    return nullptr;
+  }
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = b.list.emplace_front(key, next_conn_id());
   ++size_;
+  note_insert(b);
   return pcb;
+}
+
+void SequentDemuxer::note_insert(const Bucket& b) {
+  watermark_ = std::max<std::uint64_t>(watermark_, b.list.size());
+  ++inserts_since_rehash_;
+  if (options_.rehash_on_overload && watermark_ > watermark_limit() &&
+      inserts_since_rehash_ >= rehash_cooldown_) {
+    rehash_with_fresh_seed();
+  }
+}
+
+void SequentDemuxer::rehash_with_fresh_seed() {
+  options_.hasher.seed = net::next_seed(options_.hasher.seed);
+  std::vector<Bucket> old;
+  old.swap(buckets_);
+  buckets_.resize(options_.chains);
+  for (Bucket& ob : old) {
+    while (Pcb* pcb = ob.list.extract_front()) {
+      buckets_[chain_of(pcb->key)].list.adopt_front(pcb);
+    }
+  }
+  watermark_ = 0;
+  for (const Bucket& nb : buckets_) {
+    watermark_ = std::max<std::uint64_t>(watermark_, nb.list.size());
+  }
+  ++overload_rehashes_;
+  inserts_since_rehash_ = 0;
+  // Hysteresis: even if every key collides under every seed (full-32-bit
+  // collisions survive the seeded post-mix of non-SipHash kinds), at most
+  // one rehash per `limit` further inserts — bounded thrash, and benign
+  // workloads that momentarily crossed the line get a fresh start.
+  rehash_cooldown_ = watermark_limit();
+}
+
+ResilienceStats SequentDemuxer::resilience() const {
+  return {overload_rehashes_, inserts_shed_, watermark_, watermark_limit()};
 }
 
 bool SequentDemuxer::erase(const net::FlowKey& key) {
@@ -125,8 +168,10 @@ std::string SequentDemuxer::name() const {
   std::string n = "sequent(h=";
   n += std::to_string(options_.chains);
   n += ',';
-  n += net::hasher_name(options_.hasher);
+  n += net::hash_spec_name(options_.hasher);
   if (!options_.per_chain_cache) n += ",nocache";
+  if (options_.rehash_on_overload) n += ",rehash";
+  if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
   n += ')';
   return n;
 }

@@ -29,8 +29,14 @@ class SequentDemuxer final : public Demuxer {
  public:
   struct Options {
     std::uint32_t chains = 19;  ///< installation default in Sequent PTX
-    net::HasherKind hasher = net::HasherKind::kXorFold;
+    net::HashSpec hasher = net::HasherKind::kXorFold;  ///< seed 0 = unkeyed
     bool per_chain_cache = true;
+    /// Rotate the hash seed and rebuild the chains when the longest chain
+    /// exceeds the overload watermark (collision-flood defense).
+    bool rehash_on_overload = false;
+    /// Refuse inserts beyond this many PCBs (0 = unbounded). Refused
+    /// inserts return nullptr and count in resilience().inserts_shed.
+    std::size_t max_pcbs = 0;
   };
 
   SequentDemuxer() : SequentDemuxer(Options()) {}
@@ -66,6 +72,19 @@ class SequentDemuxer final : public Demuxer {
     return buckets_[chain].cache;
   }
 
+  [[nodiscard]] ResilienceStats resilience() const override;
+  /// Current hash spec (seed changes after an overload rehash; test hook).
+  [[nodiscard]] net::HashSpec hash_spec() const noexcept {
+    return options_.hasher;
+  }
+  /// Longest chain an overload check tolerates at the current size: benign
+  /// traffic stays far below it (a balanced table's worst chain is within a
+  /// small factor of load N/H), while a flood aimed at one chain crosses it
+  /// after ~the constant term.
+  [[nodiscard]] std::uint64_t watermark_limit() const noexcept {
+    return 16 + 8 * (size_ / options_.chains + 1);
+  }
+
  private:
   friend class StructuralValidator;   // src/core/validate.h
   friend struct ValidatorTestAccess;  // negative validator tests only
@@ -83,9 +102,24 @@ class SequentDemuxer final : public Demuxer {
   /// scan, cache install); shared by lookup() and lookup_batch().
   LookupResult lookup_in_bucket(Bucket& b, const net::FlowKey& key);
 
+  /// Watermark bookkeeping after a successful insert into `b`; triggers a
+  /// seed-rotating rehash when the overload policy says so.
+  void note_insert(const Bucket& b);
+
+  /// Rotates the seed and redistributes every PCB onto fresh chains
+  /// (pointer-stable; caches restart cold).
+  void rehash_with_fresh_seed();
+
   Options options_;
   std::vector<Bucket> buckets_;
   std::size_t size_ = 0;
+
+  // Overload / shedding state (see DESIGN.md "Adversarial resilience").
+  std::uint64_t watermark_ = 0;
+  std::uint64_t overload_rehashes_ = 0;
+  std::uint64_t inserts_shed_ = 0;
+  std::uint64_t inserts_since_rehash_ = 0;
+  std::uint64_t rehash_cooldown_ = 0;  ///< 0 until the first rehash
 };
 
 }  // namespace tcpdemux::core

@@ -1,0 +1,35 @@
+#include "net/frame_fault.h"
+
+#include <random>
+
+namespace tcpdemux::net {
+
+std::vector<std::uint8_t> truncated(std::span<const std::uint8_t> frame,
+                                    std::size_t len) {
+  if (len > frame.size()) len = frame.size();
+  return {frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len)};
+}
+
+std::vector<std::vector<std::uint8_t>> all_prefixes(
+    std::span<const std::uint8_t> frame) {
+  std::vector<std::vector<std::uint8_t>> prefixes;
+  prefixes.reserve(frame.size() + 1);
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    prefixes.push_back(truncated(frame, len));
+  }
+  return prefixes;
+}
+
+std::vector<std::uint8_t> garble_bytes(std::span<const std::uint8_t> frame,
+                                       std::uint64_t seed,
+                                       std::size_t flips) {
+  std::vector<std::uint8_t> out{frame.begin(), frame.end()};
+  if (out.empty()) return out;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < flips; ++i) {
+    out[rng() % out.size()] = static_cast<std::uint8_t>(rng());
+  }
+  return out;
+}
+
+}  // namespace tcpdemux::net

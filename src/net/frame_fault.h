@@ -1,0 +1,36 @@
+// Deterministic malformed-frame generators for the robustness harness.
+//
+// The wire parsers promise to reject — without reading out of bounds —
+// any byte string, however it was damaged. These helpers manufacture the
+// damage systematically (every truncation point, seeded byte garbling)
+// so the promise is tested as a sweep instead of hoping a fuzzer finds
+// the one interesting length. Everything is seeded and reproducible: a
+// failing case prints enough to rebuild the exact frame.
+#ifndef TCPDEMUX_NET_FRAME_FAULT_H_
+#define TCPDEMUX_NET_FRAME_FAULT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tcpdemux::net {
+
+/// The first `len` bytes of `frame` (len may equal frame.size()).
+[[nodiscard]] std::vector<std::uint8_t> truncated(
+    std::span<const std::uint8_t> frame, std::size_t len);
+
+/// Every prefix of `frame`, lengths 0 .. frame.size() inclusive — the
+/// satellite requirement "every prefix length of a valid packet".
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> all_prefixes(
+    std::span<const std::uint8_t> frame);
+
+/// Copies `frame` and overwrites `flips` bytes at seeded-random positions
+/// with seeded-random values (a burst-damage model; single-bit damage is
+/// covered elsewhere by the checksum sweep).
+[[nodiscard]] std::vector<std::uint8_t> garble_bytes(
+    std::span<const std::uint8_t> frame, std::uint64_t seed,
+    std::size_t flips);
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_FRAME_FAULT_H_

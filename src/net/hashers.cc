@@ -76,6 +76,42 @@ std::uint32_t jenkins_mix(std::uint32_t a, std::uint32_t b,
   return c;
 }
 
+// splitmix64: expands a small seed into independent 64-bit key words for
+// SipHash. Standard constants (Steele et al., "Fast splittable PRNGs").
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct SipKey {
+  std::uint64_t k0;
+  std::uint64_t k1;
+};
+
+// Derives the 128-bit SipHash key from a 32-bit seed. Seed 0 is the default
+// (unkeyed-by-convention) key, so hash_flow(kSipHash, key) is still a fixed,
+// reproducible function.
+SipKey sip_key_from_seed(std::uint32_t seed) noexcept {
+  std::uint64_t state = 0x0eb2c0de00000000ULL | seed;
+  const std::uint64_t k0 = splitmix64(state);
+  const std::uint64_t k1 = splitmix64(state);
+  return {k0, k1};
+}
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+std::uint32_t siphash13_flow(const FlowKey& key, std::uint32_t seed) noexcept {
+  const auto in = rss_input(key);
+  const SipKey k = sip_key_from_seed(seed);
+  const std::uint64_t h = siphash(in, k.k0, k.k1, 1, 3);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
 }  // namespace
 
 std::string_view hasher_name(HasherKind kind) noexcept {
@@ -87,6 +123,7 @@ std::string_view hasher_name(HasherKind kind) noexcept {
     case HasherKind::kCrc32: return "crc32";
     case HasherKind::kJenkins: return "jenkins";
     case HasherKind::kToeplitz: return "toeplitz";
+    case HasherKind::kSipHash: return "siphash";
   }
   return "unknown";
 }
@@ -126,6 +163,57 @@ std::uint32_t toeplitz_hash(std::span<const std::uint8_t> input,
 
 std::span<const std::uint8_t> rss_default_key() noexcept { return kRssKey; }
 
+std::uint64_t siphash(std::span<const std::uint8_t> data, std::uint64_t k0,
+                      std::uint64_t k1, int c_rounds, int d_rounds) noexcept {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const auto sipround = [&] {
+    v0 += v1; v1 = rotl64(v1, 13); v1 ^= v0; v0 = rotl64(v0, 32);
+    v2 += v3; v3 = rotl64(v3, 16); v3 ^= v2;
+    v0 += v3; v3 = rotl64(v3, 21); v3 ^= v0;
+    v2 += v1; v1 = rotl64(v1, 17); v1 ^= v2; v2 = rotl64(v2, 32);
+  };
+
+  const std::size_t len = data.size();
+  const std::size_t full = len - (len % 8);
+  for (std::size_t off = 0; off < full; off += 8) {
+    std::uint64_t m = 0;
+    for (int i = 7; i >= 0; --i) {
+      m = (m << 8) | data[off + static_cast<std::size_t>(i)];
+    }
+    v3 ^= m;
+    for (int r = 0; r < c_rounds; ++r) sipround();
+    v0 ^= m;
+  }
+
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = full; i < len; ++i) {
+    b |= static_cast<std::uint64_t>(data[i]) << (8 * (i - full));
+  }
+  v3 ^= b;
+  for (int r = 0; r < c_rounds; ++r) sipround();
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  for (int r = 0; r < d_rounds; ++r) sipround();
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint32_t next_seed(std::uint32_t seed) noexcept {
+  // One splitmix64 step keyed off the old seed; fold to 32 bits. Skip 0 so
+  // a rotated table can never silently drop back to the unkeyed family.
+  std::uint64_t state = 0x5eed0000ULL + seed;
+  std::uint32_t out = 0;
+  do {
+    const std::uint64_t z = splitmix64(state);
+    out = static_cast<std::uint32_t>(z ^ (z >> 32));
+  } while (out == 0 || out == seed);
+  return out;
+}
+
 std::uint32_t hash_flow(HasherKind kind, const FlowKey& key) noexcept {
   switch (kind) {
     case HasherKind::kBsdModulo:
@@ -159,8 +247,41 @@ std::uint32_t hash_flow(HasherKind kind, const FlowKey& key) noexcept {
       const auto in = rss_input(key);
       return toeplitz_hash(in, kRssKey);
     }
+    case HasherKind::kSipHash:
+      return siphash13_flow(key, 0);
   }
   return 0;
+}
+
+std::uint32_t hash_flow(const HashSpec& spec, const FlowKey& key) noexcept {
+  if (spec.seed == 0) {
+    return hash_flow(spec.kind, key);  // bit-identical to the unkeyed family
+  }
+  if (spec.kind == HasherKind::kSipHash) {
+    return siphash13_flow(key, spec.seed);
+  }
+  // Seeded post-mix for the legacy hashers: randomizes chain/slot placement
+  // (defeating chain-targeting floods) but NOT full-32-bit-hash collisions —
+  // see the header comment for the threat-model boundary.
+  std::uint64_t state = 0x5eeded00ULL ^ spec.seed;
+  const std::uint64_t z = splitmix64(state);
+  return mix32_avalanche(hash_flow(spec.kind, key) ^
+                         static_cast<std::uint32_t>(z ^ (z >> 32)));
+}
+
+std::string hash_spec_name(const HashSpec& spec) {
+  std::string name{hasher_name(spec.kind)};
+  if (spec.seed != 0) {
+    name += '@';
+    constexpr char kHex[] = "0123456789abcdef";
+    bool started = false;
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      const std::uint32_t nibble = (spec.seed >> shift) & 0xf;
+      if (nibble != 0) started = true;
+      if (started) name += kHex[nibble];
+    }
+  }
+  return name;
 }
 
 }  // namespace tcpdemux::net

@@ -1,0 +1,104 @@
+#include "sim/collision_flood.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+net::FlowKey server_side_key(const CollisionFloodParams& params,
+                             std::uint32_t foreign_addr,
+                             std::uint16_t foreign_port) {
+  net::FlowKey key;
+  key.local_addr = params.server_addr;
+  key.local_port = params.server_port;
+  key.foreign_addr = net::Ipv4Addr(foreign_addr);
+  key.foreign_port = foreign_port;
+  return key;
+}
+
+}  // namespace
+
+std::vector<net::FlowKey> craft_colliding_keys(
+    const CollisionFloodParams& params,
+    const std::function<std::uint32_t(const net::FlowKey&)>& index_of,
+    std::uint32_t target) {
+  std::vector<net::FlowKey> keys;
+  keys.reserve(params.count);
+  // Walk (foreign_addr, foreign_port) in a fixed order; every hit is a
+  // distinct tuple, so no dedup is needed. An attacker does the same
+  // precomputation offline against the published (unkeyed) hash.
+  for (std::uint32_t addr = 0x0a800001; keys.size() < params.count; ++addr) {
+    for (std::uint32_t port = 1; port <= 0xffff; ++port) {
+      const net::FlowKey key =
+          server_side_key(params, addr, static_cast<std::uint16_t>(port));
+      if (index_of(key) != target) continue;
+      keys.push_back(key);
+      if (keys.size() == params.count) break;
+    }
+  }
+  return keys;
+}
+
+std::vector<net::FlowKey> craft_xorfold_collisions(
+    const CollisionFloodParams& params, std::uint32_t target_hash) {
+  // xor_fold(key) = local_addr ^ foreign_addr ^ (local_port<<16 | fport):
+  // fix the foreign port, solve for the one foreign address that lands on
+  // `target_hash`. One key per port, all with identical full 32-bit hash.
+  std::vector<net::FlowKey> keys;
+  const std::uint32_t count =
+      params.count <= 0xffff ? params.count : 0xffff;
+  keys.reserve(count);
+  const std::uint32_t local = params.server_addr.value();
+  for (std::uint32_t port = 1; port <= 0xffff && keys.size() < count;
+       ++port) {
+    const std::uint32_t foreign =
+        target_hash ^ local ^
+        ((static_cast<std::uint32_t>(params.server_port) << 16) | port);
+    keys.push_back(
+        server_side_key(params, foreign, static_cast<std::uint16_t>(port)));
+  }
+  return keys;
+}
+
+CollisionFloodResult generate_collision_flood(
+    const CollisionFloodTraceParams& params,
+    std::span<const net::FlowKey> attack_keys) {
+  CollisionFloodResult result;
+  result.trace = generate_tpca_trace(params.benign);
+  result.benign_conns = result.trace.connections;
+
+  AddressSpaceParams addresses = params.benign_addresses;
+  addresses.clients = result.benign_conns;
+  result.keys = make_client_keys(addresses);
+
+  const auto n = static_cast<std::uint32_t>(attack_keys.size());
+  Trace attack;
+  attack.connections = n;
+  attack.events.reserve(static_cast<std::size_t>(n) *
+                        (1 + params.arrivals_per_conn));
+  const double end = params.attack_start + params.attack_duration;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Opens spread uniformly over the attack window; the data segments
+    // arrive AFTER the whole flood is established, when the table is
+    // fully polluted — arrivals interleaved with the opens would find
+    // each young PCB still at its chain head and measure nothing. All
+    // timing is deterministic by design so every algorithm replays the
+    // identical flood.
+    const double open =
+        params.attack_start +
+        params.attack_duration * (static_cast<double>(i) + 0.5) /
+            static_cast<double>(n);
+    attack.events.push_back({open, i, TraceEventKind::kOpen});
+    for (std::uint32_t j = 0; j < params.arrivals_per_conn; ++j) {
+      const double t = end + 0.010 * (static_cast<double>(i) + 1.0) +
+                       0.001 * (static_cast<double>(j) + 1.0);
+      attack.events.push_back({t, i, TraceEventKind::kArrivalData});
+    }
+  }
+  attack.sort_by_time();
+
+  result.trace.merge(attack);
+  result.keys.insert(result.keys.end(), attack_keys.begin(),
+                     attack_keys.end());
+  return result;
+}
+
+}  // namespace tcpdemux::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/fault_inject.h"
+
 namespace tcpdemux::tcp {
 
 SynCache::SynCache(Options options) : options_(options) {
@@ -21,6 +23,13 @@ const SynCache::Entry* SynCache::add(const net::FlowKey& key,
       return &e;
     }
   }
+  if (core::FaultInjector::instance().poll_alloc()) {
+    ++stats_.alloc_failed;
+    return nullptr;
+  }
+  if (options_.max_entries != 0 && size_ >= options_.max_entries) {
+    shed_oldest();
+  }
   if (bucket.size() >= options_.bucket_limit) {
     bucket.pop_front();  // evict the oldest embryo in this bucket
     --size_;
@@ -30,6 +39,23 @@ const SynCache::Entry* SynCache::add(const net::FlowKey& key,
   ++size_;
   ++stats_.added;
   return &bucket.back();
+}
+
+void SynCache::shed_oldest() {
+  // Embryos are in arrival order within each bucket, so the globally
+  // oldest is some bucket's front. One scan over bucket heads — H is
+  // small and this only runs at the cap, i.e. already under attack.
+  Bucket* victim = nullptr;
+  for (Bucket& b : buckets_) {
+    if (b.empty()) continue;
+    if (victim == nullptr || b.front().created < victim->front().created) {
+      victim = &b;
+    }
+  }
+  if (victim == nullptr) return;  // cap is 0-sized relative to occupancy
+  victim->pop_front();
+  --size_;
+  ++stats_.shed;
 }
 
 const SynCache::Entry* SynCache::find(const net::FlowKey& key) const {

@@ -27,7 +27,12 @@ class SynCache {
     std::uint32_t buckets = 64;
     std::uint32_t bucket_limit = 8;  ///< entries per bucket before eviction
     double timeout = 30.0;           ///< seconds an embryonic entry lives
-    net::HasherKind hasher = net::HasherKind::kCrc32;
+    net::HashSpec hasher = net::HasherKind::kCrc32;  ///< seed 0 = unkeyed
+    /// Global embryonic-connection budget (0 = buckets * bucket_limit is
+    /// the only bound). At the cap, add() evicts the globally oldest
+    /// embryo before admitting the newcomer — a flood cannot grow the
+    /// cache, only churn it — and counts the kill in stats().shed.
+    std::size_t max_entries = 0;
   };
 
   /// One embryonic connection: just enough to finish the handshake.
@@ -44,6 +49,8 @@ class SynCache {
     std::uint64_t expired = 0;
     std::uint64_t promoted = 0;  ///< completed handshakes removed via take
     std::uint64_t duplicates = 0;
+    std::uint64_t shed = 0;      ///< globally-oldest kills at max_entries
+    std::uint64_t alloc_failed = 0;  ///< adds refused by fault injection
   };
 
   SynCache() : SynCache(Options()) {}
@@ -51,7 +58,10 @@ class SynCache {
 
   /// Records an arriving SYN. A duplicate key refreshes nothing and
   /// returns the existing entry (the peer retransmitted its SYN). When the
-  /// bucket is full the oldest entry is evicted — the flood defense.
+  /// bucket is full the oldest entry is evicted — the flood defense. At
+  /// the global max_entries cap the globally oldest embryo is shed first.
+  /// Returns nullptr only when allocation-failure injection refuses the
+  /// add (core::FaultInjector).
   const Entry* add(const net::FlowKey& key, std::uint32_t irs,
                    std::uint32_t iss, double now);
 
@@ -79,6 +89,9 @@ class SynCache {
     return buckets_[net::hash_chain(options_.hasher, key,
                                     options_.buckets)];
   }
+
+  /// Evicts the globally oldest embryo (max_entries overflow policy).
+  void shed_oldest();
 
   Options options_;
   std::vector<Bucket> buckets_;

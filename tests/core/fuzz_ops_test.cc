@@ -9,9 +9,19 @@
 // miscounted chain is caught on the operation that plants it, not 50k
 // operations later when a lookup finally trips over it.
 //
+// Two key regimes run the same op mix:
+//   * random pool — benign traffic (the original suite);
+//   * adversarial pool — mostly closed-form xor_fold full-hash collisions
+//     (sim::craft_xorfold_collisions), so chained tables fuzz with one
+//     giant chain and the flat table with one saturated probe run, and the
+//     keyed/rehash configurations fuzz across their defense machinery.
+//
 // Budget: TCPDEMUX_FUZZ_OPS operations per spec (default 100000, the
 // ci/check.sh acceptance floor). TCPDEMUX_FUZZ_SEED reseeds the whole run
 // for soak testing; failures print the seed so any run is reproducible.
+// TCPDEMUX_FUZZ_ALLOC_EVERY=N (default 0 = off) arms the allocation-
+// failure injector to refuse every N-th insert-path allocation, proving
+// recovery from memory pressure mid-sequence never corrupts a structure.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -23,8 +33,10 @@
 
 #include "core/demux_registry.h"
 #include "core/demuxer.h"
+#include "core/fault_inject.h"
 #include "core/validate.h"
 #include "net/flow_key.h"
+#include "sim/collision_flood.h"
 
 namespace tcpdemux::core {
 namespace {
@@ -54,24 +66,38 @@ std::vector<net::FlowKey> make_key_pool(std::size_t n, std::mt19937& rng) {
   return pool;
 }
 
-class FuzzOpsTest : public ::testing::TestWithParam<const char*> {};
+// 160 full-hash xor_fold collisions + 32 random keys: collided enough to
+// degenerate every unkeyed structure, mixed enough that erase/lookup still
+// cross chains.
+std::vector<net::FlowKey> make_adversarial_pool(std::mt19937& rng) {
+  sim::CollisionFloodParams params;
+  params.count = 160;
+  auto pool = sim::craft_xorfold_collisions(params, 0x600dcafe);
+  for (const net::FlowKey& k : make_key_pool(32, rng)) pool.push_back(k);
+  return pool;
+}
 
-TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
-  const std::string spec = GetParam();
+void run_fuzz_ops(const std::string& spec,
+                  const std::vector<net::FlowKey>& pool) {
   const std::uint64_t ops = env_u64("TCPDEMUX_FUZZ_OPS", 100000);
   const std::uint64_t seed =
       env_u64("TCPDEMUX_FUZZ_SEED", 0x5ca1ab1e) ^
       std::hash<std::string>{}(spec);
+  const std::uint64_t alloc_every = env_u64("TCPDEMUX_FUZZ_ALLOC_EVERY", 0);
   SCOPED_TRACE("spec=" + spec + " ops=" + std::to_string(ops) +
-               " seed=" + std::to_string(seed));
+               " seed=" + std::to_string(seed) +
+               " alloc_every=" + std::to_string(alloc_every));
 
   const auto config = parse_demux_spec(spec);
   ASSERT_TRUE(config.has_value()) << spec;
   const auto demuxer = make_demuxer(*config);
   ASSERT_NE(demuxer, nullptr);
 
+  auto& injector = FaultInjector::instance();
+  injector.reset();
+  if (alloc_every != 0) injector.arm_every(alloc_every);
+
   std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
-  const auto pool = make_key_pool(192, rng);
   std::unordered_set<net::FlowKey> reference;
 
   std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
@@ -116,8 +142,18 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
         ASSERT_EQ(r.pcb->key, k);
       }
     } else if (roll < 75) {
+      // An insert can fail three ways: duplicate (expected), injected
+      // allocation failure, or (not configured here) a max_pcbs shed. The
+      // injector delta disambiguates; either way a refusal must leave the
+      // reference state untouched.
+      const std::uint64_t injected_before = injector.injected();
       Pcb* const pcb = demuxer->insert(k);
-      ASSERT_EQ(pcb == nullptr, expected) << "op " << op;
+      if (injector.injected() != injected_before) {
+        ASSERT_EQ(pcb, nullptr) << "op " << op;
+        ASSERT_FALSE(expected) << "op " << op;  // duplicates never allocate
+      } else {
+        ASSERT_EQ(pcb == nullptr, expected) << "op " << op;
+      }
       if (pcb != nullptr) {
         ASSERT_EQ(pcb->key, k);
         reference.insert(k);
@@ -149,6 +185,7 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
     }
     ASSERT_EQ(demuxer->size(), reference.size()) << "op " << op;
   }
+  injector.reset();
 
   // Full sweep at the end: every reference key present, every absent pool
   // key absent, structure still well-formed.
@@ -165,6 +202,38 @@ TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
   EXPECT_EQ(counted, reference.size());
 }
 
+// The injector is process-wide; leave it disarmed even when an ASSERT
+// aborted run_fuzz_ops mid-flight.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().reset(); }
+};
+
+class FuzzOpsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzOpsTest, RandomOpsMatchReferenceAndPreserveInvariants) {
+  InjectorGuard guard;
+  const std::string spec = GetParam();
+  std::mt19937 pool_rng(0xb00);
+  run_fuzz_ops(spec, make_key_pool(192, pool_rng));
+}
+
+class FuzzAdversarialTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzAdversarialTest, CollidedOpsMatchReferenceAndPreserveInvariants) {
+  InjectorGuard guard;
+  const std::string spec = GetParam();
+  std::mt19937 pool_rng(0xbad);
+  run_fuzz_ops(spec, make_adversarial_pool(pool_rng));
+}
+
+std::string sanitize_spec_name(const char* spec) {
+  std::string name = spec;
+  for (char& c : name) {
+    if (c == ':' || c == '@' || c == '=') c = '_';
+  }
+  return name;
+}
+
 // Every algorithm the registry can produce, plus the option corners that
 // change structure shape (nocache, tiny chain counts that force dynamic
 // rehashes, a second hasher).
@@ -176,11 +245,22 @@ INSTANTIATE_TEST_SUITE_P(
                       "rcu:7:crc32:nocache", "flat",
                       "flat:64:crc32"),
     [](const ::testing::TestParamInfo<const char*>& info) {
-      std::string name = info.param;
-      for (char& c : name) {
-        if (c == ':') c = '_';
-      }
-      return name;
+      return sanitize_spec_name(info.param);
+    });
+
+// The unkeyed specs fuzz fully degenerate (one chain / one probe run);
+// the keyed and rehash specs fuzz the defense machinery: seed rotation
+// mid-sequence must stay differential-exact and validator-clean.
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialKeys, FuzzAdversarialTest,
+    ::testing::Values("bsd", "sequent", "sequent:19:xor_fold",
+                      "sequent:19:xor_fold:rehash",
+                      "sequent:19:siphash@5eed", "hashed_mtf:19",
+                      "dynamic:5:xor_fold", "rcu:19:xor_fold",
+                      "flat:64:xor_fold", "flat:64:xor_fold:rehash",
+                      "flat:64:siphash@5eed"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return sanitize_spec_name(info.param);
     });
 
 }  // namespace

@@ -20,6 +20,7 @@ bool is_mixing_hash(HasherKind kind) {
     case HasherKind::kJenkins:
     case HasherKind::kToeplitz:
     case HasherKind::kMultiplicative:
+    case HasherKind::kSipHash:
       return true;
     default:
       return false;

@@ -27,6 +27,12 @@ Enforces invariants that -Wall and clang-tidy cannot express:
                      header is proven self-contained.
   include-hygiene    no <bits/...> internals, no "../" relative includes
                      (all repo includes are rooted at src/).
+  wire-parse         no hand-rolled multi-byte loads (buf[i] << 8 | ...)
+                     from wire buffers outside net/byte_order.h: shifting
+                     indexed bytes together is exactly where an
+                     attacker-controlled length walks past the buffer, so
+                     every such read goes through the two audited helpers
+                     (load_be16/load_be32) and the checksum accumulator.
 
 Usage: check_lint.py [repo-root]        exit 0 = clean, 1 = violations.
 Suppress a finding with a trailing  // NOLINT(<rule>)  comment, or a
@@ -37,6 +43,9 @@ import os
 import re
 import sys
 
+# (rule, pattern, scopes, message[, exempt-files]) — the optional fifth
+# element lists the audited files where the pattern is the implementation,
+# not a violation.
 CODE_RULES = [
     (
         "no-random",
@@ -83,6 +92,15 @@ CODE_RULES = [
         re.compile(r'#\s*include\s*"\.\./'),
         ("src", "tests", "bench", "examples"),
         'repo includes are rooted at src/ ("core/pcb.h"), not relative',
+    ),
+    (
+        "wire-parse",
+        re.compile(r"\[[^\]]*\]\s*\)?\s*<<\s*(?:8|16|24)\b"),
+        ("src",),
+        "no hand-rolled multi-byte wire loads (buf[i] << 8): read "
+        "attacker-controlled bytes through net/byte_order.h so bounds "
+        "checks live in one audited place",
+        ("src/net/byte_order.h", "src/net/checksum.cc"),
     ),
 ]
 
@@ -166,8 +184,10 @@ def lint_file(root: str, rel: str, errors: list[str]) -> None:
             m = NOLINTNEXTLINE.search(raw_lines[lineno - 2])
             if m:
                 suppressed |= {r.strip() for r in m.group(1).split(",")}
-        for rule, pattern, scopes, message in CODE_RULES:
-            if rule in suppressed:
+        for entry in CODE_RULES:
+            rule, pattern, scopes, message = entry[:4]
+            exempt = entry[4] if len(entry) > 4 else ()
+            if rule in suppressed or rel in exempt:
                 continue
             if not any(
                 rel.startswith(scope + "/") or rel == scope for scope in scopes
