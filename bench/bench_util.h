@@ -11,11 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/demux_registry.h"
 #include "report/bench_json.h"
+#include "report/telemetry_json.h"
 #include "sim/replay.h"
 #include "sim/tpca_workload.h"
 
@@ -144,13 +146,19 @@ Timing time_loop(std::uint64_t ops_per_call, F&& body,
 
 // ---------------------------------------------------------------------------
 // Command line shared by the wallclock_* binaries:
-//   --json <path>   export a JSON record array (report/bench_json.h)
-//   --smoke         minimum-size, minimum-rep run for CI sanity checking
+//   --json <path>       export a JSON record array (report/bench_json.h)
+//   --telemetry <path>  dump per-demuxer telemetry (report/telemetry_json.h)
+//                       alongside the timings
+//   --sizes <a,b,...>   restrict a population-sweep bench to these sizes
+//                       (overhead A/B runs re-measure one size many times)
+//   --smoke             minimum-size, minimum-rep run for CI sanity checking
 // ---------------------------------------------------------------------------
 
 struct BenchOptions {
   bool smoke = false;
-  std::string json_path;  ///< empty = no JSON export
+  std::string json_path;       ///< empty = no JSON export
+  std::string telemetry_path;  ///< empty = no telemetry export
+  std::vector<std::uint32_t> sizes;  ///< empty = the bench's default sweep
 
   /// Rep/time budget honouring --smoke: CI only needs "it runs and the
   /// numbers are plausible", not statistical confidence.
@@ -167,8 +175,26 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opts.smoke = true;
     } else if (arg == "--json" && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      opts.telemetry_path = argv[++i];
+    } else if (arg == "--sizes" && i + 1 < argc) {
+      const std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const unsigned long v = std::strtoul(
+            list.substr(pos, comma - pos).c_str(), nullptr, 10);
+        if (v == 0) {
+          std::fprintf(stderr, "--sizes: bad size list '%s'\n", list.c_str());
+          std::exit(2);
+        }
+        opts.sizes.push_back(static_cast<std::uint32_t>(v));
+        pos = comma + 1;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json <path>] [--telemetry <path>] "
+                   "[--sizes <a,b,...>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -183,6 +209,29 @@ inline void finish_json(const report::BenchJsonWriter& writer,
   if (opts.json_path.empty()) return;
   if (!writer.write_file(opts.json_path)) {
     std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    std::exit(1);
+  }
+}
+
+/// Snapshots one measured demuxer into a telemetry report (counters,
+/// histograms if the bench enabled them, occupancy at end of run).
+inline report::TelemetryReport telemetry_report_of(
+    const std::string& source, const core::Demuxer& demuxer) {
+  report::TelemetryReport rec;
+  rec.source = source;
+  rec.algorithm = demuxer.name();
+  rec.telemetry = demuxer.telemetry();
+  rec.occupancy = demuxer.occupancy();
+  return rec;
+}
+
+/// Writes the accumulated telemetry reports if --telemetry was given.
+/// Exits non-zero on I/O failure, exactly like finish_json.
+inline void finish_telemetry(std::span<const report::TelemetryReport> reports,
+                             const BenchOptions& opts) {
+  if (opts.telemetry_path.empty()) return;
+  if (!report::write_telemetry_json(opts.telemetry_path, reports)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.telemetry_path.c_str());
     std::exit(1);
   }
 }

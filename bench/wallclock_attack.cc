@@ -20,7 +20,11 @@
 // The benign-only rows at the bottom price the defense when there is no
 // attack: keyed-vs-unkeyed hashing overhead on well-behaved traffic.
 //
-//   wallclock_attack [--smoke] [--json <path>]
+//   wallclock_attack [--smoke] [--json <path>] [--telemetry <path>]
+//
+// --telemetry dumps each scenario's telemetry registry (counters including
+// shed/rehash events, examined-PCB histograms, occupancy skew) so the
+// flood's distributional damage — not just its mean — is captured.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -80,6 +84,7 @@ struct AttackFixture {
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   report::BenchJsonWriter writer;
+  std::vector<report::TelemetryReport> telemetry;
 
   // The flood must outgrow the chained watermark 16 + 8*(size/chains + 1)
   // for the rehash rows to demonstrate anything, so even the smoke attack
@@ -131,6 +136,9 @@ int main(int argc, char** argv) {
               "ns/lookup", "pcbs_examined", "rehashes", "watermark");
   for (const Scenario& s : scenarios) {
     AttackFixture fx(s, benign);
+    if (!opts.telemetry_path.empty()) {
+      fx.demuxer->enable_telemetry_histograms(true);
+    }
     constexpr std::size_t kChunk = 256;
     std::size_t i = 0;
     const std::size_t n = fx.sequence.size();
@@ -161,8 +169,16 @@ int main(int argc, char** argv) {
     rec.add_metric("rehashes", static_cast<double>(r.overload_rehashes));
     rec.add_metric("watermark", static_cast<double>(r.watermark));
     writer.add(std::move(rec));
+
+    if (!opts.telemetry_path.empty()) {
+      auto trec =
+          bench::telemetry_report_of("bench/wallclock_attack", *fx.demuxer);
+      trec.algorithm = s.label;
+      telemetry.push_back(std::move(trec));
+    }
   }
 
   bench::finish_json(writer, opts);
+  bench::finish_telemetry(telemetry, opts);
   return 0;
 }

@@ -13,7 +13,14 @@
 // scan cost story is already unambiguous at 20 k. The scaled-chain
 // sequent, connection_id, and the flat table run at every size.
 //
-//   wallclock_lookup [--smoke] [--json <path>]
+//   wallclock_lookup [--smoke] [--json <path>] [--telemetry <path>]
+//                    [--sizes <a,b,...>]
+//
+// --telemetry additionally dumps each measured demuxer's telemetry
+// registry (counters + examined-PCB histograms + occupancy) as a
+// tcpdemux.telemetry.v1 JSON array, so a timing run doubles as a
+// distribution capture. Histograms are enabled only on that flag; the
+// timed path otherwise runs counters-only, exactly as shipped.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -93,9 +100,11 @@ std::vector<std::string> specs_for(std::uint32_t users) {
 int main(int argc, char** argv) {
   const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   report::BenchJsonWriter writer;
+  std::vector<report::TelemetryReport> telemetry;
 
   std::vector<std::uint32_t> sizes = {2000, 20000, 200000};
   if (opts.smoke) sizes = {2000};
+  if (!opts.sizes.empty()) sizes = opts.sizes;
 
   std::printf("%-26s %10s %12s %14s %9s\n", "demuxer", "users", "ns/lookup",
               "pcbs_examined", "hit_rate");
@@ -107,6 +116,9 @@ int main(int argc, char** argv) {
 
     for (const std::string& spec : specs_for(users)) {
       LookupFixture fx(spec, keys, sequence);
+      if (!opts.telemetry_path.empty()) {
+        fx.demuxer->enable_telemetry_histograms(true);
+      }
       constexpr std::size_t kChunk = 256;
       std::size_t i = 0;
       const std::size_t n = fx.sequence.size();
@@ -134,9 +146,17 @@ int main(int argc, char** argv) {
       rec.add_metric("pcbs_examined", examined);
       rec.add_metric("hit_rate", hit_rate);
       writer.add(std::move(rec));
+
+      if (!opts.telemetry_path.empty()) {
+        auto trec = bench::telemetry_report_of("bench/wallclock_lookup",
+                                               *fx.demuxer);
+        trec.algorithm = spec + "@" + std::to_string(users);
+        telemetry.push_back(std::move(trec));
+      }
     }
   }
 
   bench::finish_json(writer, opts);
+  bench::finish_telemetry(telemetry, opts);
   return 0;
 }

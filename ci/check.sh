@@ -9,6 +9,7 @@
 #   stage 4  lint    repo lint ctest (`-L lint`)        (SKIP_LINT=1 skips)
 #   stage 5  bench   wallclock suite --smoke + JSON     (SKIP_BENCH=1 skips)
 #   stage 6  robust  `-L robustness` + attack smoke     (SKIP_ROBUSTNESS=1 skips)
+#   stage 7  telem   telemetry replay smoke + schema    (SKIP_TELEMETRY=1 skips)
 #
 # All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
@@ -88,6 +89,22 @@ if [[ "${SKIP_ROBUSTNESS:-0}" != "1" ]]; then
   "$ROOT/build/bench/wallclock_attack" --smoke
 else
   skipped robust SKIP_ROBUSTNESS
+fi
+
+if [[ "${SKIP_TELEMETRY:-0}" != "1" ]]; then
+  stage telem "telemetry replay smoke + JSON schema validation"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  cmake --build "$ROOT/build" -j "$JOBS" --target telemetry_dump
+  # Short TPC/A replay (200 users) with interval series + sampled latency;
+  # the exported JSON must satisfy the tcpdemux.telemetry.v1 schema.
+  "$ROOT/build/examples/telemetry_dump" sequent:19:crc32 200 500 \
+      "$ROOT/build/telemetry.smoke.json" > /dev/null
+  python3 "$ROOT/tools/telemetry/validate_schema.py" \
+      "$ROOT/build/telemetry.smoke.json"
+else
+  skipped telem SKIP_TELEMETRY
 fi
 
 echo

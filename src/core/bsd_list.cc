@@ -7,6 +7,7 @@ namespace tcpdemux::core {
 Pcb* BsdListDemuxer::insert(const net::FlowKey& key) {
   if (list_.find_scan(key).pcb != nullptr) return nullptr;
   if (FaultInjector::instance().poll_alloc()) return nullptr;
+  telemetry_->on_insert();
   return list_.emplace_front(key, next_conn_id());
 }
 
@@ -15,6 +16,7 @@ bool BsdListDemuxer::erase(const net::FlowKey& key) {
   if (scan.pcb == nullptr) return false;
   if (cache_ == scan.pcb) cache_ = nullptr;
   list_.erase(scan.pcb);
+  telemetry_->on_erase();
   return true;
 }
 
@@ -26,7 +28,7 @@ LookupResult BsdListDemuxer::lookup(const net::FlowKey& key,
     if (cache_->key == key) {
       r.pcb = cache_;
       r.cache_hit = true;
-      stats_.record(r);
+      note_lookup(r);
       return r;
     }
   }
@@ -34,7 +36,7 @@ LookupResult BsdListDemuxer::lookup(const net::FlowKey& key,
   r.examined += scan.examined;
   r.pcb = scan.pcb;
   if (scan.pcb != nullptr) cache_ = scan.pcb;
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

@@ -25,6 +25,7 @@ Pcb* ConnectionIdDemuxer::insert(const net::FlowKey& key) {
   free_ids_.pop_back();
   slots_[id] = std::make_unique<Pcb>(key, id);
   id_by_key_.emplace(key, id);
+  telemetry_->on_insert();
   return slots_[id].get();
 }
 
@@ -35,6 +36,7 @@ bool ConnectionIdDemuxer::erase(const net::FlowKey& key) {
   slots_[id].reset();
   free_ids_.push_back(id);
   id_by_key_.erase(it);
+  telemetry_->on_erase();
   return true;
 }
 
@@ -46,7 +48,7 @@ LookupResult ConnectionIdDemuxer::lookup(const net::FlowKey& key,
   if (it != id_by_key_.end()) {
     r.pcb = slots_[it->second].get();
   }
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

@@ -1,0 +1,9 @@
+#include "core/demuxer.h"
+
+namespace tcpdemux::core {
+
+void Demuxer::note_lookup_telemetry(const LookupResult& r) noexcept {
+  telemetry_->on_lookup(r.examined, r.pcb != nullptr, r.cache_hit);
+}
+
+}  // namespace tcpdemux::core

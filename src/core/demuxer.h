@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 
 #include "core/pcb.h"
 #include "net/flow_key.h"
+#include "report/telemetry.h"
 
 namespace tcpdemux::core {
 
@@ -149,11 +151,66 @@ class Demuxer {
   /// machinery (the default).
   [[nodiscard]] virtual ResilienceStats resilience() const { return {}; }
 
+  /// The per-demuxer telemetry registry (see report/telemetry.h): event
+  /// counters plus opt-in examined-PCB / probe-length histograms. Every
+  /// lookup() override funnels its result through note_lookup(), so the
+  /// registry and stats() can never drift apart. Returned by value: the
+  /// lookup counters (lookups/found/cache_hits) are synced from stats_ at
+  /// read time — they are the same ledger by definition, and keeping one
+  /// copy means the default lookup path touches no telemetry state at all
+  /// (the 2% overhead budget; see DESIGN.md "Observability").
+  [[nodiscard]] report::Telemetry telemetry() const {
+    report::Telemetry t = *telemetry_;
+    t.set_lookup_counters(stats_.lookups, stats_.found, stats_.cache_hits);
+    return t;
+  }
+  /// Switches the registry's histograms on/off for this run (default off:
+  /// the paper-faithful fast path pays one predictable branch only).
+  void enable_telemetry_histograms(bool on) noexcept {
+    telemetry_histograms_ = on;
+    telemetry_->enable_histograms(on);
+  }
+  void reset_telemetry() noexcept { telemetry_->reset(); }
+
+  /// Sizes of the structure's natural partitions — hash-chain lengths for
+  /// the chained algorithms, the single list length for the linear-scan
+  /// ones. Always sums to size(); telemetry snapshots derive occupancy
+  /// skew from it.
+  [[nodiscard]] virtual std::vector<std::size_t> occupancy() const {
+    return {size()};
+  }
+
  protected:
   /// Next dense connection id; shared by all subclasses' insert paths.
   [[nodiscard]] std::uint64_t next_conn_id() noexcept { return conn_seq_++; }
 
+  /// Single funnel for lookup accounting: records `r` in stats_ and, when
+  /// histograms are on, in the telemetry registry. Subclasses call this
+  /// instead of touching stats_ directly so the two paths stay bit-exact
+  /// (fuzz-enforced). The gate bool lives HERE, not in telemetry_: it
+  /// shares stats_'s cache line, so the default (histograms-off) path has
+  /// exactly the pre-telemetry memory footprint — one predicted branch,
+  /// zero extra lines touched.
+  void note_lookup(const LookupResult& r) noexcept {
+    stats_.record(r);
+    if (telemetry_histograms_) [[unlikely]] {
+      note_lookup_telemetry(r);
+    }
+  }
+  /// Histogram slow path, out of line (demuxer.cc) so the inlined fast
+  /// path stays at pre-telemetry code size in every lookup loop.
+  void note_lookup_telemetry(const LookupResult& r) noexcept;
+
   DemuxStats stats_;
+  bool telemetry_histograms_ = false;
+  /// Behind a pointer, not inline: the registry is ~1 KiB of histogram
+  /// arrays, and an inline member would push every subclass's hot members
+  /// (chain heads, slot arrays) a KiB past the vptr/stats_ cache line the
+  /// lookup path already owns — measurably slowing the cheapest lookups
+  /// (connection_id) even with histograms off. The pointer keeps the base
+  /// at pre-telemetry size; only mutation hooks and readers dereference.
+  std::unique_ptr<report::Telemetry> telemetry_ =
+      std::make_unique<report::Telemetry>();
 
  private:
   std::uint64_t conn_seq_ = 0;

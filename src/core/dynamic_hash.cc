@@ -54,6 +54,7 @@ void DynamicHashDemuxer::maybe_grow() {
   }
   buckets_ = std::move(grown);  // all per-chain caches start cold
   ++rehashes_;
+  telemetry_->on_rehash();
 }
 
 Pcb* DynamicHashDemuxer::insert(const net::FlowKey& key) {
@@ -61,11 +62,13 @@ Pcb* DynamicHashDemuxer::insert(const net::FlowKey& key) {
   if (b.list.find_scan(key).pcb != nullptr) return nullptr;
   if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
     ++inserts_shed_;
+    telemetry_->on_shed();
     return nullptr;
   }
   if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = b.list.emplace_front(key, next_conn_id());
   ++size_;
+  telemetry_->on_insert();
   watermark_ = std::max<std::uint64_t>(watermark_, b.list.size());
   maybe_grow();
   return pcb;
@@ -82,6 +85,7 @@ bool DynamicHashDemuxer::erase(const net::FlowKey& key) {
   if (b.cache == scan.pcb) b.cache = nullptr;
   b.list.erase(scan.pcb);
   --size_;
+  telemetry_->on_erase();
   return true;
 }
 
@@ -94,7 +98,7 @@ LookupResult DynamicHashDemuxer::lookup(const net::FlowKey& key,
     if (b.cache->key == key) {
       r.pcb = b.cache;
       r.cache_hit = true;
-      stats_.record(r);
+      note_lookup(r);
       return r;
     }
   }
@@ -102,7 +106,7 @@ LookupResult DynamicHashDemuxer::lookup(const net::FlowKey& key,
   r.examined += scan.examined;
   r.pcb = scan.pcb;
   if (options_.per_chain_cache && scan.pcb != nullptr) b.cache = scan.pcb;
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

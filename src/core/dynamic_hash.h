@@ -58,6 +58,12 @@ class DynamicHashDemuxer final : public Demuxer {
   [[nodiscard]] std::uint64_t rehash_count() const noexcept {
     return rehashes_;
   }
+  [[nodiscard]] std::vector<std::size_t> occupancy() const override {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(buckets_.size());
+    for (const auto& b : buckets_) sizes.push_back(b.list.size());
+    return sizes;
+  }
 
   [[nodiscard]] ResilienceStats resilience() const override;
   /// Longest chain an overload check would tolerate at the current size

@@ -63,6 +63,7 @@ Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
   if (find_slot(h, key).slot != kNpos) return nullptr;
   if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
     ++inserts_shed_;
+    telemetry_->on_shed();
     return nullptr;
   }
   if (FaultInjector::instance().poll_alloc()) return nullptr;
@@ -73,6 +74,7 @@ Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
   Pcb* const raw = pcb.get();
   const std::size_t dist = place(h, key, std::move(pcb));
   ++size_;
+  telemetry_->on_insert();
   note_insert(dist);
   return raw;
 }
@@ -131,6 +133,7 @@ void FlatDemuxer::rehash_with_fresh_seed() {
   }
   watermark_ = max_probe_distance();
   ++overload_rehashes_;
+  telemetry_->on_rehash();
   inserts_since_rehash_ = 0;
   // Hysteresis: even if every key collides under every seed (full-32-bit
   // collisions survive the seeded post-mix of non-SipHash kinds), at most
@@ -147,6 +150,7 @@ bool FlatDemuxer::erase(const net::FlowKey& key) {
   if (p.slot == kNpos) return false;
   remove_at(p.slot);
   --size_;
+  telemetry_->on_erase();
   return true;
 }
 
@@ -196,7 +200,7 @@ LookupResult FlatDemuxer::lookup(const net::FlowKey& key,
   LookupResult r;
   r.examined = p.examined;
   if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 
@@ -225,7 +229,7 @@ void FlatDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
       LookupResult r;
       r.examined = p.examined;
       if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
-      stats_.record(r);
+      note_lookup(r);
       results[base + i] = r;
     }
   }
@@ -273,6 +277,29 @@ std::size_t FlatDemuxer::max_probe_distance() const noexcept {
     if (tags_[i] != 0) max = std::max(max, probe_distance(i));
   }
   return max;
+}
+
+std::vector<std::size_t> FlatDemuxer::occupancy() const {
+  std::vector<std::size_t> runs;
+  if (size_ == 0) return runs;
+  const std::size_t cap = capacity();
+  // Start at an empty slot so a run wrapping the table end is not split
+  // in two; a full table is one run.
+  std::size_t start = 0;
+  while (start < cap && tags_[start] != 0) ++start;
+  if (start == cap) return {size_};
+  std::size_t run = 0;
+  for (std::size_t n = 0; n < cap; ++n) {
+    const std::size_t i = (start + n) & mask_;
+    if (tags_[i] != 0) {
+      ++run;
+    } else if (run != 0) {
+      runs.push_back(run);
+      run = 0;
+    }
+  }
+  if (run != 0) runs.push_back(run);
+  return runs;
 }
 
 std::size_t FlatDemuxer::memory_bytes() const {

@@ -83,6 +83,11 @@ class FlatDemuxer final : public Demuxer {
   /// robin-hood keeps this small even at high load).
   [[nodiscard]] std::size_t max_probe_distance() const noexcept;
 
+  /// Open addressing has no chains; the natural partition is the probe
+  /// run — a maximal span of contiguous occupied slots (wrapping), which
+  /// bounds every resident's probe cost. Run lengths sum to size().
+  [[nodiscard]] std::vector<std::size_t> occupancy() const override;
+
   [[nodiscard]] ResilienceStats resilience() const override;
   /// Current hash spec (seed changes after an overload rehash; test hook).
   [[nodiscard]] net::HashSpec hash_spec() const noexcept {

@@ -19,6 +19,7 @@ Pcb* HashedMtfDemuxer::insert(const net::FlowKey& key) {
   if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = list.emplace_front(key, next_conn_id());
   ++size_;
+  telemetry_->on_insert();
   return pcb;
 }
 
@@ -28,6 +29,7 @@ bool HashedMtfDemuxer::erase(const net::FlowKey& key) {
   if (scan.pcb == nullptr) return false;
   list.erase(scan.pcb);
   --size_;
+  telemetry_->on_erase();
   return true;
 }
 
@@ -40,7 +42,7 @@ LookupResult HashedMtfDemuxer::lookup(const net::FlowKey& key,
   r.pcb = scan.pcb;
   r.cache_hit = (scan.pcb != nullptr && scan.examined == 1);
   if (scan.pcb != nullptr) list.move_to_front(scan.pcb);
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

@@ -41,6 +41,12 @@ class HashedMtfDemuxer final : public Demuxer {
     return size() * sizeof(Pcb) + sizeof(*this) +
            buckets_.capacity() * sizeof(PcbList);
   }
+  [[nodiscard]] std::vector<std::size_t> occupancy() const override {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(buckets_.size());
+    for (const auto& list : buckets_) sizes.push_back(list.size());
+    return sizes;
+  }
 
  private:
   friend class StructuralValidator;   // src/core/validate.h

@@ -7,6 +7,7 @@ namespace tcpdemux::core {
 Pcb* MoveToFrontDemuxer::insert(const net::FlowKey& key) {
   if (list_.find_scan(key).pcb != nullptr) return nullptr;
   if (FaultInjector::instance().poll_alloc()) return nullptr;
+  telemetry_->on_insert();
   return list_.emplace_front(key, next_conn_id());
 }
 
@@ -14,6 +15,7 @@ bool MoveToFrontDemuxer::erase(const net::FlowKey& key) {
   const auto scan = list_.find_scan(key);
   if (scan.pcb == nullptr) return false;
   list_.erase(scan.pcb);
+  telemetry_->on_erase();
   return true;
 }
 
@@ -26,7 +28,7 @@ LookupResult MoveToFrontDemuxer::lookup(const net::FlowKey& key,
   // A hit on the head node is the MTF analogue of a cache hit.
   r.cache_hit = (scan.pcb != nullptr && scan.examined == 1);
   if (scan.pcb != nullptr) list_.move_to_front(scan.pcb);
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

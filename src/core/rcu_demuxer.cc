@@ -216,6 +216,21 @@ std::string RcuSequentDemuxer::name() const {
   return n;
 }
 
+std::vector<std::size_t> RcuSequentDemuxer::chain_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(buckets_.size());
+  const EpochManager::Guard guard(epoch_);
+  for (const auto& bucket : buckets_) {
+    std::size_t n = 0;
+    for (Node* node = bucket->head.load(std::memory_order_acquire);
+         node != nullptr; node = node->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    sizes.push_back(n);
+  }
+  return sizes;
+}
+
 std::size_t RcuSequentDemuxer::memory_bytes() const {
   return size() * sizeof(Node) + sizeof(*this) +
          buckets_.capacity() * (sizeof(std::unique_ptr<Bucket>) +

@@ -117,6 +117,11 @@ class RcuSequentDemuxer {
   }
   [[nodiscard]] std::size_t memory_bytes() const;
 
+  /// Per-chain node counts, walked under an epoch guard. A concurrent
+  /// writer may skew one chain by a node; the quiescent (telemetry
+  /// snapshot) case is exact.
+  [[nodiscard]] std::vector<std::size_t> chain_sizes() const;
+
   /// The reclamation engine (test/ops hook: epoch, retired/freed counts).
   [[nodiscard]] EpochManager& epoch_manager() noexcept { return epoch_; }
 
@@ -167,20 +172,26 @@ class RcuDemuxerAdapter final : public Demuxer {
       : inner_(options) {}
 
   Pcb* insert(const net::FlowKey& key) override {
-    return inner_.insert(key);
+    Pcb* pcb = inner_.insert(key);
+    if (pcb != nullptr) telemetry_->on_insert();
+    return pcb;
   }
-  bool erase(const net::FlowKey& key) override { return inner_.erase(key); }
+  bool erase(const net::FlowKey& key) override {
+    const bool erased = inner_.erase(key);
+    if (erased) telemetry_->on_erase();
+    return erased;
+  }
   using Demuxer::lookup;
   LookupResult lookup(const net::FlowKey& key, SegmentKind kind) override {
     const LookupResult r = inner_.lookup(key, kind);
-    stats_.record(r);
+    note_lookup(r);
     return r;
   }
   void lookup_batch(std::span<const net::FlowKey> keys,
                     std::span<LookupResult> results,
                     SegmentKind kind) override {
     inner_.lookup_batch(keys, results, kind);
-    for (std::size_t i = 0; i < keys.size(); ++i) stats_.record(results[i]);
+    for (std::size_t i = 0; i < keys.size(); ++i) note_lookup(results[i]);
   }
   LookupResult lookup_wildcard(const net::FlowKey& key) override {
     return inner_.lookup_wildcard(key);
@@ -193,6 +204,9 @@ class RcuDemuxerAdapter final : public Demuxer {
   [[nodiscard]] std::string name() const override { return inner_.name(); }
   [[nodiscard]] std::size_t memory_bytes() const override {
     return inner_.memory_bytes();
+  }
+  [[nodiscard]] std::vector<std::size_t> occupancy() const override {
+    return inner_.chain_sizes();
   }
 
   [[nodiscard]] RcuSequentDemuxer& inner() noexcept { return inner_; }

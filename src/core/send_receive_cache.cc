@@ -7,6 +7,7 @@ namespace tcpdemux::core {
 Pcb* SendReceiveCacheDemuxer::insert(const net::FlowKey& key) {
   if (list_.find_scan(key).pcb != nullptr) return nullptr;
   if (FaultInjector::instance().poll_alloc()) return nullptr;
+  telemetry_->on_insert();
   return list_.emplace_front(key, next_conn_id());
 }
 
@@ -16,6 +17,7 @@ bool SendReceiveCacheDemuxer::erase(const net::FlowKey& key) {
   if (recv_cache_ == scan.pcb) recv_cache_ = nullptr;
   if (send_cache_ == scan.pcb) send_cache_ = nullptr;
   list_.erase(scan.pcb);
+  telemetry_->on_erase();
   return true;
 }
 
@@ -46,7 +48,7 @@ LookupResult SendReceiveCacheDemuxer::lookup(const net::FlowKey& key,
     r.pcb = scan.pcb;
   }
   if (r.pcb != nullptr) recv_cache_ = r.pcb;
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 

@@ -21,11 +21,13 @@ Pcb* SequentDemuxer::insert(const net::FlowKey& key) {
   if (b.list.find_scan(key).pcb != nullptr) return nullptr;
   if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
     ++inserts_shed_;
+    telemetry_->on_shed();
     return nullptr;
   }
   if (FaultInjector::instance().poll_alloc()) return nullptr;
   Pcb* pcb = b.list.emplace_front(key, next_conn_id());
   ++size_;
+  telemetry_->on_insert();
   note_insert(b);
   return pcb;
 }
@@ -54,6 +56,7 @@ void SequentDemuxer::rehash_with_fresh_seed() {
     watermark_ = std::max<std::uint64_t>(watermark_, nb.list.size());
   }
   ++overload_rehashes_;
+  telemetry_->on_rehash();
   inserts_since_rehash_ = 0;
   // Hysteresis: even if every key collides under every seed (full-32-bit
   // collisions survive the seeded post-mix of non-SipHash kinds), at most
@@ -73,6 +76,7 @@ bool SequentDemuxer::erase(const net::FlowKey& key) {
   if (b.cache == scan.pcb) b.cache = nullptr;
   b.list.erase(scan.pcb);
   --size_;
+  telemetry_->on_erase();
   return true;
 }
 
@@ -97,7 +101,7 @@ LookupResult SequentDemuxer::lookup_in_bucket(Bucket& b,
 LookupResult SequentDemuxer::lookup(const net::FlowKey& key,
                                     SegmentKind /*kind*/) {
   const LookupResult r = lookup_in_bucket(buckets_[chain_of(key)], key);
-  stats_.record(r);
+  note_lookup(r);
   return r;
 }
 
@@ -126,7 +130,7 @@ void SequentDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
     }
     for (std::size_t i = 0; i < n; ++i) {
       const LookupResult r = lookup_in_bucket(*bucket[i], keys[base + i]);
-      stats_.record(r);
+      note_lookup(r);
       results[base + i] = r;
     }
   }

@@ -67,6 +67,9 @@ class SequentDemuxer final : public Demuxer {
   }
   /// Occupancy of each chain (test/bench hook).
   [[nodiscard]] std::vector<std::size_t> chain_sizes() const;
+  [[nodiscard]] std::vector<std::size_t> occupancy() const override {
+    return chain_sizes();
+  }
   /// The PCB cached on `chain` (test hook).
   [[nodiscard]] const Pcb* cached(std::uint32_t chain) const {
     return buckets_[chain].cache;

@@ -11,16 +11,25 @@ void plot(std::ostream& os, const std::vector<Series>& series,
           const PlotOptions& options) {
   double x_min = std::numeric_limits<double>::infinity();
   double x_max = -x_min;
-  double y_min = options.y_from_zero ? 0.0 : x_min;
+  double y_data_min = x_min;
   double y_max = -std::numeric_limits<double>::infinity();
   for (const Series& s : series) {
-    for (std::size_t i = 0; i < s.x.size(); ++i) {
+    // A caller may hand series with mismatched x/y lengths (e.g. a y column
+    // truncated upstream); plot the pairs that exist instead of reading
+    // past the shorter vector.
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
       x_min = std::min(x_min, s.x[i]);
       x_max = std::max(x_max, s.x[i]);
-      if (!options.y_from_zero) y_min = std::min(y_min, s.y[i]);
+      y_data_min = std::min(y_data_min, s.y[i]);
       y_max = std::max(y_max, s.y[i]);
     }
   }
+  // y_from_zero anchors the axis at 0 for all-positive data; with negative
+  // values that anchor would clamp every point to the edge rows, so fall
+  // back to the true y-range.
+  const double y_min =
+      options.y_from_zero ? std::min(0.0, y_data_min) : y_data_min;
   if (!(x_max > x_min)) x_max = x_min + 1.0;
   if (!(y_max > y_min)) y_max = y_min + 1.0;
 
@@ -30,7 +39,8 @@ void plot(std::ostream& os, const std::vector<Series>& series,
                                 std::string(static_cast<std::size_t>(w), ' '));
 
   for (const Series& s : series) {
-    for (std::size_t i = 0; i < s.x.size(); ++i) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
       const double fx = (s.x[i] - x_min) / (x_max - x_min);
       const double fy = (s.y[i] - y_min) / (y_max - y_min);
       const int col = std::clamp(static_cast<int>(std::lround(fx * (w - 1))),

@@ -1,12 +1,14 @@
 #include "sim/replay.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace tcpdemux::sim {
 
 ReplayResult replay_trace(const Trace& trace,
                           std::span<const net::FlowKey> keys,
-                          core::Demuxer& demuxer) {
+                          core::Demuxer& demuxer,
+                          const ReplayOptions& options) {
   if (keys.size() < trace.connections) {
     throw std::invalid_argument("replay: not enough flow keys for trace");
   }
@@ -16,6 +18,19 @@ ReplayResult replay_trace(const Trace& trace,
 
   ReplayResult result;
   result.algorithm = demuxer.name();
+
+  // Interval telemetry needs the examined-PCB histograms; they are opt-in
+  // precisely so runs that do not ask pay nothing beyond the counters.
+  const bool want_series = options.telemetry_interval != 0;
+  if (want_series) {
+    demuxer.enable_telemetry_histograms(true);
+    result.series.interval = options.telemetry_interval;
+  }
+  report::Telemetry prev = demuxer.telemetry();
+  report::LatencySampler sampler =
+      options.latency_sample_every != 0
+          ? report::LatencySampler(options.latency_sample_every)
+          : report::LatencySampler();
 
   // A connection whose first event is kOpen joins the table mid-replay;
   // one with any other first event is pre-established (the paper's steady
@@ -67,7 +82,17 @@ ReplayResult replay_trace(const Trace& trace,
         const auto kind = event.kind == TraceEventKind::kArrivalData
                               ? core::SegmentKind::kData
                               : core::SegmentKind::kAck;
-        const auto r = demuxer.lookup(keys[event.conn], kind);
+        core::LookupResult r;
+        if (sampler.enabled() && sampler.should_sample()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          r = demuxer.lookup(keys[event.conn], kind);
+          const auto t1 = std::chrono::steady_clock::now();
+          sampler.record_ns(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        } else {
+          r = demuxer.lookup(keys[event.conn], kind);
+        }
         ++result.lookups;
         if (r.cache_hit) ++result.cache_hits;
         if (r.pcb == nullptr) ++result.misses;
@@ -77,18 +102,35 @@ ReplayResult replay_trace(const Trace& trace,
         } else {
           result.ack.add(r.examined);
         }
+        if (want_series &&
+            result.lookups % options.telemetry_interval == 0) {
+          const auto occ = demuxer.occupancy();
+          result.series.samples.push_back(report::interval_sample(
+              result.lookups, demuxer.telemetry(), prev, occ));
+          prev = demuxer.telemetry();
+        }
         break;
       }
     }
   }
+  if (want_series &&
+      result.lookups % options.telemetry_interval != 0) {
+    // Final partial interval: the tail of the run still shows up in the
+    // series instead of silently vanishing.
+    const auto occ = demuxer.occupancy();
+    result.series.samples.push_back(report::interval_sample(
+        result.lookups, demuxer.telemetry(), prev, occ));
+  }
+  if (sampler.enabled()) result.latency_ns = sampler.histogram();
   return result;
 }
 
-ReplayResult replay_trace(const Trace& trace, core::Demuxer& demuxer) {
+ReplayResult replay_trace(const Trace& trace, core::Demuxer& demuxer,
+                          const ReplayOptions& options) {
   AddressSpaceParams params;
   params.clients = trace.connections;
   const auto keys = make_client_keys(params);
-  return replay_trace(trace, keys, demuxer);
+  return replay_trace(trace, keys, demuxer, options);
 }
 
 }  // namespace tcpdemux::sim

@@ -14,11 +14,25 @@
 #include <vector>
 
 #include "core/demuxer.h"
+#include "report/telemetry.h"
 #include "sim/address_space.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
 namespace tcpdemux::sim {
+
+/// Optional observability knobs for one replay run. The defaults disable
+/// everything, leaving the measured event loop byte-for-byte the
+/// paper-faithful one.
+struct ReplayOptions {
+  /// Take one telemetry sample (examined-PCB percentiles + occupancy skew,
+  /// report::interval_sample) every this many arrivals; 0 disables the
+  /// series. Enables the demuxer's telemetry histograms for the run.
+  std::uint64_t telemetry_interval = 0;
+  /// Time one lookup in N with report::LatencySampler; 0 disables. The
+  /// clock runs in the replay loop, never inside the demuxer.
+  std::uint32_t latency_sample_every = 0;
+};
 
 struct ReplayResult {
   std::string algorithm;
@@ -30,6 +44,12 @@ struct ReplayResult {
   std::uint64_t misses = 0;  ///< arrivals that matched no PCB (must be 0)
   std::uint64_t opens = 0;   ///< mid-replay connection establishments
   std::uint64_t closes = 0;  ///< mid-replay connection teardowns
+
+  /// Interval time series (empty unless ReplayOptions::telemetry_interval
+  /// was set; the final partial interval is included).
+  report::TelemetrySeries series;
+  /// Sampled lookup latency (empty unless latency_sample_every was set).
+  report::Log2Histogram latency_ns;
 
   [[nodiscard]] double hit_rate() const noexcept {
     return lookups == 0
@@ -44,12 +64,14 @@ struct ReplayResult {
 /// The demuxer must be empty; PCBs for all connections are inserted first.
 [[nodiscard]] ReplayResult replay_trace(const Trace& trace,
                                         std::span<const net::FlowKey> keys,
-                                        core::Demuxer& demuxer);
+                                        core::Demuxer& demuxer,
+                                        const ReplayOptions& options = {});
 
 /// Convenience: synthesizes `trace.connections` client keys with the
 /// default address-space parameters (sequential LAN hosts) and replays.
 [[nodiscard]] ReplayResult replay_trace(const Trace& trace,
-                                        core::Demuxer& demuxer);
+                                        core::Demuxer& demuxer,
+                                        const ReplayOptions& options = {});
 
 }  // namespace tcpdemux::sim
 

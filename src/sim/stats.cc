@@ -8,15 +8,19 @@ namespace tcpdemux::sim {
 
 std::uint32_t SampleStats::percentile(double q) const {
   if (samples_.empty()) return 0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  // Sort a cached copy, never samples_ itself: mean_ci95's batch means are
+  // only meaningful over the arrival order, so percentile() must not be
+  // allowed to destroy it (it used to sort in place, silently zeroing any
+  // mean_ci95() call made afterwards).
+  if (sorted_cache_.size() != samples_.size()) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
   }
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(samples_.size())));
   const std::size_t index = rank == 0 ? 0 : rank - 1;
-  return samples_[std::min(index, samples_.size() - 1)];
+  return sorted_cache_[std::min(index, sorted_cache_.size() - 1)];
 }
 
 std::vector<std::size_t> SampleStats::log2_buckets() const {
@@ -31,7 +35,7 @@ std::vector<std::size_t> SampleStats::log2_buckets() const {
 }
 
 double SampleStats::mean_ci95(std::size_t batches) const {
-  if (sorted_ || batches < 2 || samples_.size() < 2 * batches) return 0.0;
+  if (batches < 2 || samples_.size() < 2 * batches) return 0.0;
   const std::size_t per_batch = samples_.size() / batches;
   std::vector<double> batch_means;
   batch_means.reserve(batches);

@@ -13,7 +13,7 @@ class SampleStats {
  public:
   void add(std::uint32_t value) {
     samples_.push_back(value);
-    sorted_ = false;
+    sorted_cache_.clear();
     sum_ += value;
     if (value > max_) max_ = value;
   }
@@ -39,17 +39,18 @@ class SampleStats {
   [[nodiscard]] std::vector<std::size_t> log2_buckets() const;
 
   /// Half-width of the 95% confidence interval of the mean, by the batch
-  /// means method over `batches` equal consecutive batches. Samples must
-  /// still be in arrival order, so call this BEFORE percentile() (which
-  /// sorts in place); afterwards it returns 0, as it does when there are
-  /// too few samples to form the batches.
+  /// means method over `batches` equal consecutive batches of the samples
+  /// in arrival order. Order-independent of the other summaries — calling
+  /// percentile() first does not change the result (percentile() sorts a
+  /// separate cache, never the arrival-order samples). Returns 0 when
+  /// there are too few samples to form the batches.
   [[nodiscard]] double mean_ci95(std::size_t batches = 20) const;
 
   void reserve(std::size_t n) { samples_.reserve(n); }
 
  private:
-  mutable std::vector<std::uint32_t> samples_;
-  mutable bool sorted_ = false;
+  std::vector<std::uint32_t> samples_;  ///< arrival order, never reordered
+  mutable std::vector<std::uint32_t> sorted_cache_;  ///< lazy, percentile()
   std::uint64_t sum_ = 0;
   std::uint32_t max_ = 0;
 };

@@ -34,10 +34,12 @@ const SynCache::Entry* SynCache::add(const net::FlowKey& key,
     bucket.pop_front();  // evict the oldest embryo in this bucket
     --size_;
     ++stats_.evicted;
+    telemetry_.on_erase();
   }
   bucket.push_back(Entry{key, irs, iss, now});
   ++size_;
   ++stats_.added;
+  telemetry_.on_insert();
   return &bucket.back();
 }
 
@@ -56,13 +58,23 @@ void SynCache::shed_oldest() {
   victim->pop_front();
   --size_;
   ++stats_.shed;
+  // Unlike the demuxers' shed (a refused insert), this removes a live
+  // embryo: it is both an erase (ledger) and a shed (reason).
+  telemetry_.on_erase();
+  telemetry_.on_shed();
 }
 
 const SynCache::Entry* SynCache::find(const net::FlowKey& key) const {
   const Bucket& bucket = bucket_of(key);
+  std::uint32_t examined = 0;
   for (const Entry& e : bucket) {
-    if (e.key == key) return &e;
+    ++examined;
+    if (e.key == key) {
+      telemetry_.on_lookup(examined, /*found=*/true, /*cache_hit=*/false);
+      return &e;
+    }
   }
+  telemetry_.on_lookup(examined, /*found=*/false, /*cache_hit=*/false);
   return nullptr;
 }
 
@@ -74,6 +86,7 @@ bool SynCache::take(const net::FlowKey& key, Entry* out) {
       bucket.erase(it);
       --size_;
       ++stats_.promoted;
+      telemetry_.on_erase();
       return true;
     }
   }
@@ -89,6 +102,7 @@ std::size_t SynCache::expire(double now) {
       bucket.pop_front();
       --size_;
       ++dropped;
+      telemetry_.on_erase();
     }
   }
   stats_.expired += dropped;

@@ -12,12 +12,14 @@
 #ifndef TCPDEMUX_TCP_SYN_CACHE_H_
 #define TCPDEMUX_TCP_SYN_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "net/flow_key.h"
 #include "net/hashers.h"
+#include "report/telemetry.h"
 
 namespace tcpdemux::tcp {
 
@@ -78,6 +80,24 @@ class SynCache {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Registry-typed telemetry, same shape as Demuxer::telemetry():
+  /// lookups/found track find() calls, examined counts embryos scanned,
+  /// inserts/erases track add/take/expire, inserts_shed the global-cap
+  /// kills. Exports through the same tcpdemux.telemetry.v1 schema.
+  [[nodiscard]] const report::Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
+  void enable_telemetry_histograms(bool on) noexcept {
+    telemetry_.enable_histograms(on);
+  }
+  /// Per-bucket embryo counts (sums to size()).
+  [[nodiscard]] std::vector<std::size_t> occupancy() const {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(buckets_.size());
+    for (const Bucket& b : buckets_) sizes.push_back(b.size());
+    return sizes;
+  }
+
  private:
   using Bucket = std::deque<Entry>;  ///< oldest at the front
 
@@ -97,6 +117,9 @@ class SynCache {
   std::vector<Bucket> buckets_;
   std::size_t size_ = 0;
   Stats stats_;
+  /// mutable: find() is logically const but must account the scan, same
+  /// trade DemuxStats makes by keeping Demuxer::lookup non-const.
+  mutable report::Telemetry telemetry_;
 };
 
 }  // namespace tcpdemux::tcp

@@ -92,6 +92,9 @@ void run_fuzz_ops(const std::string& spec,
   ASSERT_TRUE(config.has_value()) << spec;
   const auto demuxer = make_demuxer(*config);
   ASSERT_NE(demuxer, nullptr);
+  // Histograms on for the whole run: the end-of-run differential check
+  // demands the telemetry path agrees bit-exactly with DemuxStats.
+  demuxer->enable_telemetry_histograms(true);
 
   auto& injector = FaultInjector::instance();
   injector.reset();
@@ -200,6 +203,24 @@ void run_fuzz_ops(const std::string& spec,
     EXPECT_TRUE(reference.contains(pcb.key));
   });
   EXPECT_EQ(counted, reference.size());
+
+  // Telemetry differential: the registry is a second accounting path fed
+  // by the same note_lookup funnel as DemuxStats, so after any op sequence
+  // the two must agree exactly — the histogram-summed examined count
+  // bit-equal to pcbs_examined, every lookup in exactly one bucket, and
+  // the insert/erase ledger equal to the live PCB count.
+  const DemuxStats& stats = demuxer->stats();
+  const report::Telemetry& telemetry = demuxer->telemetry();
+  EXPECT_EQ(telemetry.counters().lookups, stats.lookups);
+  EXPECT_EQ(telemetry.counters().found, stats.found);
+  EXPECT_EQ(telemetry.counters().cache_hits, stats.cache_hits);
+  EXPECT_EQ(telemetry.examined().count(), stats.lookups);
+  EXPECT_EQ(telemetry.examined().sum(), stats.pcbs_examined);
+  EXPECT_EQ(telemetry.counters().inserts - telemetry.counters().erases,
+            demuxer->size());
+  std::size_t occupancy_total = 0;
+  for (const std::size_t o : demuxer->occupancy()) occupancy_total += o;
+  EXPECT_EQ(occupancy_total, demuxer->size());
 }
 
 // The injector is process-wide; leave it disarmed even when an ASSERT

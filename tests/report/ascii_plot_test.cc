@@ -75,6 +75,53 @@ TEST(PrintBars, HandlesEmptyInput) {
   EXPECT_TRUE(os.str().empty());
 }
 
+// Regression: the range scan and raster loops iterated x.size() while
+// indexing y[i], reading past the end of a shorter y (caught by ASan).
+// Mismatched series must render just the pairs that exist.
+TEST(AsciiPlot, MismatchedSeriesLengthsClampToShorter) {
+  Series s{"short-y", '#', {0, 1, 2, 3, 4, 5, 6, 7}, {1, 2}};
+  std::ostringstream os;
+  plot(os, {s}, PlotOptions{});
+  // Count glyphs in the grid only (the legend repeats the glyph once).
+  const std::string out = os.str().substr(0, os.str().find("legend"));
+  std::size_t glyphs = 0;
+  for (const char c : out) glyphs += c == '#';
+  EXPECT_GE(glyphs, 1u);
+  EXPECT_LE(glyphs, 2u);  // only the two complete (x, y) pairs plot
+
+  // The mirror case — y longer than x — must also stay in bounds.
+  Series t{"short-x", '%', {0, 1}, {1, 2, 3, 4, 5, 6, 7, 8}};
+  std::ostringstream os2;
+  plot(os2, {t}, PlotOptions{});
+  EXPECT_NE(os2.str().find('%'), std::string::npos);
+}
+
+// Regression: with y_from_zero (the default) an all-negative series got the
+// axis range [0, max<0] — every point clamped onto one edge row. The plot
+// must fall back to the true y-range and spread the points out.
+TEST(AsciiPlot, AllNegativeYFallsBackToTrueRange) {
+  Series s{"neg", 'n', {0, 1, 2, 3}, {-40, -30, -20, -10}};
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.height = 8;
+  ASSERT_TRUE(opts.y_from_zero);
+  plot(os, {s}, opts);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t rows_with_glyph = 0;
+  bool axis_shows_negative = false;
+  while (std::getline(is, line)) {
+    if (line.find('n') != std::string::npos &&
+        line.find("legend") == std::string::npos) {
+      ++rows_with_glyph;
+    }
+    if (line.find("-40.0") != std::string::npos) axis_shows_negative = true;
+  }
+  EXPECT_GE(rows_with_glyph, 3u);  // points spread, not clamped to one row
+  EXPECT_TRUE(axis_shows_negative);
+}
+
 TEST(AsciiPlot, AxisAnnotationsPresent) {
   Series s{"s", '*', {0, 50}, {0, 2000}};
   std::ostringstream os;

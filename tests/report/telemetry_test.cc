@@ -1,0 +1,191 @@
+// Tests for the telemetry registry: histogram bucketing/percentiles,
+// interval deltas, the counters path, latency sampling, and JSON export.
+#include "report/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/telemetry_json.h"
+
+namespace tcpdemux::report {
+namespace {
+
+TEST(Log2Histogram, BucketsByBitWidth) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(7);
+  h.add(8);
+  EXPECT_EQ(h.bucket(0), 1U);  // {0}
+  EXPECT_EQ(h.bucket(1), 1U);  // {1}
+  EXPECT_EQ(h.bucket(2), 2U);  // {2,3}
+  EXPECT_EQ(h.bucket(3), 2U);  // {4..7}
+  EXPECT_EQ(h.bucket(4), 1U);  // {8..15}
+  EXPECT_EQ(h.count(), 7U);
+  EXPECT_EQ(h.sum(), 25U);
+  EXPECT_EQ(h.max(), 8U);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0 / 7.0);
+}
+
+TEST(Log2Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 0U);
+  EXPECT_EQ(Log2Histogram::bucket_upper(1), 1U);
+  EXPECT_EQ(Log2Histogram::bucket_upper(2), 3U);
+  EXPECT_EQ(Log2Histogram::bucket_upper(10), 1023U);
+  EXPECT_EQ(Log2Histogram::bucket_upper(64), ~0ULL);
+}
+
+TEST(Log2Histogram, PercentileUpperWalksCumulativeCounts) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);   // bucket 1, upper bound 1
+  for (int i = 0; i < 9; ++i) h.add(3);    // bucket 2, upper bound 3
+  h.add(100);                              // bucket 7, upper bound 127
+  EXPECT_EQ(h.percentile_upper(0.50), 1U);
+  EXPECT_EQ(h.percentile_upper(0.90), 1U);
+  EXPECT_EQ(h.percentile_upper(0.95), 3U);
+  EXPECT_EQ(h.percentile_upper(0.99), 3U);
+  EXPECT_EQ(h.percentile_upper(1.0), 127U);
+  EXPECT_EQ(Log2Histogram().percentile_upper(0.5), 0U);
+}
+
+TEST(Log2Histogram, SinceSubtractsPerBucket) {
+  Log2Histogram early;
+  early.add(1);
+  early.add(4);
+  Log2Histogram late = early;
+  late.add(4);
+  late.add(9);
+  const Log2Histogram delta = late.since(early);
+  EXPECT_EQ(delta.count(), 2U);
+  EXPECT_EQ(delta.sum(), 13U);
+  EXPECT_EQ(delta.bucket(3), 1U);
+  EXPECT_EQ(delta.bucket(4), 1U);
+  EXPECT_EQ(delta.max(), 15U);  // upper bound of highest occupied bucket
+}
+
+TEST(Telemetry, CountersAlwaysOnHistogramsOptIn) {
+  Telemetry t;
+  t.on_lookup(3, /*found=*/true, /*cache_hit=*/false);
+  EXPECT_EQ(t.counters().lookups, 1U);
+  EXPECT_EQ(t.counters().found, 1U);
+  EXPECT_EQ(t.examined().count(), 0U);  // histograms default off
+
+  t.enable_histograms(true);
+  t.on_lookup(5, /*found=*/true, /*cache_hit=*/false);
+  t.on_lookup(1, /*found=*/true, /*cache_hit=*/true);
+  EXPECT_EQ(t.counters().lookups, 3U);
+  EXPECT_EQ(t.counters().cache_hits, 1U);
+  EXPECT_EQ(t.examined().count(), 2U);
+  EXPECT_EQ(t.examined().sum(), 6U);
+  // Cache hits never enter the miss-path probe-length histogram.
+  EXPECT_EQ(t.probe_length().count(), 1U);
+  EXPECT_EQ(t.probe_length().sum(), 5U);
+}
+
+TEST(Telemetry, ResetKeepsEnableFlag) {
+  Telemetry t;
+  t.enable_histograms(true);
+  t.on_lookup(2, true, false);
+  t.on_insert();
+  t.reset();
+  EXPECT_EQ(t.counters().lookups, 0U);
+  EXPECT_EQ(t.counters().inserts, 0U);
+  EXPECT_EQ(t.examined().count(), 0U);
+  EXPECT_TRUE(t.histograms_enabled());
+}
+
+TEST(Telemetry, IntervalSampleDeltasAndOccupancy) {
+  Telemetry t;
+  t.enable_histograms(true);
+  for (int i = 0; i < 10; ++i) t.on_lookup(1, true, true);
+  const Telemetry prev = t;
+  for (int i = 0; i < 10; ++i) t.on_lookup(3, true, false);
+
+  const std::vector<std::size_t> occ = {4, 0, 8, 4};
+  const TelemetrySample s = interval_sample(20, t, prev, occ);
+  EXPECT_EQ(s.events, 20U);
+  EXPECT_EQ(s.lookups, 10U);
+  EXPECT_DOUBLE_EQ(s.mean_examined, 3.0);
+  EXPECT_EQ(s.p50, 3U);
+  EXPECT_EQ(s.p99, 3U);
+  EXPECT_DOUBLE_EQ(s.hit_rate, 0.0);  // all interval lookups missed caches
+  EXPECT_EQ(s.occ_max, 8U);
+  EXPECT_DOUBLE_EQ(s.occ_mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.occ_skew, 2.0);
+}
+
+TEST(LatencySampler, SamplesOneInNAndSubtractsOverhead) {
+  LatencySampler off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.should_sample());
+
+  LatencySampler s(4);
+  EXPECT_TRUE(s.enabled());
+  int sampled = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (s.should_sample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 3);
+
+  s.record_ns(s.overhead_ns() + 100);
+  EXPECT_EQ(s.histogram().count(), 1U);
+  EXPECT_EQ(s.histogram().sum(), 100U);
+  s.record_ns(0);  // below the overhead floor clamps to 0, never wraps
+  EXPECT_EQ(s.histogram().sum(), 100U);
+}
+
+TEST(TelemetryJson, ExportsSchemaFields) {
+  TelemetryReport r;
+  r.source = "test";
+  r.algorithm = "bsd";
+  r.telemetry.enable_histograms(true);
+  r.telemetry.on_lookup(2, true, false);
+  r.telemetry.on_insert();
+  r.occupancy = {1, 3};
+  r.series.interval = 8;
+  r.series.samples.push_back(
+      interval_sample(8, r.telemetry, Telemetry{}, r.occupancy));
+
+  const std::string json = telemetry_to_json(r);
+  EXPECT_NE(json.find("\"schema\": \"tcpdemux.telemetry.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"bsd\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"examined\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe_length\""), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy\""), std::string::npos);
+  EXPECT_NE(json.find("\"partitions\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval\": 8"), std::string::npos);
+
+  const std::vector<TelemetryReport> reports(2, r);
+  const std::string array = telemetry_to_json(reports);
+  EXPECT_EQ(array.front(), '[');
+}
+
+TEST(TelemetryJson, SeriesCsvHasHeaderAndRows) {
+  TelemetrySeries series;
+  series.interval = 4;
+  TelemetrySample s;
+  s.events = 4;
+  s.lookups = 4;
+  s.mean_examined = 1.5;
+  series.samples.push_back(s);
+
+  std::ostringstream os;
+  write_series_csv(os, "bsd", series);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("algorithm,events,lookups,mean_examined"),
+            std::string::npos);
+  EXPECT_NE(csv.find("bsd,4,4,1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcpdemux::report

@@ -98,5 +98,46 @@ TEST(Replay, SameTraceSameKeysReproducible) {
   EXPECT_EQ(a.cache_hits, b.cache_hits);
 }
 
+TEST(Replay, DefaultOptionsProduceNoSeries) {
+  core::SequentDemuxer d;
+  const auto r = replay_trace(tiny_trace(), d);
+  EXPECT_EQ(r.series.interval, 0u);
+  EXPECT_TRUE(r.series.samples.empty());
+  EXPECT_EQ(r.latency_ns.count(), 0u);
+  // Counters-only default: histograms stay cold.
+  EXPECT_FALSE(d.telemetry().histograms_enabled());
+  EXPECT_EQ(d.telemetry().examined().count(), 0u);
+}
+
+TEST(Replay, TelemetryIntervalEmitsSeriesCoveringAllLookups) {
+  core::SequentDemuxer d;
+  ReplayOptions options;
+  options.telemetry_interval = 2;
+  const auto r = replay_trace(tiny_trace(), d, options);
+  // 5 lookups at interval 2: samples at 2, 4, and the final partial at 5.
+  ASSERT_EQ(r.series.samples.size(), 3u);
+  EXPECT_EQ(r.series.interval, 2u);
+  EXPECT_EQ(r.series.samples[0].events, 2u);
+  EXPECT_EQ(r.series.samples[1].events, 4u);
+  EXPECT_EQ(r.series.samples[2].events, 5u);
+  std::uint64_t covered = 0;
+  for (const auto& s : r.series.samples) {
+    covered += s.lookups;
+    EXPECT_GE(s.max_examined, 1u);
+    EXPECT_GT(s.occ_mean, 0.0);
+  }
+  EXPECT_EQ(covered, r.lookups);
+  // And the cumulative registry agrees with DemuxStats.
+  EXPECT_EQ(d.telemetry().examined().sum(), d.stats().pcbs_examined);
+}
+
+TEST(Replay, LatencySamplerRecordsRequestedFraction) {
+  core::SequentDemuxer d;
+  ReplayOptions options;
+  options.latency_sample_every = 2;
+  const auto r = replay_trace(tiny_trace(), d, options);
+  EXPECT_EQ(r.latency_ns.count(), 2u);  // 5 lookups, one in 2 sampled
+}
+
 }  // namespace
 }  // namespace tcpdemux::sim

@@ -97,12 +97,18 @@ TEST(SampleStats, Ci95RequiresEnoughSamples) {
   EXPECT_DOUBLE_EQ(s.mean_ci95(20), 0.0);
 }
 
-TEST(SampleStats, Ci95ZeroAfterSorting) {
+// Regression: percentile() used to sort samples_ in place, destroying the
+// arrival order mean_ci95's batch means need — any mean_ci95() call made
+// after a percentile() silently returned 0. The summaries must commute.
+TEST(SampleStats, Ci95UnaffectedByPercentileOrder) {
   SampleStats s;
   for (int i = 0; i < 1000; ++i) s.add(static_cast<std::uint32_t>(i));
-  EXPECT_GT(s.mean_ci95(), 0.0);  // a ramp: batch means clearly differ
-  (void)s.percentile(0.5);        // sorts: arrival order is gone
-  EXPECT_DOUBLE_EQ(s.mean_ci95(), 0.0);
+  const double before = s.mean_ci95();
+  EXPECT_GT(before, 0.0);  // a ramp: batch means clearly differ
+  EXPECT_EQ(s.percentile(0.5), 499u);  // nearest-rank: ceil(0.5*1000)=500th
+  EXPECT_DOUBLE_EQ(s.mean_ci95(), before);
+  // And percentiles still see the sorted view after a CI query.
+  EXPECT_EQ(s.percentile(1.0), 999u);
 }
 
 TEST(SampleStats, Ci95ShrinksWithSampleCount) {

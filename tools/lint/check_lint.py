@@ -33,6 +33,11 @@ Enforces invariants that -Wall and clang-tidy cannot express:
                      attacker-controlled length walks past the buffer, so
                      every such read goes through the two audited helpers
                      (load_be16/load_be32) and the checksum accumulator.
+  telemetry-registry no mutable static integer/atomic counters in src/core:
+                     instrumentation goes through the per-demuxer registry
+                     types (DemuxStats, report::Telemetry) so counts reset
+                     with the object, survive concurrent demuxers, and show
+                     up in the JSON export instead of hiding in a global.
 
 Usage: check_lint.py [repo-root]        exit 0 = clean, 1 = violations.
 Suppress a finding with a trailing  // NOLINT(<rule>)  comment, or a
@@ -101,6 +106,23 @@ CODE_RULES = [
         "attacker-controlled bytes through net/byte_order.h so bounds "
         "checks live in one audited place",
         ("src/net/byte_order.h", "src/net/checksum.cc"),
+    ),
+    (
+        "telemetry-registry",
+        # Mutable static counters: `static std::atomic...` or a static
+        # integer with an initializer. `static constexpr`/`static const`
+        # never match (the type must follow `static` directly), and static
+        # member *functions* returning integers are excluded by refusing
+        # '(' or ';' before the '='.
+        re.compile(
+            r"(?<![\w_])static\s+(?:(?:std::)?atomic\b"
+            r"|(?:std::)?(?:u?int(?:8|16|32|64)_t|size_t|unsigned|long|int)"
+            r"\b[^();]*=)"
+        ),
+        ("src/core",),
+        "no ad-hoc mutable static counters in src/core: route "
+        "instrumentation through DemuxStats / report::Telemetry so it is "
+        "per-demuxer, resettable, and exported",
     ),
 ]
 
