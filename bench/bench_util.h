@@ -13,12 +13,15 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/demux_registry.h"
+#include "net/flow_key.h"
 #include "report/bench_json.h"
 #include "report/telemetry_json.h"
 #include "sim/replay.h"
+#include "sim/rng.h"
 #include "sim/tpca_workload.h"
 
 namespace tcpdemux::bench {
@@ -145,12 +148,75 @@ Timing time_loop(std::uint64_t ops_per_call, F&& body,
 }
 
 // ---------------------------------------------------------------------------
+// Negative lookups (--miss-rate). Arriving segments that match no PCB are
+// real traffic — stray RSTs, packets for just-closed connections, scans —
+// and their cost differs sharply by structure: a linear scan walks the
+// whole list to conclude "no", a hashed table walks one chain, the flat
+// table usually answers from fingerprint tags alone. The helpers below
+// give every wallclock bench the same deterministic way to blend them in.
+// ---------------------------------------------------------------------------
+
+/// Fully-specified keys guaranteed absent from `present`: same server half
+/// (so they hash into the same tables), foreign half drawn from the
+/// RFC 2544 benchmarking block 198.18/15 — outside every synthetic client
+/// population this repo generates — and checked against `present` anyway,
+/// so the guarantee holds even for pcap-derived key sets.
+inline std::vector<net::FlowKey> make_absent_keys(
+    std::span<const net::FlowKey> present, std::size_t count,
+    std::uint64_t seed = 0xab5e47) {
+  std::unordered_set<net::FlowKey> taken(present.begin(), present.end());
+  sim::Rng rng(seed);
+  net::FlowKey proto;
+  if (!present.empty()) {
+    proto.local_addr = present.front().local_addr;
+    proto.local_port = present.front().local_port;
+  } else {
+    proto.local_addr = net::Ipv4Addr(10, 0, 0, 1);
+    proto.local_port = 1521;
+  }
+  std::vector<net::FlowKey> absent;
+  absent.reserve(count);
+  while (absent.size() < count) {
+    net::FlowKey k = proto;
+    k.foreign_addr = net::Ipv4Addr(
+        0xc6120000u | static_cast<std::uint32_t>(rng.uniform_index(1u << 17)));
+    k.foreign_port =
+        static_cast<std::uint16_t>(1024 + rng.uniform_index(64512));
+    if (taken.insert(k).second) absent.push_back(k);
+  }
+  return absent;
+}
+
+/// Decides hit-or-miss per lookup with an error accumulator instead of an
+/// RNG: exactly deterministic, evenly spread, and free inside timed loops.
+/// rate 0 never fires; rate 0.25 fires every 4th call.
+class MissSequencer {
+ public:
+  explicit MissSequencer(double rate) noexcept : rate_(rate) {}
+
+  [[nodiscard]] bool next_is_miss() noexcept {
+    acc_ += rate_;
+    if (acc_ >= 1.0) {
+      acc_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double rate_;
+  double acc_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
 // Command line shared by the wallclock_* binaries:
 //   --json <path>       export a JSON record array (report/bench_json.h)
 //   --telemetry <path>  dump per-demuxer telemetry (report/telemetry_json.h)
 //                       alongside the timings
 //   --sizes <a,b,...>   restrict a population-sweep bench to these sizes
 //                       (overhead A/B runs re-measure one size many times)
+//   --miss-rate <f>     blend f (in [0,1)) negative lookups into the key
+//                       stream (keys absent from the table, see above)
 //   --smoke             minimum-size, minimum-rep run for CI sanity checking
 // ---------------------------------------------------------------------------
 
@@ -158,6 +224,7 @@ struct BenchOptions {
   bool smoke = false;
   std::string json_path;       ///< empty = no JSON export
   std::string telemetry_path;  ///< empty = no telemetry export
+  double miss_rate = 0.0;      ///< fraction of lookups on absent keys
   std::vector<std::uint32_t> sizes;  ///< empty = the bench's default sweep
 
   /// Rep/time budget honouring --smoke: CI only needs "it runs and the
@@ -177,6 +244,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       opts.telemetry_path = argv[++i];
+    } else if (arg == "--miss-rate" && i + 1 < argc) {
+      char* end = nullptr;
+      opts.miss_rate = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || opts.miss_rate < 0.0 ||
+          opts.miss_rate >= 1.0) {
+        std::fprintf(stderr, "--miss-rate: need a fraction in [0, 1)\n");
+        std::exit(2);
+      }
     } else if (arg == "--sizes" && i + 1 < argc) {
       const std::string list = argv[++i];
       for (std::size_t pos = 0; pos < list.size();) {
@@ -193,7 +268,7 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json <path>] [--telemetry <path>] "
-                   "[--sizes <a,b,...>]\n",
+                   "[--sizes <a,b,...>] [--miss-rate <f>]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -10,7 +10,11 @@
 // a chained table with no override (hashed_mtf) as the default-loop
 // baseline.
 //
-//   wallclock_batch [--smoke] [--json <path>]
+//   wallclock_batch [--smoke] [--json <path>] [--miss-rate <f>]
+//
+// --miss-rate blends negative lookups into the burst stream: the batch
+// path's prefetch pipeline hides miss probes exactly as well as hit
+// probes, so the scalar/batch gap should widen with the miss fraction.
 #include <cstdio>
 #include <memory>
 #include <random>
@@ -59,12 +63,21 @@ int main(int argc, char** argv) {
 
     // One shared uniform-random stream per size so every structure (and
     // both drive modes) sees the identical arrival order. Power-of-two
-    // length for cheap wraparound in multiples of kBurst.
+    // length for cheap wraparound in multiples of kBurst. Misses are baked
+    // into the stream up front so the timed loops stay branch-free.
     constexpr std::size_t kStreamLen = 1 << 16;
     std::vector<net::FlowKey> stream(kStreamLen);
+    const auto absent = opts.miss_rate > 0.0
+                            ? bench::make_absent_keys(keys, 1024)
+                            : std::vector<net::FlowKey>{};
+    bench::MissSequencer misses(opts.miss_rate);
+    std::size_t next_absent = 0;
     std::mt19937 rng(1234);
     std::uniform_int_distribution<std::size_t> pick(0, keys.size() - 1);
-    for (auto& k : stream) k = keys[pick(rng)];
+    for (auto& k : stream) {
+      k = misses.next_is_miss() ? absent[next_absent++ & (absent.size() - 1)]
+                                : keys[pick(rng)];
+    }
 
     for (const std::string& spec : specs_for(users)) {
       const auto demuxer = core::make_demuxer(*core::parse_demux_spec(spec));
@@ -101,6 +114,7 @@ int main(int argc, char** argv) {
       rec.name = spec;
       rec.add_metric("users", users);
       rec.add_metric("burst", kBurst);
+      rec.add_metric("miss_rate", opts.miss_rate);
       rec.add_metric("scalar_ns_per_lookup", scalar.ns_per_op);
       rec.add_metric("batch_ns_per_lookup", batch.ns_per_op);
       rec.add_metric("speedup", speedup);

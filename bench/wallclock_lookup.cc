@@ -14,7 +14,12 @@
 // sequent, connection_id, and the flat table run at every size.
 //
 //   wallclock_lookup [--smoke] [--json <path>] [--telemetry <path>]
-//                    [--sizes <a,b,...>]
+//                    [--sizes <a,b,...>] [--miss-rate <f>]
+//
+// --miss-rate blends negative lookups (keys absent from the table) into
+// the arrival stream at the given fraction — the axis where linear scans
+// pay full population cost to answer "no connection" while the flat
+// table's fingerprint tags answer almost for free.
 //
 // --telemetry additionally dumps each measured demuxer's telemetry
 // registry (counters + examined-PCB histograms + occupancy) as a
@@ -113,6 +118,9 @@ int main(int argc, char** argv) {
     ap.clients = users;
     const auto keys = sim::make_client_keys(ap);
     const auto sequence = make_sequence(users);
+    const auto absent = opts.miss_rate > 0.0
+                            ? bench::make_absent_keys(keys, 1024)
+                            : std::vector<net::FlowKey>{};
 
     for (const std::string& spec : specs_for(users)) {
       LookupFixture fx(spec, keys, sequence);
@@ -121,13 +129,19 @@ int main(int argc, char** argv) {
       }
       constexpr std::size_t kChunk = 256;
       std::size_t i = 0;
+      std::size_t mi = 0;
+      bench::MissSequencer misses(opts.miss_rate);
       const std::size_t n = fx.sequence.size();
       const bench::Timing t = bench::time_loop(
           kChunk,
           [&] {
             for (std::size_t j = 0; j < kChunk; ++j) {
               const auto& [conn, kind] = fx.sequence[i];
-              bench::do_not_optimize(fx.demuxer->lookup(fx.keys[conn], kind).pcb);
+              const net::FlowKey& key =
+                  misses.next_is_miss()
+                      ? absent[mi++ & (absent.size() - 1)]
+                      : fx.keys[conn];
+              bench::do_not_optimize(fx.demuxer->lookup(key, kind).pcb);
               if (++i == n) i = 0;
             }
           },
@@ -145,6 +159,7 @@ int main(int argc, char** argv) {
       rec.add_metric("ns_per_lookup", t.ns_per_op);
       rec.add_metric("pcbs_examined", examined);
       rec.add_metric("hit_rate", hit_rate);
+      rec.add_metric("miss_rate", opts.miss_rate);
       writer.add(std::move(rec));
 
       if (!opts.telemetry_path.empty()) {

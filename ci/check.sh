@@ -10,6 +10,7 @@
 #   stage 5  bench   wallclock suite --smoke + JSON     (SKIP_BENCH=1 skips)
 #   stage 6  robust  `-L robustness` + attack smoke     (SKIP_ROBUSTNESS=1 skips)
 #   stage 7  telem   telemetry replay smoke + schema    (SKIP_TELEMETRY=1 skips)
+#   stage 8  scenario workload x demuxer matrix smoke   (SKIP_SCENARIO=1 skips)
 #
 # All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
@@ -105,6 +106,23 @@ if [[ "${SKIP_TELEMETRY:-0}" != "1" ]]; then
       "$ROOT/build/telemetry.smoke.json"
 else
   skipped telem SKIP_TELEMETRY
+fi
+
+if [[ "${SKIP_SCENARIO:-0}" != "1" ]]; then
+  stage scenario "workload x demuxer scenario matrix smoke + validation"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  cmake --build "$ROOT/build" -j "$JOBS" --target wallclock_scenarios
+  # One-rep slice of the full matrix (all 7 workload kinds, including a
+  # self-synthesized pcap row, against every demuxer family). The validator
+  # enforces a complete cross product with zero replay misses.
+  "$ROOT/build/bench/wallclock_scenarios" --smoke \
+      --json "$ROOT/build/scenario_matrix.smoke.json"
+  python3 "$ROOT/tools/scenarios/validate_matrix.py" \
+      "$ROOT/build/scenario_matrix.smoke.json"
+else
+  skipped scenario SKIP_SCENARIO
 fi
 
 echo

@@ -131,4 +131,12 @@ std::optional<PcapRecord> PcapReader::next() {
   return record;
 }
 
+std::vector<PcapRecord> PcapReader::read_all() {
+  std::vector<PcapRecord> records;
+  while (auto record = next()) {
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
 }  // namespace tcpdemux::net

@@ -68,6 +68,13 @@ class PcapReader {
   /// returns nullopt but flips ok() to false.
   [[nodiscard]] std::optional<PcapRecord> next();
 
+  /// Drains the stream: every remaining record up to clean EOF or the
+  /// first corrupt/truncated record. Check ok() afterwards to distinguish
+  /// the two — a truncated tail leaves ok() false with the records read so
+  /// far intact, which is what trace importers want (salvage the prefix,
+  /// report the damage).
+  [[nodiscard]] std::vector<PcapRecord> read_all();
+
  private:
   [[nodiscard]] std::uint32_t fix32(std::uint32_t v) const noexcept;
   [[nodiscard]] std::uint16_t fix16(std::uint16_t v) const noexcept;

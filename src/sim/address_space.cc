@@ -84,4 +84,42 @@ std::vector<net::FlowKey> make_client_keys(const AddressSpaceParams& params) {
   return keys;
 }
 
+EphemeralPortAllocator::EphemeralPortAllocator(std::uint16_t lo,
+                                               std::uint16_t hi)
+    : lo_(lo), hi_(hi), next_fresh_(lo) {
+  if (lo == 0 || hi < lo) {
+    throw std::invalid_argument("port allocator: bad ephemeral range");
+  }
+  busy_.assign(capacity(), false);
+}
+
+std::uint16_t EphemeralPortAllocator::acquire() {
+  std::uint16_t port = 0;
+  if (next_fresh_ <= hi_) {
+    port = static_cast<std::uint16_t>(next_fresh_++);
+  } else if (!free_.empty()) {
+    port = free_.front();
+    free_.pop_front();
+    ++reuses_;
+  } else {
+    throw std::runtime_error("port allocator: ephemeral range exhausted");
+  }
+  busy_[static_cast<std::size_t>(port - lo_)] = true;
+  ++in_use_count_;
+  return port;
+}
+
+void EphemeralPortAllocator::release(std::uint16_t port) {
+  if (port < lo_ || port > hi_) {
+    throw std::invalid_argument("port allocator: release outside range");
+  }
+  const auto idx = static_cast<std::size_t>(port - lo_);
+  if (!busy_[idx]) {
+    throw std::invalid_argument("port allocator: double release");
+  }
+  busy_[idx] = false;
+  --in_use_count_;
+  free_.push_back(port);
+}
+
 }  // namespace tcpdemux::sim

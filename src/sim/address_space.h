@@ -10,6 +10,7 @@
 #define TCPDEMUX_SIM_ADDRESS_SPACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "net/flow_key.h"
@@ -44,6 +45,48 @@ struct AddressSpaceParams {
 /// (local = server, foreign = client). All keys are distinct.
 [[nodiscard]] std::vector<net::FlowKey> make_client_keys(
     const AddressSpaceParams& params);
+
+/// Stateful ephemeral-port pool for one client host (or one NAT gateway),
+/// with the reuse behaviour real stacks exhibit: ports are handed out
+/// sequentially through the ephemeral range first, and once the range is
+/// exhausted the oldest *released* port is recycled (FIFO, so the port
+/// that has been closed longest is reused first — BSD/Linux cycling).
+///
+/// This is what lets churn workloads exercise the demultiplexers honestly:
+/// a reconnecting client really can present a 4-tuple the table held
+/// moments ago (close → SYN on the same tuple → wildcard match → exact
+/// promotion), which never happens when every session fabricates a
+/// never-before-seen port.
+class EphemeralPortAllocator {
+ public:
+  /// Default range mirrors the modern IANA/Linux ephemeral span.
+  explicit EphemeralPortAllocator(std::uint16_t lo = 32768,
+                                  std::uint16_t hi = 60999);
+
+  /// Hands out a port. Throws std::runtime_error when every port in the
+  /// range is simultaneously in use.
+  [[nodiscard]] std::uint16_t acquire();
+
+  /// Returns `port` to the pool. Throws std::invalid_argument if the port
+  /// is outside the range or not currently in use (double release).
+  void release(std::uint16_t port);
+
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return static_cast<std::size_t>(hi_ - lo_) + 1;
+  }
+  /// Acquires that were served by recycling a previously released port.
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+  std::uint32_t next_fresh_;        ///< next never-used port, > hi_ when spent
+  std::deque<std::uint16_t> free_;  ///< released ports, oldest first
+  std::vector<bool> busy_;          ///< busy_[port - lo_]
+  std::size_t in_use_count_ = 0;
+  std::uint64_t reuses_ = 0;
+};
 
 }  // namespace tcpdemux::sim
 

@@ -133,4 +133,10 @@ ReplayResult replay_trace(const Trace& trace, core::Demuxer& demuxer,
   return replay_trace(trace, keys, demuxer, options);
 }
 
+ReplayResult replay_trace(const workloads::Workload& workload,
+                          core::Demuxer& demuxer,
+                          const ReplayOptions& options) {
+  return replay_trace(workload.trace, workload.keys, demuxer, options);
+}
+
 }  // namespace tcpdemux::sim

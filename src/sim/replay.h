@@ -18,6 +18,7 @@
 #include "sim/address_space.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "sim/workloads/workload.h"
 
 namespace tcpdemux::sim {
 
@@ -70,6 +71,13 @@ struct ReplayResult {
 /// Convenience: synthesizes `trace.connections` client keys with the
 /// default address-space parameters (sequential LAN hosts) and replays.
 [[nodiscard]] ReplayResult replay_trace(const Trace& trace,
+                                        core::Demuxer& demuxer,
+                                        const ReplayOptions& options = {});
+
+/// Replays a scenario workload (trace + its own keys). Every generator in
+/// sim/workloads and every spec the WorkloadSpec grammar accepts runs
+/// through this one entry point.
+[[nodiscard]] ReplayResult replay_trace(const workloads::Workload& workload,
                                         core::Demuxer& demuxer,
                                         const ReplayOptions& options = {});
 

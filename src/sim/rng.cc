@@ -1,6 +1,8 @@
 #include "sim/rng.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace tcpdemux::sim {
 
@@ -9,6 +11,30 @@ double Rng::truncated_exponential(double mean, double cap) noexcept {
   const double f_cap = 1.0 - std::exp(-cap / mean);
   const double u = uniform() * f_cap;
   return -mean * std::log1p(-u);
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("zipf: need at least one rank");
+  if (!(s > 0.0)) throw std::invalid_argument("zipf: exponent must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    sum += std::pow(static_cast<double>(r) + 1.0, -s);
+    cdf_[r] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding shaving the last rank
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint32_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
 }
 
 }  // namespace tcpdemux::sim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <random>
+#include <vector>
 
 namespace tcpdemux::sim {
 
@@ -49,6 +50,35 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+};
+
+/// Bounded Zipf(s) distribution over ranks [0, n): P(rank r) proportional
+/// to (r+1)^-s. Jain's locality study (DEC-TR-592) and every flow-popularity
+/// measurement since describe real traffic this way; the scenario workloads
+/// (sim/workloads) use it for heavy-tailed flow selection.
+///
+/// The CDF is precomputed once (O(n) doubles) and each sample is one
+/// uniform draw plus a binary search — exact, deterministic given the Rng,
+/// and fast enough for multi-million-arrival traces.
+class ZipfSampler {
+ public:
+  /// `n` ranks, exponent `s` > 0 (s near 1 is the classic web/flow regime).
+  ZipfSampler(std::uint32_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::uint32_t ranks() const noexcept {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  /// Probability mass of `rank` (for chi-square checks in tests).
+  [[nodiscard]] double pmf(std::uint32_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r), cdf_.back() == 1
+  double s_ = 1.0;
 };
 
 }  // namespace tcpdemux::sim

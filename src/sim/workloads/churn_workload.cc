@@ -1,0 +1,125 @@
+#include "sim/workloads/churn_workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/address_space.h"
+#include "sim/rng.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+constexpr double kEpsilon = 1e-6;
+constexpr std::uint16_t kPortBase = 40000;
+
+// Same host enumeration as make_client_keys' kSequentialHosts: 10.b.s.h
+// with h in [2, 254], one /24 per 253 clients.
+net::Ipv4Addr host_of(std::uint32_t user) {
+  const std::uint32_t subnet = user / 253;
+  const std::uint32_t host = 2 + user % 253;
+  return net::Ipv4Addr(10, static_cast<std::uint8_t>(1 + subnet / 256),
+                       static_cast<std::uint8_t>(subnet % 256),
+                       static_cast<std::uint8_t>(host));
+}
+
+}  // namespace
+
+ChurnWorkload generate_churn_workload(const ChurnWorkloadParams& params) {
+  if (params.users == 0) {
+    throw std::invalid_argument("churn workload: users must be >= 1");
+  }
+  if (params.session_txns_mean < 1.0) {
+    throw std::invalid_argument(
+        "churn workload: session_txns_mean must be >= 1");
+  }
+  if (params.port_range == 0) {
+    throw std::invalid_argument("churn workload: port_range must be >= 1");
+  }
+  if (params.response_time < params.rtt) {
+    throw std::invalid_argument(
+        "churn workload: response time must cover the round trip");
+  }
+
+  Rng rng(params.seed);
+  ChurnWorkload out;
+  Workload& w = out.workload;
+  w.name = "churn:users=" + std::to_string(params.users);
+
+  const net::Ipv4Addr server_addr(10, 0, 0, 1);
+  constexpr std::uint16_t kServerPort = 1521;
+  const double half_rtt = 0.5 * params.rtt;
+
+  std::unordered_set<net::FlowKey> ever_seen;
+  const auto think = [&] { return rng.exponential(params.think_mean); };
+  const auto emit = [&](double when, std::uint32_t conn,
+                        TraceEventKind kind) {
+    w.trace.events.push_back(TraceEvent{when, conn, kind});
+  };
+
+  // Users are independent hosts, each with a private port allocator, so a
+  // per-user sequential loop keeps every allocator's acquire/release
+  // sequence in that host's own time order; the global sort interleaves
+  // the hosts afterwards.
+  for (std::uint32_t user = 0; user < params.users; ++user) {
+    // Fresh-port mode keeps the whole unprivileged range, which no
+    // realistic trace wraps; reuse mode narrows it so wrapping happens.
+    EphemeralPortAllocator ports =
+        params.ephemeral_reuse
+            ? EphemeralPortAllocator(
+                  kPortBase,
+                  static_cast<std::uint16_t>(kPortBase + params.port_range - 1))
+            : EphemeralPortAllocator(1024, 65535);
+    const net::Ipv4Addr client = host_of(user);
+
+    const auto open_session = [&](double /*when*/) {
+      const std::uint16_t port = ports.acquire();
+      const net::FlowKey key{server_addr, kServerPort, client, port};
+      if (!ever_seen.insert(key).second) ++out.key_reuses;
+      w.keys.push_back(key);
+      ++out.sessions;
+      return std::pair{static_cast<std::uint32_t>(w.keys.size() - 1), port};
+    };
+
+    double entry = think();  // randomizes phase across users
+    auto [conn, port] = open_session(0.0);  // first session pre-established
+    while (entry < params.duration) {
+      const double query_arrival = entry + half_rtt;
+      const double response_sent =
+          query_arrival + (params.response_time - params.rtt);
+      const double ack_arrival = query_arrival + params.response_time;
+      emit(query_arrival, conn, TraceEventKind::kArrivalData);
+      emit(query_arrival, conn, TraceEventKind::kTransmit);
+      emit(response_sent, conn, TraceEventKind::kTransmit);
+      emit(ack_arrival, conn, TraceEventKind::kArrivalAck);
+
+      entry += params.response_time + think();  // closed loop
+
+      if (rng.uniform() < 1.0 / params.session_txns_mean) {
+        const double close_time = ack_arrival + kEpsilon;
+        emit(close_time, conn, TraceEventKind::kClose);
+        ports.release(port);
+        // A pathologically tiny think time could start the next session
+        // before this one's close; shift the whole session, not just its
+        // open, or the first arrival would sort ahead of the open and the
+        // conn would replay as pre-established (a duplicate key at t=0).
+        entry = std::max(entry, close_time + 2 * kEpsilon - half_rtt);
+        const double next_query = entry + half_rtt;
+        if (next_query >= params.duration) break;
+        std::tie(conn, port) = open_session(next_query);
+        emit(next_query - kEpsilon, conn, TraceEventKind::kOpen);
+      }
+    }
+    out.port_reuses += ports.reuses();
+  }
+
+  w.trace.connections = static_cast<std::uint32_t>(w.keys.size());
+  w.trace.sort_by_time();
+  return out;
+}
+
+}  // namespace tcpdemux::sim::workloads

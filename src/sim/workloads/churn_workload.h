@@ -1,0 +1,46 @@
+// Short-lived-connection churn with honest ephemeral-port reuse.
+//
+// The TPC/A churn knob (tpca_workload session_txns_mean) reconnects every
+// session on a never-before-seen port, so the demultiplexer only ever sees
+// fresh 4-tuples. Real clients cycle a finite ephemeral range: once it
+// wraps, a reconnecting client presents a tuple the table held moments ago
+// — the sequence (close → SYN on same tuple → insert) that exercises the
+// paper's wildcard-listen → exact-PCB promotion path and every cache's
+// stale-entry invalidation. Each user is one client host with its own
+// EphemeralPortAllocator; `port_range` bounds the per-host range so
+// realistic traces actually wrap (set `ephemeral_reuse = false` for the
+// old fresh-port-forever behaviour as an A/B control).
+#ifndef TCPDEMUX_SIM_WORKLOADS_CHURN_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_CHURN_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct ChurnWorkloadParams {
+  std::uint32_t users = 1000;       ///< client hosts, one connection at a time
+  double session_txns_mean = 4.0;   ///< geometric session length, transactions
+  double think_mean = 1.0;          ///< seconds between transactions
+  double response_time = 0.05;
+  double rtt = 0.001;
+  double duration = 120.0;          ///< simulated seconds
+  bool ephemeral_reuse = true;      ///< false = every session a fresh port
+  std::uint16_t port_range = 16;    ///< per-host ephemeral range width
+  std::uint64_t seed = 42;
+};
+
+struct ChurnWorkload {
+  Workload workload;
+  std::uint64_t sessions = 0;    ///< total sessions (== connections)
+  std::uint64_t port_reuses = 0; ///< acquires served by a recycled port
+  std::uint64_t key_reuses = 0;  ///< connections whose 4-tuple appeared before
+};
+
+[[nodiscard]] ChurnWorkload generate_churn_workload(
+    const ChurnWorkloadParams& params);
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_CHURN_WORKLOAD_H_

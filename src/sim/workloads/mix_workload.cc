@@ -1,0 +1,91 @@
+#include "sim/workloads/mix_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/rng.h"
+
+namespace tcpdemux::sim::workloads {
+
+MixWorkload mix_flood_over(const Workload& base,
+                           const MixWorkloadParams& params) {
+  if (params.flood_fraction < 0.0 || params.flood_fraction >= 1.0) {
+    throw std::invalid_argument("mix workload: flood fraction not in [0, 1)");
+  }
+  if (params.arrivals_per_conn == 0) {
+    throw std::invalid_argument("mix workload: arrivals_per_conn must be >= 1");
+  }
+  if (base.trace.events.empty()) {
+    throw std::invalid_argument("mix workload: base trace is empty");
+  }
+  if (base.trace.connections == 0 ||
+      base.keys.size() < base.trace.connections) {
+    throw std::invalid_argument("mix workload: base is missing flow keys");
+  }
+
+  MixWorkload out;
+  out.benign_conns = base.trace.connections;
+  Workload& w = out.workload;
+  w.name = "mix:base=" + base.name;
+  w.trace = base.trace;
+  w.keys.assign(base.keys.begin(),
+                base.keys.begin() + base.trace.connections);
+
+  // flood/(base + flood) = fraction  =>  flood = base * f / (1 - f).
+  const double base_arrivals = static_cast<double>(base.trace.arrivals());
+  const auto flood_arrivals = static_cast<std::uint64_t>(std::llround(
+      base_arrivals * params.flood_fraction / (1.0 - params.flood_fraction)));
+  out.flood_conns = static_cast<std::uint32_t>(
+      (flood_arrivals + params.arrivals_per_conn - 1) /
+      params.arrivals_per_conn);
+  if (out.flood_conns == 0) {
+    w.trace.connections = static_cast<std::uint32_t>(w.keys.size());
+    return out;
+  }
+
+  const double horizon = base.trace.events.back().time;
+  const double start = params.start_fraction * horizon;
+
+  // The server's own key half comes from the base so flood segments hit
+  // the same listening endpoint. Copied, not referenced: the push_back
+  // below reallocates w.keys.
+  const net::FlowKey sample = w.keys.front();
+  std::unordered_set<net::FlowKey> taken(w.keys.begin(), w.keys.end());
+
+  Rng rng(params.seed);
+  Trace flood;
+  flood.connections = out.flood_conns;
+  for (std::uint32_t c = 0; c < out.flood_conns; ++c) {
+    net::FlowKey key;
+    do {
+      // 172.16/12 spoofed sources, random ephemeral ports.
+      const auto addr = net::Ipv4Addr(
+          0xac100000u |
+          static_cast<std::uint32_t>(rng.uniform_index(1u << 20)));
+      const auto port =
+          static_cast<std::uint16_t>(1024 + rng.uniform_index(65536 - 1024));
+      key = net::FlowKey{sample.local_addr, sample.local_port, addr, port};
+    } while (!taken.insert(key).second);
+    w.keys.push_back(key);
+
+    const double open_time = rng.uniform(start, horizon);
+    flood.events.push_back(
+        TraceEvent{open_time, c, TraceEventKind::kOpen});
+    for (std::uint32_t a = 0;
+         a < params.arrivals_per_conn && out.flood_arrivals < flood_arrivals;
+         ++a) {
+      // SYN retransmissions trail the open at ~1 ms spacing.
+      flood.events.push_back(TraceEvent{open_time + 1e-3 * (a + 1), c,
+                                        TraceEventKind::kArrivalData});
+      ++out.flood_arrivals;
+    }
+  }
+  flood.sort_by_time();
+
+  w.trace.merge(flood);
+  return out;
+}
+
+}  // namespace tcpdemux::sim::workloads

@@ -1,0 +1,48 @@
+// Mixed workload: a SYN-flood riding on top of any benign base workload.
+//
+// Real attacks arrive *blended*: a mostly-benign packet stream with a few
+// percent of flood traffic opening embryonic connections that never
+// complete. The interesting question for each demuxer is collateral
+// damage — how much the benign flows' lookup cost degrades as the table
+// fills with junk — which requires the flood and the base traffic to share
+// one table and one interleaved arrival order, not separate runs.
+// `mix_flood_over` takes any generated (or pcap-imported) Workload and
+// injects flood connections: each opens mid-trace (kOpen), receives a
+// couple of segments, and is never closed. Flood keys live in 172.16/12 so
+// they cannot collide with the synthetic 10/8 client space (and are
+// checked against the base keys regardless, for pcap bases).
+#ifndef TCPDEMUX_SIM_WORKLOADS_MIX_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_MIX_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct MixWorkloadParams {
+  /// Flood share of *total* arrivals, in [0, 1). 0.05 means 1 in 20
+  /// arriving segments belongs to the flood.
+  double flood_fraction = 0.05;
+  /// Flood opens are spread uniformly over [start_fraction * T, T], where
+  /// T is the base trace's time horizon.
+  double start_fraction = 0.2;
+  std::uint32_t arrivals_per_conn = 2;  ///< SYN + one retransmission
+  std::uint64_t seed = 4242;
+};
+
+struct MixWorkload {
+  Workload workload;
+  std::uint32_t benign_conns = 0;  ///< keys[0..benign_conns) are the base's
+  std::uint32_t flood_conns = 0;
+  std::uint64_t flood_arrivals = 0;
+};
+
+/// Builds the blend. The base's events and keys are preserved verbatim
+/// (flood connections get the indices above `base.trace.connections`).
+[[nodiscard]] MixWorkload mix_flood_over(const Workload& base,
+                                         const MixWorkloadParams& params);
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_MIX_WORKLOAD_H_

@@ -1,0 +1,157 @@
+#include "sim/workloads/natpop_workload.h"
+
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/address_space.h"
+#include "sim/rng.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+constexpr double kEpsilon = 1e-6;
+constexpr std::uint16_t kPortsPerGateway = 512;
+constexpr std::uint16_t kGatewayPortBase = 32768;
+
+// One public IP with its shared port pool. Releases are deferred to their
+// kClose event time so a binding can never be re-acquired by another user
+// before the trace records the old connection as closed.
+struct Gateway {
+  explicit Gateway(net::Ipv4Addr addr_)
+      : addr(addr_),
+        ports(kGatewayPortBase, kGatewayPortBase + kPortsPerGateway - 1) {}
+
+  std::uint16_t acquire(double now) {
+    while (!pending.empty() && pending.top().first <= now) {
+      ports.release(pending.top().second);
+      pending.pop();
+    }
+    return ports.acquire();
+  }
+  void release_at(double when, std::uint16_t port) {
+    pending.emplace(when, port);
+  }
+
+  net::Ipv4Addr addr;
+  EphemeralPortAllocator ports;
+  std::priority_queue<std::pair<double, std::uint16_t>,
+                      std::vector<std::pair<double, std::uint16_t>>,
+                      std::greater<>>
+      pending;
+};
+
+}  // namespace
+
+NatPopWorkload generate_natpop_workload(const NatPopParams& params) {
+  if (params.clients == 0 || params.gateways == 0) {
+    throw std::invalid_argument("natpop workload: empty configuration");
+  }
+  if (params.session_txns_mean < 1.0) {
+    throw std::invalid_argument(
+        "natpop workload: session_txns_mean must be >= 1");
+  }
+  if (params.response_time < params.rtt) {
+    throw std::invalid_argument(
+        "natpop workload: response time must cover the round trip");
+  }
+  // Every user holds at most one binding, so per-gateway concurrency is
+  // bounded by its user share; refuse configurations that could exhaust.
+  const std::uint32_t per_gateway =
+      (params.clients + params.gateways - 1) / params.gateways;
+  if (per_gateway > kPortsPerGateway) {
+    throw std::invalid_argument(
+        "natpop workload: more clients per gateway than the port pool");
+  }
+
+  Rng rng(params.seed);
+  NatPopWorkload out;
+  Workload& w = out.workload;
+  w.name = "natpop:clients=" + std::to_string(params.clients);
+
+  const net::Ipv4Addr server_addr(10, 0, 0, 1);
+  constexpr std::uint16_t kServerPort = 1521;
+  const double half_rtt = 0.5 * params.rtt;
+
+  std::vector<Gateway> gateways;
+  gateways.reserve(params.gateways);
+  for (std::uint32_t g = 0; g < params.gateways; ++g) {
+    // Public addresses: 198.51.100.0/24 style documentation space.
+    gateways.emplace_back(net::Ipv4Addr(198, 51, static_cast<std::uint8_t>(
+                                                     100 + g / 256),
+                                        static_cast<std::uint8_t>(g % 256)));
+  }
+
+  struct UserState {
+    std::uint32_t conn = 0;
+    std::uint16_t port = 0;
+    bool in_session = false;
+  };
+  std::vector<UserState> users(params.clients);
+
+  // Global time order: pop the earliest user's next transaction, so the
+  // shared allocators see acquires and releases in true event order.
+  // Ties break on user index for determinism.
+  using QEntry = std::pair<double, std::uint32_t>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+  for (std::uint32_t u = 0; u < params.clients; ++u) {
+    queue.emplace(rng.exponential(params.think_mean), u);
+  }
+
+  const auto emit = [&](double when, std::uint32_t conn,
+                        TraceEventKind kind) {
+    w.trace.events.push_back(TraceEvent{when, conn, kind});
+  };
+
+  while (!queue.empty()) {
+    const auto [entry, u] = queue.top();
+    queue.pop();
+    if (entry >= params.duration) continue;
+    UserState& user = users[u];
+    Gateway& gw = gateways[u % params.gateways];
+
+    const double query_arrival = entry + half_rtt;
+    if (!user.in_session) {
+      user.port = gw.acquire(entry);
+      user.conn = static_cast<std::uint32_t>(w.keys.size());
+      user.in_session = true;
+      w.keys.push_back(
+          net::FlowKey{server_addr, kServerPort, gw.addr, user.port});
+      ++out.sessions;
+      emit(query_arrival - kEpsilon, user.conn, TraceEventKind::kOpen);
+    }
+
+    const double response_sent =
+        query_arrival + (params.response_time - params.rtt);
+    const double ack_arrival = query_arrival + params.response_time;
+    emit(query_arrival, user.conn, TraceEventKind::kArrivalData);
+    emit(query_arrival, user.conn, TraceEventKind::kTransmit);
+    emit(response_sent, user.conn, TraceEventKind::kTransmit);
+    emit(ack_arrival, user.conn, TraceEventKind::kArrivalAck);
+
+    if (rng.uniform() < 1.0 / params.session_txns_mean) {
+      const double close_time = ack_arrival + kEpsilon;
+      emit(close_time, user.conn, TraceEventKind::kClose);
+      gw.release_at(close_time, user.port);
+      user.in_session = false;
+    }
+    // Next transaction (or next session's first transaction) after the
+    // response and a think pause. Sessions shorter than the think time
+    // close before the next pop, so the deferred release has matured by
+    // the time the port could be re-acquired.
+    const double next_entry =
+        std::max(entry + params.response_time + rng.exponential(
+                                                    params.think_mean),
+                 ack_arrival + 2 * kEpsilon);
+    if (next_entry < params.duration) queue.emplace(next_entry, u);
+  }
+
+  for (const Gateway& gw : gateways) out.binding_reuses += gw.ports.reuses();
+
+  w.trace.connections = static_cast<std::uint32_t>(w.keys.size());
+  w.trace.sort_by_time();
+  return out;
+}
+
+}  // namespace tcpdemux::sim::workloads

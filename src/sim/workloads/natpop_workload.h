@@ -1,0 +1,46 @@
+// NAT'd client population: many users multiplexed onto a few public IPs.
+//
+// Behind carrier-grade NAT the server sees thousands of users as a handful
+// of gateway addresses whose *ports* carry all the distinguishing entropy
+// — the modern version of the paper's terminal-concentrator population,
+// and the worst case for hash functions that underweight port bits. Every
+// gateway owns one shared EphemeralPortAllocator: concurrent users drain
+// the range together and session churn recycles bindings, so the same
+// (gateway, port) tuple legitimately reappears for a *different* user —
+// traffic no per-client key table can tell apart from tuple reuse.
+//
+// Sessions open and close throughout the trace (kOpen/kClose), driven by
+// a global time-ordered scheduler so each gateway's acquire/release
+// sequence matches event time across all its users.
+#ifndef TCPDEMUX_SIM_WORKLOADS_NATPOP_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_NATPOP_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct NatPopParams {
+  std::uint32_t clients = 5000;   ///< users behind the NATs
+  std::uint32_t gateways = 16;    ///< public IPs the server actually sees
+  double session_txns_mean = 6.0; ///< geometric session length
+  double think_mean = 2.0;        ///< seconds between a user's transactions
+  double response_time = 0.05;
+  double rtt = 0.001;
+  double duration = 60.0;
+  std::uint64_t seed = 42;
+};
+
+struct NatPopWorkload {
+  Workload workload;
+  std::uint64_t sessions = 0;
+  std::uint64_t binding_reuses = 0;  ///< acquires served by a recycled port
+};
+
+[[nodiscard]] NatPopWorkload generate_natpop_workload(
+    const NatPopParams& params);
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_NATPOP_WORKLOAD_H_

@@ -1,0 +1,56 @@
+// Pcap-driven workload: replay a real capture through the same interface
+// as every synthetic generator.
+//
+// The importer reconstructs the server-side event stream the trace-replay
+// harness understands from raw captured packets: client→server segments
+// become arrivals (data vs. pure-ack by payload and flags), server→client
+// segments become kTransmit (the SR cache's send side), SYNs open
+// connections mid-trace, and FIN/RST mark a flow for kClose after its last
+// packet — deferred to the flow's end so stragglers (the FIN's own ack)
+// never demultiplex against an already-erased PCB. A later SYN on a
+// closed 4-tuple starts a *new* connection on the same key: real traces
+// exhibit exactly the ephemeral-port reuse the churn generator
+// synthesizes.
+//
+// Flows whose first packet is not a SYN were established before the
+// capture started; they replay as pre-established, matching the paper's
+// steady-state convention.
+#ifndef TCPDEMUX_SIM_WORKLOADS_PCAP_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_PCAP_WORKLOAD_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct PcapWorkloadParams {
+  std::string path;              ///< used by the file-opening overload
+  std::uint16_t server_port = 0; ///< 0 = busiest destination port in capture
+};
+
+struct PcapImportStats {
+  std::size_t records = 0;         ///< pcap records read
+  std::size_t unparseable = 0;     ///< non-IPv4/TCP or checksum-bad
+  std::size_t other_direction = 0; ///< packets touching neither server side
+  std::uint16_t server_port = 0;   ///< the port actually used
+  bool clean_eof = true;           ///< false: salvaged a truncated capture
+};
+
+/// Imports from an open stream (testable without touching the
+/// filesystem). Throws std::invalid_argument if the stream is not a pcap
+/// file or contains no server-bound TCP traffic.
+[[nodiscard]] Workload make_pcap_workload(std::istream& is,
+                                          const PcapWorkloadParams& params,
+                                          PcapImportStats* stats = nullptr);
+
+/// Opens params.path and imports. Throws std::invalid_argument on open
+/// failure too.
+[[nodiscard]] Workload make_pcap_workload(const PcapWorkloadParams& params,
+                                          PcapImportStats* stats = nullptr);
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_PCAP_WORKLOAD_H_

@@ -1,0 +1,32 @@
+// Workload: a named arrival trace bundled with the flow keys it
+// demultiplexes on — the unit of the scenario matrix.
+//
+// The paper's sweep fixes one workload (TPC/A) and varies the algorithm;
+// the scenario subsystem varies both. Every generator — synthetic or
+// pcap-driven — produces this same shape, so `replay_trace(workload, ...)`
+// can run any workload through any registered demuxer with telemetry
+// capture and identical accounting.
+#ifndef TCPDEMUX_SIM_WORKLOADS_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "sim/trace.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct Workload {
+  /// Canonical spec string ("zipf:flows=20000:s=1.1") or "pcap:file=...".
+  std::string name;
+  Trace trace;
+  /// keys[conn] for every conn < trace.connections. Keys may repeat across
+  /// connections that never overlap in time (ephemeral-port reuse); replay
+  /// remains well-defined because the earlier connection closes first.
+  std::vector<net::FlowKey> keys;
+};
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,418 @@
+#include "sim/workloads/workload_spec.h"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/address_space.h"
+#include "sim/bulk_workload.h"
+#include "sim/tpca_workload.h"
+#include "sim/workloads/churn_workload.h"
+#include "sim/workloads/mix_workload.h"
+#include "sim/workloads/natpop_workload.h"
+#include "sim/workloads/pcap_workload.h"
+#include "sim/workloads/zipf_workload.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+[[noreturn]] void fail(std::string_view kind, const std::string& what) {
+  throw std::invalid_argument("workload spec '" + std::string(kind) +
+                              "': " + what);
+}
+
+/// Integers accept k/m magnitude suffixes ("200k" == 200000) so matrix
+/// specs read like the shorthand people actually type.
+std::uint64_t parse_u64(std::string_view kind, std::string_view key,
+                        std::string_view value) {
+  std::uint64_t scale = 1;
+  if (!value.empty()) {
+    const char suffix = value.back();
+    if (suffix == 'k' || suffix == 'K') scale = 1000;
+    if (suffix == 'm' || suffix == 'M') scale = 1000000;
+    if (scale != 1) value.remove_suffix(1);
+  }
+  std::uint64_t out = 0;
+  if (value.empty()) fail(kind, std::string(key) + " needs a number");
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      fail(kind, std::string(key) + "=" + std::string(value) +
+                     " is not an integer");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out * scale;
+}
+
+std::uint32_t parse_u32(std::string_view kind, std::string_view key,
+                        std::string_view value) {
+  const std::uint64_t v = parse_u64(kind, key, value);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    fail(kind, std::string(key) + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint16_t parse_u16(std::string_view kind, std::string_view key,
+                        std::string_view value) {
+  const std::uint64_t v = parse_u64(kind, key, value);
+  if (v > std::numeric_limits<std::uint16_t>::max()) {
+    fail(kind, std::string(key) + " out of range");
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+double parse_double(std::string_view kind, std::string_view key,
+                    std::string_view value) {
+  const std::string s(value);
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(s, &used);
+  } catch (const std::exception&) {
+    fail(kind, std::string(key) + "=" + s + " is not a number");
+  }
+  if (used != s.size()) {
+    fail(kind, std::string(key) + "=" + s + " is not a number");
+  }
+  return out;
+}
+
+/// "5%" -> 0.05, "0.05" -> 0.05.
+double parse_fraction(std::string_view kind, std::string_view key,
+                      std::string_view value) {
+  if (!value.empty() && value.back() == '%') {
+    value.remove_suffix(1);
+    return parse_double(kind, key, value) / 100.0;
+  }
+  return parse_double(kind, key, value);
+}
+
+/// Consumes a spec's tokens one key at a time; anything left when the
+/// generator is done is either an error or (for mix) the base's business.
+class TokenReader {
+ public:
+  explicit TokenReader(const WorkloadSpec& spec)
+      : spec_(spec), used_(spec.params.size(), false) {}
+
+  std::optional<std::string_view> take(std::string_view key) {
+    std::optional<std::string_view> found;
+    for (std::size_t i = 0; i < spec_.params.size(); ++i) {
+      if (spec_.params[i].first != key) continue;
+      if (found) fail(spec_.kind, "duplicate token '" + std::string(key) + "'");
+      found = spec_.params[i].second;
+      used_[i] = true;
+    }
+    return found;
+  }
+
+  bool take_flag(std::string_view key) {
+    const auto value = take(key);
+    if (value && !value->empty()) {
+      fail(spec_.kind, "'" + std::string(key) + "' is a flag, not key=value");
+    }
+    return value.has_value();
+  }
+
+  /// Throws if any token was never consumed.
+  void finish() const {
+    for (std::size_t i = 0; i < spec_.params.size(); ++i) {
+      if (!used_[i]) {
+        fail(spec_.kind, "unknown token '" + spec_.params[i].first + "'");
+      }
+    }
+  }
+
+  /// The unconsumed tokens, in order (mix forwards these to its base).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> leftovers()
+      const {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (std::size_t i = 0; i < spec_.params.size(); ++i) {
+      if (!used_[i]) out.push_back(spec_.params[i]);
+    }
+    return out;
+  }
+
+ private:
+  const WorkloadSpec& spec_;
+  std::vector<bool> used_;
+};
+
+/// Canonical display name: the spec string that reproduces this workload.
+std::string spec_string(const WorkloadSpec& spec) {
+  std::string out = spec.kind;
+  for (const auto& [key, value] : spec.params) {
+    out += ':';
+    out += key;
+    if (!value.empty()) {
+      out += '=';
+      out += value;
+    }
+  }
+  return out;
+}
+
+Workload make_tpca(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  TpcaWorkloadParams params;
+  params.duration = 60.0;  // matrix-friendly default; spec can override
+  params.warmup = 5.0;
+  if (auto v = tokens.take("users")) params.users = parse_u32("tpca", "users", *v);
+  if (auto v = tokens.take("duration")) {
+    params.duration = parse_double("tpca", "duration", *v);
+  }
+  if (auto v = tokens.take("think")) {
+    params.think_mean = parse_double("tpca", "think", *v);
+  }
+  if (auto v = tokens.take("response")) {
+    params.response_time = parse_double("tpca", "response", *v);
+  }
+  if (auto v = tokens.take("rtt")) params.rtt = parse_double("tpca", "rtt", *v);
+  if (auto v = tokens.take("churn")) {
+    params.session_txns_mean = parse_double("tpca", "churn", *v);
+  }
+  if (auto v = tokens.take("seed")) params.seed = parse_u64("tpca", "seed", *v);
+  tokens.finish();
+
+  Workload w;
+  w.trace = generate_tpca_trace(params);
+  AddressSpaceParams addr;
+  addr.clients = w.trace.connections;
+  addr.seed = params.seed;
+  w.keys = make_client_keys(addr);
+  return w;
+}
+
+Workload make_zipf(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  ZipfWorkloadParams params;
+  if (auto v = tokens.take("flows")) {
+    params.flows = parse_u32("zipf", "flows", *v);
+  }
+  if (auto v = tokens.take("s")) params.s = parse_double("zipf", "s", *v);
+  if (auto v = tokens.take("arrivals")) {
+    params.arrivals = parse_u64("zipf", "arrivals", *v);
+  }
+  if (auto v = tokens.take("duration")) {
+    params.duration = parse_double("zipf", "duration", *v);
+  }
+  if (auto v = tokens.take("ack_every")) {
+    params.ack_every = parse_u32("zipf", "ack_every", *v);
+  }
+  if (auto v = tokens.take("seed")) params.seed = parse_u64("zipf", "seed", *v);
+  tokens.finish();
+  return generate_zipf_workload(params);
+}
+
+Workload make_trains(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  BulkWorkloadParams params;
+  if (auto v = tokens.take("conns")) {
+    params.connections = parse_u32("trains", "conns", *v);
+  }
+  if (auto v = tokens.take("len")) {
+    params.train_length = parse_u32("trains", "len", *v);
+  }
+  if (auto v = tokens.take("spacing")) {
+    params.segment_spacing = parse_double("trains", "spacing", *v);
+  }
+  if (auto v = tokens.take("gap")) {
+    params.train_gap_mean = parse_double("trains", "gap", *v);
+  }
+  if (auto v = tokens.take("ack_every")) {
+    params.segments_per_ack = parse_u32("trains", "ack_every", *v);
+  }
+  if (auto v = tokens.take("duration")) {
+    params.duration = parse_double("trains", "duration", *v);
+  }
+  if (auto v = tokens.take("seed")) {
+    params.seed = parse_u64("trains", "seed", *v);
+  }
+  tokens.finish();
+
+  Workload w;
+  w.trace = generate_bulk_trace(params);
+  AddressSpaceParams addr;
+  addr.clients = w.trace.connections;
+  addr.seed = params.seed;
+  w.keys = make_client_keys(addr);
+  return w;
+}
+
+Workload make_churn(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  ChurnWorkloadParams params;
+  if (auto v = tokens.take("users")) {
+    params.users = parse_u32("churn", "users", *v);
+  }
+  if (auto v = tokens.take("session")) {
+    params.session_txns_mean = parse_double("churn", "session", *v);
+  }
+  if (auto v = tokens.take("think")) {
+    params.think_mean = parse_double("churn", "think", *v);
+  }
+  if (auto v = tokens.take("ports")) {
+    params.port_range = parse_u16("churn", "ports", *v);
+  }
+  if (auto v = tokens.take("duration")) {
+    params.duration = parse_double("churn", "duration", *v);
+  }
+  if (auto v = tokens.take("seed")) {
+    params.seed = parse_u64("churn", "seed", *v);
+  }
+  const bool ephemeral = tokens.take_flag("ephemeral");
+  const bool fresh = tokens.take_flag("fresh");
+  if (ephemeral && fresh) {
+    fail("churn", "'ephemeral' and 'fresh' are mutually exclusive");
+  }
+  params.ephemeral_reuse = !fresh;
+  tokens.finish();
+  return generate_churn_workload(params).workload;
+}
+
+Workload make_natpop(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  NatPopParams params;
+  if (auto v = tokens.take("clients")) {
+    params.clients = parse_u32("natpop", "clients", *v);
+  }
+  if (auto v = tokens.take("nats")) {
+    params.gateways = parse_u32("natpop", "nats", *v);
+  }
+  if (auto v = tokens.take("session")) {
+    params.session_txns_mean = parse_double("natpop", "session", *v);
+  }
+  if (auto v = tokens.take("think")) {
+    params.think_mean = parse_double("natpop", "think", *v);
+  }
+  if (auto v = tokens.take("duration")) {
+    params.duration = parse_double("natpop", "duration", *v);
+  }
+  if (auto v = tokens.take("seed")) {
+    params.seed = parse_u64("natpop", "seed", *v);
+  }
+  tokens.finish();
+  return generate_natpop_workload(params).workload;
+}
+
+Workload make_mix(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  MixWorkloadParams params;
+  if (auto v = tokens.take("flood")) {
+    params.flood_fraction = parse_fraction("mix", "flood", *v);
+  }
+  if (auto v = tokens.take("start")) {
+    params.start_fraction = parse_double("mix", "start", *v);
+  }
+  if (auto v = tokens.take("per_conn")) {
+    params.arrivals_per_conn = parse_u32("mix", "per_conn", *v);
+  }
+  if (auto v = tokens.take("seed")) params.seed = parse_u64("mix", "seed", *v);
+
+  WorkloadSpec base;
+  base.kind = "tpca";
+  if (auto v = tokens.take("base")) base.kind = std::string(*v);
+  if (base.kind == "mix") fail("mix", "base=mix would recurse");
+  base.params = tokens.leftovers();  // everything else belongs to the base
+
+  const Workload base_workload = make_workload(base);
+  return mix_flood_over(base_workload, params).workload;
+}
+
+Workload make_pcap(const WorkloadSpec& spec) {
+  TokenReader tokens(spec);
+  PcapWorkloadParams params;
+  if (auto v = tokens.take("file")) {
+    params.path = std::string(*v);
+  } else {
+    fail("pcap", "requires file=PATH");
+  }
+  if (auto v = tokens.take("port")) {
+    params.server_port = parse_u16("pcap", "port", *v);
+  }
+  tokens.finish();
+  return make_pcap_workload(params);
+}
+
+}  // namespace
+
+std::optional<std::string_view> WorkloadSpec::get(
+    std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+bool WorkloadSpec::has(std::string_view key) const {
+  return get(key).has_value();
+}
+
+std::optional<WorkloadSpec> parse_workload_spec(std::string_view spec) {
+  WorkloadSpec out;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(':', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view token = spec.substr(start, end - start);
+    if (token.empty()) return std::nullopt;
+    if (first) {
+      if (token.find('=') != std::string_view::npos) return std::nullopt;
+      out.kind = std::string(token);
+      first = false;
+    } else {
+      const std::size_t eq = token.find('=');
+      if (eq == 0) return std::nullopt;  // "=value" has no key
+      if (eq == std::string_view::npos) {
+        out.params.emplace_back(std::string(token), std::string());
+      } else {
+        out.params.emplace_back(std::string(token.substr(0, eq)),
+                                std::string(token.substr(eq + 1)));
+      }
+    }
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  if (out.kind.empty()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::string_view> workload_kinds() {
+  return {"tpca", "zipf", "trains", "churn", "natpop", "mix", "pcap"};
+}
+
+Workload make_workload(const WorkloadSpec& spec) {
+  Workload w;
+  if (spec.kind == "tpca") {
+    w = make_tpca(spec);
+  } else if (spec.kind == "zipf") {
+    w = make_zipf(spec);
+  } else if (spec.kind == "trains") {
+    w = make_trains(spec);
+  } else if (spec.kind == "churn") {
+    w = make_churn(spec);
+  } else if (spec.kind == "natpop") {
+    w = make_natpop(spec);
+  } else if (spec.kind == "mix") {
+    w = make_mix(spec);
+  } else if (spec.kind == "pcap") {
+    w = make_pcap(spec);
+  } else {
+    fail(spec.kind, "unknown workload kind");
+  }
+  w.name = spec_string(spec);
+  return w;
+}
+
+Workload make_workload(std::string_view spec) {
+  const auto parsed = parse_workload_spec(spec);
+  if (!parsed) {
+    throw std::invalid_argument("workload spec '" + std::string(spec) +
+                                "': malformed");
+  }
+  return make_workload(*parsed);
+}
+
+}  // namespace tcpdemux::sim::workloads

@@ -1,0 +1,40 @@
+// Heavy-tailed (Zipf) flow-popularity workload.
+//
+// The TPC/A model gives every connection the same arrival rate; measured
+// traffic does not — a few flows carry most packets and a long tail
+// carries almost none (Jain's locality study, DEC-TR-592). This is the
+// regime where small caches shine: the BSD 1-entry and SR 2-entry caches
+// convert flow concentration directly into hit rate, while hashed tables
+// gain nothing from it. The generator draws each arrival's flow from a
+// bounded Zipf(s) distribution over `flows` ranks, with Poisson arrival
+// times, so the empirical rank-frequency curve has slope -s on log-log
+// axes (the property tests verify exactly that).
+#ifndef TCPDEMUX_SIM_WORKLOADS_ZIPF_WORKLOAD_H_
+#define TCPDEMUX_SIM_WORKLOADS_ZIPF_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "sim/address_space.h"
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim::workloads {
+
+struct ZipfWorkloadParams {
+  std::uint32_t flows = 20000;     ///< live connections (all pre-established)
+  double s = 1.1;                  ///< Zipf exponent; ~1.1 is the web regime
+  std::uint64_t arrivals = 200000; ///< data arrivals to generate
+  double duration = 60.0;          ///< seconds the arrivals span (Poisson)
+  /// Every `ack_every`-th data segment on a flow is answered: the server
+  /// transmits a response (kTransmit — the SR cache's send side observes
+  /// it) and the client's ack arrives one RTT later (kArrivalAck).
+  std::uint32_t ack_every = 4;
+  double rtt = 0.001;
+  ClientPattern pattern = ClientPattern::kRandom;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] Workload generate_zipf_workload(const ZipfWorkloadParams& params);
+
+}  // namespace tcpdemux::sim::workloads
+
+#endif  // TCPDEMUX_SIM_WORKLOADS_ZIPF_WORKLOAD_H_

@@ -135,5 +135,97 @@ TEST(Pcap, SwappedEndiannessAccepted) {
   EXPECT_EQ(record->bytes.size(), 4u);
 }
 
+TEST(Pcap, ReadAllDrainsToCleanEof) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  for (int i = 0; i < 5; ++i) {
+    writer.write(static_cast<double>(i),
+                 sample_packet(static_cast<std::uint16_t>(40001 + i)));
+  }
+  PcapReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  const auto records = reader.read_all();
+  EXPECT_EQ(records.size(), 5u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.read_all().empty());  // idempotent at EOF
+}
+
+TEST(Pcap, ReadAllSalvagesTruncatedTail) {
+  std::stringstream buffer;
+  PcapWriter writer(buffer);
+  for (int i = 0; i < 4; ++i) {
+    writer.write(static_cast<double>(i),
+                 sample_packet(static_cast<std::uint16_t>(40001 + i)));
+  }
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 7);  // cut into the last record's payload
+  std::stringstream truncated(bytes);
+  PcapReader reader(truncated);
+  ASSERT_TRUE(reader.ok());
+  const auto records = reader.read_all();
+  EXPECT_EQ(records.size(), 3u) << "intact prefix survives";
+  EXPECT_FALSE(reader.ok()) << "damage is reported";
+}
+
+TEST(Pcap, GoldenRoundTripReEmitsByteIdentical) {
+  // write -> read_all -> re-emit must reproduce the file byte for byte:
+  // nothing (timestamps included) may be lost or rewritten in transit.
+  std::stringstream first;
+  PcapWriter writer(first);
+  writer.write(0.000001, sample_packet(40001));
+  writer.write(1.25, sample_packet(40002));
+  writer.write(3.999999, sample_packet(40003));
+  const std::string golden = first.str();
+
+  std::stringstream input(golden);
+  PcapReader reader(input);
+  ASSERT_TRUE(reader.ok());
+  const auto records = reader.read_all();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(records.size(), 3u);
+
+  std::stringstream second;
+  PcapWriter rewriter(second, reader.link_type());
+  for (const auto& record : records) {
+    rewriter.write(record.timestamp, record.bytes);
+  }
+  EXPECT_EQ(second.str(), golden);
+}
+
+TEST(Pcap, ReadAllHandlesByteSwappedCaptures) {
+  const auto put32be = [](std::string& s, std::uint32_t v) {
+    s.push_back(static_cast<char>(v >> 24));
+    s.push_back(static_cast<char>((v >> 16) & 0xff));
+    s.push_back(static_cast<char>((v >> 8) & 0xff));
+    s.push_back(static_cast<char>(v & 0xff));
+  };
+  const auto put16be = [](std::string& s, std::uint16_t v) {
+    s.push_back(static_cast<char>(v >> 8));
+    s.push_back(static_cast<char>(v & 0xff));
+  };
+  std::string file;
+  put32be(file, PcapWriter::kMagic);  // big-endian == swapped when read
+  put16be(file, 2);
+  put16be(file, 4);
+  put32be(file, 0);
+  put32be(file, 0);
+  put32be(file, 65535);
+  put32be(file, 101);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    put32be(file, 10 + i);  // ts sec
+    put32be(file, 0);       // ts usec
+    put32be(file, 4);       // incl
+    put32be(file, 4);       // orig
+    file += "wxyz";
+  }
+  std::stringstream buffer(file);
+  PcapReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  const auto records = reader.read_all();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_NEAR(records[2].timestamp, 12.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace tcpdemux::net

@@ -94,5 +94,60 @@ TEST(AddressSpace, ZeroClientsThrows) {
   EXPECT_THROW(make_client_keys(p), std::invalid_argument);
 }
 
+TEST(EphemeralPortAllocator, HandsOutFreshPortsSequentiallyFirst) {
+  EphemeralPortAllocator alloc(40000, 40003);
+  EXPECT_EQ(alloc.capacity(), 4u);
+  EXPECT_EQ(alloc.acquire(), 40000);
+  EXPECT_EQ(alloc.acquire(), 40001);
+  // Releasing does not tempt the allocator while fresh ports remain:
+  // real stacks walk the whole range before revisiting (BSD/Linux cycling).
+  alloc.release(40000);
+  EXPECT_EQ(alloc.acquire(), 40002);
+  EXPECT_EQ(alloc.acquire(), 40003);
+  EXPECT_EQ(alloc.reuses(), 0u);
+  // Only now does the released port come back.
+  EXPECT_EQ(alloc.acquire(), 40000);
+  EXPECT_EQ(alloc.reuses(), 1u);
+}
+
+TEST(EphemeralPortAllocator, RecyclesOldestReleaseFirst) {
+  EphemeralPortAllocator alloc(50000, 50002);
+  const std::uint16_t a = alloc.acquire();
+  const std::uint16_t b = alloc.acquire();
+  const std::uint16_t c = alloc.acquire();
+  alloc.release(b);  // oldest release
+  alloc.release(a);
+  alloc.release(c);
+  EXPECT_EQ(alloc.acquire(), b);
+  EXPECT_EQ(alloc.acquire(), a);
+  EXPECT_EQ(alloc.acquire(), c);
+  EXPECT_EQ(alloc.reuses(), 3u);
+}
+
+TEST(EphemeralPortAllocator, ExhaustionThrows) {
+  EphemeralPortAllocator alloc(60000, 60001);
+  (void)alloc.acquire();
+  (void)alloc.acquire();
+  EXPECT_EQ(alloc.in_use(), 2u);
+  EXPECT_THROW((void)alloc.acquire(), std::runtime_error);
+  alloc.release(60000);
+  EXPECT_EQ(alloc.acquire(), 60000);  // recoverable after a release
+}
+
+TEST(EphemeralPortAllocator, BadReleasesThrow) {
+  EphemeralPortAllocator alloc(40000, 40007);
+  const std::uint16_t p = alloc.acquire();
+  EXPECT_THROW(alloc.release(39999), std::invalid_argument);  // out of range
+  EXPECT_THROW(alloc.release(40005), std::invalid_argument);  // never issued
+  alloc.release(p);
+  EXPECT_THROW(alloc.release(p), std::invalid_argument);  // double release
+  EXPECT_EQ(alloc.in_use(), 0u);
+}
+
+TEST(EphemeralPortAllocator, BadRangeThrows) {
+  EXPECT_THROW(EphemeralPortAllocator(100, 99), std::invalid_argument);
+  EXPECT_THROW(EphemeralPortAllocator(0, 10), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tcpdemux::sim

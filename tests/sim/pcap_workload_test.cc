@@ -1,0 +1,115 @@
+// The pcap importer reconstructs an event trace from wire packets; the
+// cleanest check is a round trip against the packet synthesizer: a trace
+// expanded to packets, written as a capture, and re-imported must produce
+// the same event stream the original trace contained.
+#include "sim/workloads/pcap_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/demux_registry.h"
+#include "net/pcap.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "sim/trace_packets.h"
+#include "sim/workloads/workload_spec.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+std::array<std::uint64_t, 5> count_kinds(const Trace& trace) {
+  std::array<std::uint64_t, 5> counts{};
+  for (const TraceEvent& e : trace.events) {
+    ++counts[static_cast<std::size_t>(e.kind)];
+  }
+  return counts;
+}
+
+std::stringstream capture_of(const Workload& w) {
+  std::stringstream buffer;
+  net::PcapWriter writer(buffer);
+  for (const auto& p : synthesize_packets(w.trace, w.keys)) {
+    writer.write(p.time, p.wire);
+  }
+  return buffer;
+}
+
+TEST(PcapWorkload, RoundTripPreservesTheEventStream) {
+  // Trains keep every connection talking, so the imported capture must
+  // rebuild all of them (a tpca user can sit out a short window).
+  const Workload original = make_workload("trains:conns=4:len=16:duration=5");
+  auto buffer = capture_of(original);
+
+  PcapImportStats stats;
+  const Workload imported = make_pcap_workload(buffer, {}, &stats);
+
+  EXPECT_TRUE(stats.clean_eof);
+  EXPECT_EQ(stats.unparseable, 0u);
+  EXPECT_EQ(stats.other_direction, 0u);
+  EXPECT_EQ(stats.server_port, 1521) << "busiest-port vote must find OLTP";
+  EXPECT_EQ(imported.trace.connections, original.trace.connections);
+
+  const auto want = count_kinds(original.trace);
+  const auto got = count_kinds(imported.trace);
+  EXPECT_EQ(got[0], want[0]) << "data arrivals";
+  EXPECT_EQ(got[1], want[1]) << "pure acks";
+  EXPECT_EQ(got[2], want[2]) << "server transmits";
+}
+
+TEST(PcapWorkload, ImportedWorkloadReplaysClean) {
+  const Workload original = make_workload("tpca:users=20:duration=20");
+  auto buffer = capture_of(original);
+  const Workload imported = make_pcap_workload(buffer, {});
+  const auto demuxer =
+      core::make_demuxer(*core::parse_demux_spec("sequent:19:crc32"));
+  const auto result = sim::replay_trace(imported, *demuxer);
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_GT(result.lookups, 0u);
+}
+
+TEST(PcapWorkload, ExplicitServerPortMatchesVote) {
+  const Workload original = make_workload("tpca:users=10:duration=20");
+  auto buffer1 = capture_of(original);
+  auto buffer2 = capture_of(original);
+  const Workload by_vote = make_pcap_workload(buffer1, {});
+  PcapWorkloadParams explicit_port;
+  explicit_port.server_port = 1521;
+  const Workload by_param = make_pcap_workload(buffer2, explicit_port);
+  EXPECT_EQ(by_vote.trace.events, by_param.trace.events);
+  EXPECT_EQ(by_vote.keys, by_param.keys);
+}
+
+TEST(PcapWorkload, SalvagesTruncatedCaptures) {
+  const Workload original = make_workload("tpca:users=10:duration=30");
+  std::string bytes = capture_of(original).str();
+  bytes.resize(bytes.size() - 20);  // tear the last record
+  std::stringstream truncated(bytes);
+  PcapImportStats stats;
+  const Workload imported = make_pcap_workload(truncated, {}, &stats);
+  EXPECT_FALSE(stats.clean_eof);
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_GT(imported.trace.events.size(), 0u);
+}
+
+TEST(PcapWorkload, RejectsNonCaptureStreams) {
+  std::stringstream garbage("definitely not a pcap file .............");
+  EXPECT_THROW((void)make_pcap_workload(garbage, {}), std::invalid_argument);
+
+  // A valid pcap header with zero records has no TCP traffic to import.
+  std::stringstream empty;
+  { net::PcapWriter writer(empty); }
+  EXPECT_THROW((void)make_pcap_workload(empty, {}), std::invalid_argument);
+}
+
+TEST(PcapWorkload, MissingFileThrows) {
+  PcapWorkloadParams params;
+  params.path = "/nonexistent/definitely/missing.pcap";
+  EXPECT_THROW((void)make_pcap_workload(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim::workloads

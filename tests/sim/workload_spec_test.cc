@@ -1,0 +1,139 @@
+#include "sim/workloads/workload_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "net/flow_key.h"
+#include "sim/trace.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+TEST(WorkloadSpecGrammar, SplitsKindAndTokens) {
+  const auto spec = parse_workload_spec("zipf:flows=200k:s=1.1:verbose");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->kind, "zipf");
+  ASSERT_EQ(spec->params.size(), 3u);
+  EXPECT_EQ(spec->get("flows"), "200k");
+  EXPECT_EQ(spec->get("s"), "1.1");
+  EXPECT_TRUE(spec->has("verbose"));
+  EXPECT_EQ(spec->get("verbose"), "");
+  EXPECT_FALSE(spec->has("absent"));
+}
+
+TEST(WorkloadSpecGrammar, BareKindIsValid) {
+  const auto spec = parse_workload_spec("tpca");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->kind, "tpca");
+  EXPECT_TRUE(spec->params.empty());
+}
+
+TEST(WorkloadSpecGrammar, RejectsMalformedStrings) {
+  EXPECT_FALSE(parse_workload_spec("").has_value());
+  EXPECT_FALSE(parse_workload_spec(":flows=1").has_value());  // empty kind
+  EXPECT_FALSE(parse_workload_spec("zipf::s=1").has_value()); // empty token
+  EXPECT_FALSE(parse_workload_spec("zipf:").has_value());     // trailing ':'
+  EXPECT_FALSE(parse_workload_spec("zipf:=5").has_value());   // empty key
+  EXPECT_FALSE(parse_workload_spec("kind=zipf").has_value()); // '=' in kind
+}
+
+TEST(WorkloadSpecGrammar, PathValuesKeepEverythingAfterFirstEquals) {
+  const auto spec = parse_workload_spec("pcap:file=/tmp/a=b.pcap");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->get("file"), "/tmp/a=b.pcap");
+}
+
+TEST(WorkloadSpecMake, EveryAdvertisedKindInstantiates) {
+  // Small sizes: this is a does-it-dispatch test, not a stats test.
+  for (const std::string& spec :
+       {std::string("tpca:users=50:duration=5"),
+        std::string("zipf:flows=50:arrivals=2000:duration=5"),
+        std::string("trains:conns=4:len=8:duration=1"),
+        std::string("churn:users=10:duration=10:think=0.5"),
+        std::string("natpop:clients=40:nats=2:duration=5"),
+        std::string("mix:flood=10%:base=zipf:flows=50:arrivals=2000")}) {
+    const Workload w = make_workload(spec);
+    EXPECT_EQ(w.name, spec);
+    EXPECT_GT(w.trace.connections, 0u) << spec;
+    EXPECT_GE(w.keys.size(), w.trace.connections) << spec;
+    EXPECT_TRUE(w.trace.valid()) << spec;
+    EXPECT_GT(w.trace.arrivals(), 0u) << spec;
+  }
+}
+
+TEST(WorkloadSpecMake, MagnitudeSuffixesScale) {
+  const Workload w = make_workload("zipf:flows=1k:arrivals=2k:duration=5");
+  EXPECT_EQ(w.trace.connections, 1000u);
+}
+
+TEST(WorkloadSpecMake, SameSpecIsDeterministic) {
+  const Workload a = make_workload("churn:users=20:duration=20:seed=7");
+  const Workload b = make_workload("churn:users=20:duration=20:seed=7");
+  EXPECT_EQ(a.trace.connections, b.trace.connections);
+  EXPECT_EQ(a.trace.events, b.trace.events);
+  EXPECT_EQ(a.keys, b.keys);
+  const Workload c = make_workload("churn:users=20:duration=20:seed=8");
+  EXPECT_NE(a.trace.events, c.trace.events);
+}
+
+TEST(WorkloadSpecMake, UnknownKindOrTokenThrows) {
+  EXPECT_THROW((void)make_workload("warp:factor=9"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("zipf:flows"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("zipf:flows=abc"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("zipf:s=fast"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("zipf:flows=1:flows=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_workload("bad spec"), std::invalid_argument);
+}
+
+TEST(WorkloadSpecMake, ChurnFlagsAreExclusive) {
+  EXPECT_NO_THROW((void)make_workload("churn:users=5:duration=5:ephemeral"));
+  EXPECT_NO_THROW((void)make_workload("churn:users=5:duration=5:fresh"));
+  EXPECT_THROW((void)make_workload("churn:users=5:duration=5:ephemeral:fresh"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_workload("churn:users=5:ephemeral=yes"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpecMake, MixForwardsLeftoverTokensToBase) {
+  const Workload w =
+      make_workload("mix:flood=20%:base=zipf:flows=77:arrivals=5000");
+  // Base tokens reached the zipf generator: exactly 77 benign connections
+  // plus some flood connections on top.
+  EXPECT_GT(w.trace.connections, 77u);
+  std::unordered_set<net::FlowKey> keys(w.keys.begin(), w.keys.end());
+  EXPECT_EQ(keys.size(), w.keys.size()) << "flood keys must not collide";
+}
+
+TEST(WorkloadSpecMake, MixRejectsRecursionAndBadBaseTokens) {
+  EXPECT_THROW((void)make_workload("mix:flood=5%:base=mix"),
+               std::invalid_argument);
+  // An unknown token is rejected by the *base*, not silently eaten by mix.
+  EXPECT_THROW((void)make_workload("mix:flood=5%:base=zipf:bogus=1"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpecMake, PcapKindRequiresFile) {
+  EXPECT_THROW((void)make_workload("pcap"), std::invalid_argument);
+  EXPECT_THROW((void)make_workload("pcap:file=/nonexistent/x.pcap"),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpecMake, KindListCoversDispatcher) {
+  const auto kinds = workload_kinds();
+  EXPECT_EQ(kinds.size(), 7u);
+  for (const auto kind : kinds) {
+    if (kind == "pcap") continue;  // needs a file; covered above
+    // Defaults must instantiate — a kind you cannot call by bare name
+    // would be useless in the matrix. Keep sizes default; this is slow-ish
+    // for tpca but still well under a second.
+    if (kind == "tpca" || kind == "mix") continue;  // long default duration
+    EXPECT_NO_THROW((void)make_workload(std::string(kind) + ":duration=2"))
+        << kind;
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim::workloads

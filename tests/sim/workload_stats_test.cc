@@ -1,0 +1,248 @@
+// Distributional property tests for the scenario generators: fixed seeds,
+// real statistics. Each generator advertises a distribution (Zipf tail,
+// train geometry, port-reuse rates, NAT fan-in); these tests measure the
+// generated traces and fail if the advertised shape is not actually there.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/demux_registry.h"
+#include "sim/replay.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+#include "sim/workloads/churn_workload.h"
+#include "sim/workloads/mix_workload.h"
+#include "sim/workloads/natpop_workload.h"
+#include "sim/workloads/workload_spec.h"
+#include "sim/workloads/zipf_workload.h"
+
+namespace tcpdemux::sim::workloads {
+namespace {
+
+sim::ReplayResult replay_through(const Workload& w, const char* spec) {
+  const auto demuxer = core::make_demuxer(*core::parse_demux_spec(spec));
+  return sim::replay_trace(w, *demuxer);
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+
+TEST(ZipfSampler, MatchesItsOwnPmf) {
+  const std::uint32_t n = 50;
+  ZipfSampler zipf(n, 1.0);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    total += zipf.pmf(r);
+    if (r > 0) {
+      EXPECT_LT(zipf.pmf(r), zipf.pmf(r - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  Rng rng(1234);
+  constexpr std::uint64_t kSamples = 200000;
+  std::vector<std::uint64_t> counts(n, 0);
+  for (std::uint64_t i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  // Every rank whose expectation is large enough for tight concentration
+  // must land within 10% of it.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const double expected = zipf.pmf(r) * static_cast<double>(kSamples);
+    if (expected < 1000.0) continue;
+    EXPECT_NEAR(static_cast<double>(counts[r]), expected, 0.10 * expected)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfWorkload, RankFrequencySlopeMatchesExponent) {
+  ZipfWorkloadParams p;
+  p.flows = 2000;
+  p.s = 1.2;
+  p.arrivals = 300000;
+  p.duration = 30.0;
+  p.ack_every = 0x7fffffff;  // data only: keep the count per flow clean
+  const Workload w = generate_zipf_workload(p);
+
+  std::vector<std::uint64_t> per_flow(p.flows, 0);
+  for (const TraceEvent& e : w.trace.events) {
+    if (e.kind == TraceEventKind::kArrivalData) ++per_flow[e.conn];
+  }
+  // Conn index == popularity rank by construction. Least-squares slope of
+  // log(count) vs log(rank+1) over well-populated ranks ~ -s.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int points = 0;
+  for (std::uint32_t r = 0; r < p.flows; ++r) {
+    if (per_flow[r] < 30) break;  // tail too noisy for a log fit
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(per_flow[r]));
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+    ++points;
+  }
+  ASSERT_GT(points, 50);
+  const double n = static_cast<double>(points);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -p.s, 0.1);
+}
+
+TEST(ZipfWorkload, ArrivalsSpanDurationAndReplayClean) {
+  const Workload w = make_workload("zipf:flows=300:arrivals=20k:duration=10");
+  ASSERT_FALSE(w.trace.events.empty());
+  EXPECT_LT(w.trace.events.back().time, 10.0 * 1.5);
+  const auto result = replay_through(w, "sequent:251:crc32");
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_GT(result.lookups, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trains
+
+TEST(TrainsWorkload, TrainLengthAndGapStatistics) {
+  const double spacing = 2e-5;
+  const double gap_mean = 0.01;
+  const Workload w = make_workload(
+      "trains:conns=2:len=16:spacing=2e-5:gap=0.01:duration=20:ack_every=1000");
+  // Split each connection's data arrivals into trains wherever the gap
+  // exceeds the intra-train spacing. Exponential inter-train gaps can
+  // occasionally draw below any threshold (P ~ threshold/mean), which
+  // merges two trains — so the shape assertions are on the overwhelming
+  // majority, not on every sample.
+  std::vector<std::vector<double>> times(2);
+  for (const TraceEvent& e : w.trace.events) {
+    if (e.kind == TraceEventKind::kArrivalData) times[e.conn].push_back(e.time);
+  }
+  std::vector<std::size_t> lengths;
+  std::vector<double> gaps;
+  for (const auto& t : times) {
+    ASSERT_FALSE(t.empty());
+    std::size_t len = 1;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      const double dt = t[i] - t[i - 1];
+      if (dt > 2 * spacing) {
+        lengths.push_back(len);
+        len = 1;
+        gaps.push_back(dt);
+      } else {
+        ++len;
+      }
+    }
+  }
+  ASSERT_GT(lengths.size(), 100u);
+  std::size_t exact = 0;
+  for (const std::size_t len : lengths) exact += (len == 16u) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(exact), 0.95 * static_cast<double>(lengths.size()))
+      << "nearly every completed train must have the configured length";
+  double mean_gap = 0.0;
+  for (const double g : gaps) mean_gap += g;
+  mean_gap /= static_cast<double>(gaps.size());
+  // Thresholding an exponential shifts its mean up by ~the threshold
+  // (memorylessness); 25% tolerance absorbs that plus sampling noise.
+  EXPECT_NEAR(mean_gap, gap_mean, gap_mean * 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+
+TEST(ChurnWorkload, NarrowRangeActuallyReusesPortsAndKeys) {
+  ChurnWorkloadParams p;
+  p.users = 50;
+  p.duration = 120.0;
+  p.think_mean = 0.5;
+  p.session_txns_mean = 4.0;
+  p.port_range = 8;
+  const ChurnWorkload churn = generate_churn_workload(p);
+  EXPECT_GT(churn.sessions, 50u * 10u);
+  EXPECT_GT(churn.port_reuses, 0u);
+  EXPECT_GT(churn.key_reuses, churn.sessions / 2)
+      << "with an 8-port range most reconnects must reuse a 4-tuple";
+  // The reused tuples replay cleanly: every close lands before the reuse.
+  const auto result = replay_through(churn.workload, "sequent:251:crc32");
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_GT(result.opens, 0u);
+  EXPECT_GT(result.closes, 0u);
+}
+
+TEST(ChurnWorkload, FreshModeNeverReuses) {
+  ChurnWorkloadParams p;
+  p.users = 30;
+  p.duration = 60.0;
+  p.think_mean = 0.5;
+  p.ephemeral_reuse = false;
+  const ChurnWorkload churn = generate_churn_workload(p);
+  EXPECT_GT(churn.sessions, 30u);
+  EXPECT_EQ(churn.port_reuses, 0u);
+  EXPECT_EQ(churn.key_reuses, 0u);
+  std::unordered_set<net::FlowKey> keys(churn.workload.keys.begin(),
+                                        churn.workload.keys.end());
+  EXPECT_EQ(keys.size(), churn.workload.keys.size());
+}
+
+// ---------------------------------------------------------------------------
+// NAT population
+
+TEST(NatPopWorkload, FansInToGatewayAddressesAndRebinds) {
+  NatPopParams p;
+  p.clients = 400;
+  p.gateways = 4;
+  p.duration = 60.0;
+  p.think_mean = 0.5;
+  const NatPopWorkload nat = generate_natpop_workload(p);
+  std::unordered_set<std::uint32_t> addrs;
+  for (const auto& k : nat.workload.keys) addrs.insert(k.foreign_addr.value());
+  EXPECT_EQ(addrs.size(), 4u) << "server must see exactly the gateway IPs";
+  EXPECT_GT(nat.sessions, 400u);
+  EXPECT_GT(nat.binding_reuses, 0u)
+      << "400 users churning through 4x512 bindings must recycle";
+  const auto result = replay_through(nat.workload, "sequent:251:crc32");
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_GT(result.closes, 0u);
+}
+
+TEST(NatPopWorkload, RejectsOverCommittedGateways) {
+  NatPopParams p;
+  p.clients = 50000;
+  p.gateways = 2;  // 25000 users per 512-port gateway cannot fit
+  EXPECT_THROW((void)generate_natpop_workload(p), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Mix
+
+TEST(MixWorkload, FloodFractionIsHonoured) {
+  const Workload base = make_workload("zipf:flows=500:arrivals=40k:duration=10");
+  MixWorkloadParams p;
+  p.flood_fraction = 0.10;
+  const MixWorkload mixed = mix_flood_over(base, p);
+  const double total = static_cast<double>(mixed.workload.trace.arrivals());
+  const double flood = static_cast<double>(mixed.flood_arrivals);
+  EXPECT_NEAR(flood / total, 0.10, 0.02);
+  EXPECT_EQ(mixed.benign_conns, 500u);
+  EXPECT_GT(mixed.flood_conns, 0u);
+  // Benign keys survive verbatim in front of the flood keys.
+  for (std::uint32_t c = 0; c < mixed.benign_conns; ++c) {
+    EXPECT_EQ(mixed.workload.keys[c], base.keys[c]);
+  }
+  const auto result = replay_through(mixed.workload, "sequent:251:crc32");
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_GT(result.opens, 0u);  // flood conns open mid-trace
+}
+
+TEST(MixWorkload, RejectsEmptyBaseAndBadFraction) {
+  const Workload base = make_workload("zipf:flows=50:arrivals=1000");
+  MixWorkloadParams p;
+  p.flood_fraction = 1.0;
+  EXPECT_THROW((void)mix_flood_over(base, p), std::invalid_argument);
+  EXPECT_THROW((void)mix_flood_over(Workload{}, MixWorkloadParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcpdemux::sim::workloads

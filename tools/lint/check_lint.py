@@ -38,6 +38,11 @@ Enforces invariants that -Wall and clang-tidy cannot express:
                      types (DemuxStats, report::Telemetry) so counts reset
                      with the object, survive concurrent demuxers, and show
                      up in the JSON export instead of hiding in a global.
+  rng-discipline     no raw std::mt19937 engines in src/sim outside
+                     sim/rng.h: workload generators draw through sim::Rng
+                     so every trace is reproducible from one seed and the
+                     engine can be swapped in exactly one place. (Tests and
+                     benches may still use std:: engines directly.)
 
 Usage: check_lint.py [repo-root]        exit 0 = clean, 1 = violations.
 Suppress a finding with a trailing  // NOLINT(<rule>)  comment, or a
@@ -123,6 +128,15 @@ CODE_RULES = [
         "no ad-hoc mutable static counters in src/core: route "
         "instrumentation through DemuxStats / report::Telemetry so it is "
         "per-demuxer, resettable, and exported",
+    ),
+    (
+        "rng-discipline",
+        re.compile(r"\bstd::mt19937(?:_64)?\b"),
+        ("src/sim",),
+        "workload generators must draw randomness through sim::Rng "
+        "(sim/rng.h), never a raw std::mt19937: one seed, one engine, "
+        "reproducible traces",
+        ("src/sim/rng.h",),
     ),
 ]
 
