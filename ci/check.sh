@@ -11,6 +11,11 @@
 #   stage 6  robust  `-L robustness` + attack smoke     (SKIP_ROBUSTNESS=1 skips)
 #   stage 7  telem   telemetry replay smoke + schema    (SKIP_TELEMETRY=1 skips)
 #   stage 8  scenario workload x demuxer matrix smoke   (SKIP_SCENARIO=1 skips)
+#   stage 9  tsafety Clang -Wthread-safety build        (SKIP_THREAD_SAFETY=1 skips)
+#   stage 10 tidy    clang-tidy over compile_commands   (SKIP_TIDY=1 skips)
+#
+# Stages 9 and 10 need LLVM tooling (clang++ / clang-tidy) and skip with a
+# notice when it is not installed, so a GCC-only box still passes the gate.
 #
 # All builds use -DTCPDEMUX_WERROR=ON: a new warning fails the gate.
 #
@@ -57,11 +62,17 @@ else
 fi
 
 if [[ "${SKIP_LINT:-0}" != "1" ]]; then
-  stage lint "repo-specific lint (ctest -L lint)"
+  stage lint "repo-specific lint (ctest -L lint) + findings export"
   if [[ ! -d "$ROOT/build" ]]; then
     cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
   fi
   ctest --test-dir "$ROOT/build" -L lint --output-on-failure
+  # Machine-readable export of the run that just gated (tcpdemux.lint.v1),
+  # then validate the export itself so the schema stays a tested contract.
+  python3 "$ROOT/tools/lint/check_lint.py" "$ROOT" \
+      --json "$ROOT/build/lint_findings.json"
+  python3 "$ROOT/tools/lint/validate_findings.py" \
+      "$ROOT/build/lint_findings.json"
 else
   skipped lint SKIP_LINT
 fi
@@ -123,6 +134,38 @@ if [[ "${SKIP_SCENARIO:-0}" != "1" ]]; then
       "$ROOT/build/scenario_matrix.smoke.json"
 else
   skipped scenario SKIP_SCENARIO
+fi
+
+if [[ "${SKIP_THREAD_SAFETY:-0}" != "1" ]]; then
+  stage tsafety "Clang -Wthread-safety analysis + negative-compile harness"
+  if command -v clang++ > /dev/null 2>&1; then
+    # -Werror=thread-safety build of the whole tree, plus the configure-time
+    # tests/static try_compile harness proving the annotations catch the
+    # planted violations (and that the positive control stays clean).
+    cmake -B "$ROOT/build-tsafety" -S "$ROOT" -DTCPDEMUX_WERROR=ON \
+          -DCMAKE_CXX_COMPILER=clang++ -DTCPDEMUX_THREAD_SAFETY=ON
+    cmake --build "$ROOT/build-tsafety" -j "$JOBS"
+  else
+    echo "clang++ not installed: thread-safety analysis needs Clang; skipping"
+  fi
+else
+  skipped tsafety SKIP_THREAD_SAFETY
+fi
+
+if [[ "${SKIP_TIDY:-0}" != "1" ]]; then
+  stage tidy "clang-tidy (checks from .clang-tidy) over src/"
+  if command -v clang-tidy > /dev/null 2>&1; then
+    cmake -B "$ROOT/build-tidy" -S "$ROOT" \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # Sources only: headers are covered through their includers via
+    # HeaderFilterRegex in .clang-tidy.
+    find "$ROOT/src" -name '*.cc' -print0 \
+      | xargs -0 clang-tidy -p "$ROOT/build-tidy" --quiet --warnings-as-errors='*'
+  else
+    echo "clang-tidy not installed: skipping"
+  fi
+else
+  skipped tidy SKIP_TIDY
 fi
 
 echo

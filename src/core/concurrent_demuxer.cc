@@ -18,7 +18,7 @@ ConcurrentSequentDemuxer::ConcurrentSequentDemuxer(Options options)
 
 Pcb* ConcurrentSequentDemuxer::insert(const net::FlowKey& key) {
   Bucket& b = *buckets_[chain_of(key)];
-  const std::scoped_lock lock(b.mutex);
+  const MutexLock lock(b.mutex);
   if (b.list.find_scan(key).pcb != nullptr) return nullptr;
   Pcb* pcb = b.list.emplace_front(
       key, conn_seq_.fetch_add(1, std::memory_order_relaxed));
@@ -28,7 +28,7 @@ Pcb* ConcurrentSequentDemuxer::insert(const net::FlowKey& key) {
 
 bool ConcurrentSequentDemuxer::erase(const net::FlowKey& key) {
   Bucket& b = *buckets_[chain_of(key)];
-  const std::scoped_lock lock(b.mutex);
+  const MutexLock lock(b.mutex);
   const auto scan = b.list.find_scan(key);
   if (scan.pcb == nullptr) return false;
   if (b.cache == scan.pcb) b.cache = nullptr;
@@ -42,7 +42,7 @@ LookupResult ConcurrentSequentDemuxer::lookup(const net::FlowKey& key,
   Bucket& b = *buckets_[chain_of(key)];
   LookupResult r;
   {
-    const std::scoped_lock lock(b.mutex);
+    const MutexLock lock(b.mutex);
     if (options_.per_chain_cache && b.cache != nullptr) {
       ++r.examined;
       if (b.cache->key == key) {

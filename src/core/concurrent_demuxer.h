@@ -19,12 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/demuxer.h"
 #include "core/pcb_list.h"
+#include "core/thread_annotations.h"
 #include "net/hashers.h"
 
 namespace tcpdemux::core {
@@ -62,9 +62,9 @@ class ConcurrentSequentDemuxer {
 
  private:
   struct alignas(64) Bucket {  // avoid false sharing between chains
-    std::mutex mutex;
-    PcbList list;
-    Pcb* cache = nullptr;
+    Mutex mutex;
+    PcbList list GUARDED_BY(mutex);
+    Pcb* cache GUARDED_BY(mutex) = nullptr;
   };
 
   [[nodiscard]] std::uint32_t chain_of(const net::FlowKey& key) const noexcept {
@@ -87,30 +87,30 @@ class GloballyLockedDemuxer {
       : inner_(std::move(inner)) {}
 
   Pcb* insert(const net::FlowKey& key) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return inner_->insert(key);
   }
   bool erase(const net::FlowKey& key) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return inner_->erase(key);
   }
   LookupResult lookup(const net::FlowKey& key,
                       SegmentKind kind = SegmentKind::kData) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return inner_->lookup(key, kind);
   }
   [[nodiscard]] std::size_t size() const {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return inner_->size();
   }
   [[nodiscard]] std::string name() const {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return "locked(" + inner_->name() + ")";
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unique_ptr<Demuxer> inner_;
+  mutable Mutex mutex_;
+  std::unique_ptr<Demuxer> inner_ GUARDED_BY(mutex_);
 };
 
 }  // namespace tcpdemux::core

@@ -24,7 +24,7 @@ EpochManager::EpochManager()
     : id_(next_manager_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 EpochManager::~EpochManager() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& bucket : limbo_) free_bucket(bucket);
 }
 
@@ -35,7 +35,7 @@ EpochManager::Slot* EpochManager::slot_for_this_thread() {
   for (auto it = tls_slot_cache.rbegin(); it != tls_slot_cache.rend(); ++it) {
     if (it->manager_id == id_) return static_cast<Slot*>(it->slot);
   }
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   slots_.push_back(std::make_unique<Slot>());
   Slot* slot = slots_.back().get();
   tls_slot_cache.push_back(SlotCacheEntry{id_, slot});
@@ -77,7 +77,7 @@ EpochManager::Guard::~Guard() {
 
 void EpochManager::retire(void* ptr, void (*deleter)(void*)) {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     limbo_[e % 3].push_back(Retired{ptr, deleter});
   }
@@ -86,7 +86,7 @@ void EpochManager::retire(void* ptr, void (*deleter)(void*)) {
 }
 
 bool EpochManager::try_advance() {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   for (const auto& slot : slots_) {
     const std::uint64_t s = slot->state.load(std::memory_order_seq_cst);
@@ -115,12 +115,12 @@ void EpochManager::free_bucket(std::vector<Retired>& bucket) {
 }
 
 std::size_t EpochManager::registered_threads() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return slots_.size();
 }
 
 std::size_t EpochManager::memory_bytes() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t bytes = sizeof(*this) + slots_.capacity() * sizeof(Slot);
   for (const auto& bucket : limbo_) {
     bytes += bucket.capacity() * sizeof(Retired);

@@ -33,8 +33,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace tcpdemux::core {
 
@@ -119,14 +120,14 @@ class EpochManager {
   Slot* slot_for_this_thread();
   void pin(Slot& slot) noexcept;
   void unpin(Slot& slot) noexcept;
-  // Frees one limbo bucket. Caller holds mutex_.
-  void free_bucket(std::vector<Retired>& bucket);
+  // Frees one limbo bucket.
+  void free_bucket(std::vector<Retired>& bucket) REQUIRES(mutex_);
 
   const std::uint64_t id_;  // process-unique, for the thread-local cache
   std::atomic<std::uint64_t> global_epoch_{1};
-  mutable std::mutex mutex_;  // guards slots_ registration + limbo_
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::array<std::vector<Retired>, 3> limbo_;
+  mutable Mutex mutex_;  // guards slots_ registration + limbo_
+  std::vector<std::unique_ptr<Slot>> slots_ GUARDED_BY(mutex_);
+  std::array<std::vector<Retired>, 3> limbo_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> retired_{0};
   std::atomic<std::uint64_t> freed_{0};
 };

@@ -35,7 +35,7 @@ RcuSequentDemuxer::~RcuSequentDemuxer() {
 
 Pcb* RcuSequentDemuxer::insert(const net::FlowKey& key) {
   Bucket& b = *buckets_[chain_of(key)];
-  const std::scoped_lock lock(b.mutex);
+  const MutexLock lock(b.mutex);
   for (Node* n = b.head.load(std::memory_order_relaxed); n != nullptr;
        n = n->next.load(std::memory_order_relaxed)) {
     if (n->pcb.key == key) return nullptr;
@@ -56,7 +56,7 @@ bool RcuSequentDemuxer::erase(const net::FlowKey& key) {
   Bucket& b = *buckets_[chain_of(key)];
   Node* victim = nullptr;
   {
-    const std::scoped_lock lock(b.mutex);
+    const MutexLock lock(b.mutex);
     Node* prev = nullptr;
     Node* cur = b.head.load(std::memory_order_relaxed);
     while (cur != nullptr && !(cur->pcb.key == key)) {

@@ -49,13 +49,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/demuxer.h"
 #include "core/epoch.h"
+#include "core/thread_annotations.h"
 #include "net/hashers.h"
 
 namespace tcpdemux::core {
@@ -133,11 +133,18 @@ class RcuSequentDemuxer {
     Node(const net::FlowKey& k, std::uint64_t id) noexcept : pcb(k, id) {}
     Pcb pcb;
     std::atomic<Node*> next{nullptr};
-    bool retired = false;  // guarded by the owning bucket's mutex
+    // Guarded by the owning Bucket's mutex — a cross-object protocol
+    // GUARDED_BY cannot name (the capability lives in another struct), so
+    // it stays a comment + TSan territory. Readers never touch it; the
+    // cache-install path checks it only inside try_lock.
+    bool retired = false;
   };
 
   struct alignas(64) Bucket {
-    std::mutex mutex;            // writers + cache installs only
+    Mutex mutex;  // writers + cache installs only; reads are lock-free
+    // head/cache stay lock-free-readable atomics, not GUARDED_BY: the
+    // whole point of this structure is that the read path loads them
+    // without the capability. The mutex serializes *writers* only.
     std::atomic<Node*> head{nullptr};
     std::atomic<Node*> cache{nullptr};
   };

@@ -98,6 +98,16 @@ struct TelemetryCounters {
 /// All telemetry-bearing counters in src/core route through this type
 /// (lint rule `telemetry-registry` bans ad-hoc mutable file-scope
 /// counters), so every algorithm exports the same schema.
+///
+/// Threading: deliberately lock-free by *ownership*, not by mutex — the
+/// registry is plain data mutated only by its owning demuxer under that
+/// demuxer's own synchronization contract (single-threaded for registry
+/// algorithms, caller-coordinated for the concurrent ones), exactly so
+/// the hot path stays at pre-telemetry cost. There is therefore no
+/// capability to annotate; the compile-time discipline that covers this
+/// type is the `lock-discipline` lint pass, which guarantees any mutex a
+/// future revision adds here must be the annotated core::Mutex (see
+/// core/thread_annotations.h and DESIGN.md "Static analysis").
 class Telemetry {
  public:
   /// Records one completed lookup. Counters always; histograms only when

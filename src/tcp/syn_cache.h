@@ -9,6 +9,14 @@
 //
 // This implementation follows the classic BSD syncache shape: H buckets,
 // per-bucket entry limit with oldest-entry eviction, global timeout.
+//
+// Threading: single-owner by design — one SynCache belongs to one tcp
+// machine (and, in the sharded receive path, one shard), so it carries no
+// lock and no capability annotations; concurrent use requires external
+// synchronization. The `lock-discipline` lint pass keeps this honest at
+// compile time: any mutex added to src/tcp must be the annotated
+// core::Mutex from core/thread_annotations.h, so the moment this type
+// grows a lock it becomes -Wthread-safety-checkable by construction.
 #ifndef TCPDEMUX_TCP_SYN_CACHE_H_
 #define TCPDEMUX_TCP_SYN_CACHE_H_
 

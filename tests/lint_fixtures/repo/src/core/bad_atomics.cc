@@ -1,0 +1,39 @@
+// Fixture: atomics-discipline — positives for default-order load and
+// store, a suppressed case, and two compliant calls (one spanning lines,
+// exercising the multi-line argument scanner) that must NOT count.
+// std::exchange (the utility, not the atomic member) must NOT count.
+#include <atomic>
+#include <utility>
+
+namespace tcpdemux::core {
+
+std::atomic<int> gauge{0};
+
+int load_default_order() {
+  return gauge.load();  // positive: seq_cst by default
+}
+
+void store_default_order(int value) {
+  gauge.store(value);  // positive: seq_cst by default
+}
+
+int load_suppressed() {
+  return gauge.load();  // NOLINT(atomics-discipline)
+}
+
+int load_explicit() {
+  return gauge.load(std::memory_order_acquire);  // compliant
+}
+
+bool cas_multiline(int expected) {
+  return gauge.compare_exchange_strong(  // compliant, args span lines
+      expected, expected + 1,
+      std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+int not_an_atomic(int& slot) {
+  return std::exchange(slot, 0);  // compliant: std::exchange, no member call
+}
+
+}  // namespace tcpdemux::core

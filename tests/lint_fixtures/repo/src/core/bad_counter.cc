@@ -1,0 +1,20 @@
+// Fixture: telemetry-registry — one positive, one suppressed; a
+// static constexpr must NOT count (immutable, not a counter).
+#include <atomic>
+#include <cstdint>
+
+namespace tcpdemux::core {
+
+static constexpr int kChains = 19;  // not a finding: immutable
+
+std::uint64_t count_lookup() {
+  static std::uint64_t hits = 0;  // positive: ad-hoc mutable static counter
+  return ++hits;
+}
+
+std::uint64_t count_suppressed() {
+  static std::atomic<std::uint64_t> hits{0};  // NOLINT(telemetry-registry)
+  return ++hits;
+}
+
+}  // namespace tcpdemux::core

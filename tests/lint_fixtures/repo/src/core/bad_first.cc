@@ -1,0 +1,7 @@
+// Fixture: include-first — the .cc's first include is not its own header,
+// so the header is never proven self-contained.
+#include <vector>
+
+#include "core/bad_first.h"
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core

@@ -1,0 +1,6 @@
+// Fixture: include-first violation suppressed on the offending line.
+#include <vector>  // NOLINT(include-first)
+
+#include "core/bad_first_suppressed.h"
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core

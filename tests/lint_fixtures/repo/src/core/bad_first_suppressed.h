@@ -1,0 +1,7 @@
+// Fixture support header for the suppressed include-first case.
+#ifndef TCPDEMUX_CORE_BAD_FIRST_SUPPRESSED_H_
+#define TCPDEMUX_CORE_BAD_FIRST_SUPPRESSED_H_
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_BAD_FIRST_SUPPRESSED_H_

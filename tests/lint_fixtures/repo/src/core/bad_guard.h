@@ -1,0 +1,8 @@
+// Fixture: include-guard — the guard does not follow the canonical
+// TCPDEMUX_<PATH>_H_ form (expected TCPDEMUX_CORE_BAD_GUARD_H_).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,7 @@
+// NOLINT(include-guard) — fixture: same wrong guard, suppressed on line 1.
+#ifndef LEGACY_GUARD_H
+#define LEGACY_GUARD_H
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core
+
+#endif  // LEGACY_GUARD_H

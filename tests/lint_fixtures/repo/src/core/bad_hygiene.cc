@@ -1,0 +1,11 @@
+// Fixture: include-hygiene — both patterns positive once, each
+// suppressed once. The "../" case runs on RAW lines (the path is a string
+// literal, blanked by the comment/string stripper — a hole the fixture
+// suite exists to catch).
+#include <bits/stl_algo.h>
+#include <bits/stl_tree.h>  // NOLINT(include-hygiene)
+#include "../net/byte_order.h"
+// NOLINTNEXTLINE(include-hygiene)
+#include "../net/checksum.h"
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core

@@ -1,0 +1,19 @@
+// Fixture: lock-discipline — a bare std::mutex member (positive) and a
+// suppressed std::shared_mutex.
+#ifndef TCPDEMUX_CORE_BAD_LOCK_H_
+#define TCPDEMUX_CORE_BAD_LOCK_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace tcpdemux::core {
+
+class ShardDirectory {
+ private:
+  std::mutex mutex_;  // positive: invisible to -Wthread-safety
+  std::shared_mutex directory_mutex_;  // NOLINT(lock-discipline)
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_BAD_LOCK_H_

@@ -1,0 +1,18 @@
+// Fixture: raw-owning-memory — one positive, one suppressed; a deleted
+// special member must NOT count (declaration, not owning delete).
+namespace tcpdemux::core {
+
+struct Widget {
+  Widget(const Widget&) = delete;  // not a finding: deleted member
+  int value = 0;
+};
+
+int* allocate_raw() {
+  return new int(7);  // positive: raw owning new in src/core
+}
+
+void free_sanctioned(int* p) {
+  delete p;  // NOLINT(raw-owning-memory)
+}
+
+}  // namespace tcpdemux::core

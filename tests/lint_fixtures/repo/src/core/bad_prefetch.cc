@@ -1,0 +1,12 @@
+// Fixture: prefetch-discipline — one positive, one suppressed.
+namespace tcpdemux::core {
+
+void warm(const void* address) {
+  __builtin_prefetch(address);  // positive: raw intrinsic outside the shim
+}
+
+void warm_suppressed(const void* address) {
+  __builtin_prefetch(address);  // NOLINT(prefetch-discipline)
+}
+
+}  // namespace tcpdemux::core

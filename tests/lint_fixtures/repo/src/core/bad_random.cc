@@ -1,0 +1,14 @@
+// Fixture: no-random — one positive, one suppressed.
+#include <cstdlib>
+
+namespace tcpdemux::core {
+
+int roll_unseeded() {
+  return rand() % 6;  // positive: C rand() is banned
+}
+
+int roll_suppressed() {
+  return rand() % 6;  // NOLINT(no-random)
+}
+
+}  // namespace tcpdemux::core

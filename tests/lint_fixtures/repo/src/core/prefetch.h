@@ -1,0 +1,18 @@
+// Fixture copy of the prefetch-discipline exempt file: the audited shim
+// over the raw intrinsic.
+#ifndef TCPDEMUX_CORE_PREFETCH_H_
+#define TCPDEMUX_CORE_PREFETCH_H_
+
+namespace tcpdemux::core {
+
+inline void prefetch_read(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, 0, 3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_PREFETCH_H_

@@ -1,0 +1,23 @@
+// Fixture copy of the lock-discipline exempt file: the one sanctioned
+// place bare std types appear, inside the annotated wrappers.
+#ifndef TCPDEMUX_CORE_THREAD_ANNOTATIONS_H_
+#define TCPDEMUX_CORE_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace tcpdemux::core {
+
+class Mutex {
+ private:
+  std::mutex mutex_;
+};
+
+class SharedMutex {
+ private:
+  std::shared_mutex mutex_;
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,24 @@
+// Fixture: byte-order — both patterns positive once, each suppressed once.
+#include <cstdint>
+
+namespace tcpdemux::net {
+
+std::uint16_t swap_with_intrinsic(std::uint16_t v) {
+  return htons(v);  // positive: htons family banned in src/
+}
+
+std::uint16_t swap_suppressed(std::uint16_t v) {
+  return htons(v);  // NOLINT(byte-order)
+}
+
+std::uint32_t pointer_cast_load(const std::uint8_t* buffer) {
+  // positive: pointer-cast load of wire data (misaligned access is UB)
+  return *reinterpret_cast<const std::uint32_t*>(buffer);
+}
+
+std::uint32_t pointer_cast_suppressed(const std::uint8_t* buffer) {
+  // NOLINTNEXTLINE(byte-order)
+  return *reinterpret_cast<const std::uint32_t*>(buffer);
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,8 @@
+// Fixture: include-layering — src/net sits at the bottom of the module
+// DAG and may only include src/net; reaching up into src/core (or any
+// higher layer) inverts the architecture.
+#include "core/pcb.h"
+
+#include "sim/rng.h"  // NOLINT(include-layering)
+
+namespace tcpdemux::net {}  // namespace tcpdemux::net

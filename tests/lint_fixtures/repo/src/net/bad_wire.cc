@@ -1,0 +1,16 @@
+// Fixture: wire-parse — one positive, one suppressed.
+#include <cstdint>
+
+namespace tcpdemux::net {
+
+std::uint16_t hand_rolled(const std::uint8_t* buffer) {
+  // positive: shifting indexed bytes together outside byte_order.h
+  return static_cast<std::uint16_t>((buffer[0] << 8) | buffer[1]);
+}
+
+std::uint16_t hand_rolled_suppressed(const std::uint8_t* buffer) {
+  // NOLINTNEXTLINE(wire-parse)
+  return static_cast<std::uint16_t>((buffer[0] << 8) | buffer[1]);
+}
+
+}  // namespace tcpdemux::net

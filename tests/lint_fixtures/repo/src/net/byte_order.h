@@ -1,0 +1,16 @@
+// Fixture copy of the wire-parse exempt file: the shift-assembly pattern
+// below is the rule's *implementation* and must not be flagged here.
+#ifndef TCPDEMUX_NET_BYTE_ORDER_H_
+#define TCPDEMUX_NET_BYTE_ORDER_H_
+
+#include <cstdint>
+
+namespace tcpdemux::net {
+
+inline std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_BYTE_ORDER_H_

@@ -1,0 +1,11 @@
+// Fixture copy of the wire-parse exempt file: the checksum accumulator
+// folds bytes with shifts and must not be flagged here.
+#include <cstdint>
+
+namespace tcpdemux::net {
+
+std::uint32_t accumulate(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0] << 8) | p[1];
+}
+
+}  // namespace tcpdemux::net

@@ -1,0 +1,19 @@
+// Fixture: lock-discipline in src/report scope — a bare std lock RAII
+// type (positive; locks taken through it are invisible to the analysis)
+// and a suppressed one. The lockable is a template parameter so only the
+// RAII lines themselves carry banned tokens.
+#include <mutex>
+
+namespace tcpdemux::report {
+
+template <typename M>
+void with_raii(M& mutex) {
+  const std::lock_guard<M> lock(mutex);  // positive
+}
+
+template <typename M>
+void with_raii_suppressed(M& mutex) {
+  const std::scoped_lock lock(mutex);  // NOLINT(lock-discipline)
+}
+
+}  // namespace tcpdemux::report

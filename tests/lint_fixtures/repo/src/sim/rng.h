@@ -1,0 +1,17 @@
+// Fixture copy of the rng-discipline exempt file: the one sanctioned
+// std::mt19937 owner.
+#ifndef TCPDEMUX_SIM_RNG_H_
+#define TCPDEMUX_SIM_RNG_H_
+
+#include <random>
+
+namespace tcpdemux::sim {
+
+class Rng {
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_RNG_H_

@@ -1,0 +1,17 @@
+// Fixture: rng-discipline in its extended scope (src/tcp) — one
+// positive, one suppressed.
+#include <random>
+
+namespace tcpdemux::tcp {
+
+std::uint32_t pick_port_raw(std::uint64_t seed) {
+  std::mt19937 engine(static_cast<std::uint32_t>(seed));  // positive
+  return engine() % 65535;
+}
+
+std::uint32_t pick_port_suppressed(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);  // NOLINT(rng-discipline)
+  return engine() % 65535;
+}
+
+}  // namespace tcpdemux::tcp

@@ -1,0 +1,8 @@
+// Fixture: a minimal, fully clean tree. What matters is what is ABSENT:
+// none of the rule exempt files (net/byte_order.h, sim/rng.h,
+// core/thread_annotations.h, ...) exist here, so every exempt entry is
+// stale and check_lint must refuse to run (exit 2) rather than silently
+// carry dead exemptions.
+#include "core/empty.h"
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core

@@ -1,0 +1,7 @@
+// Fixture support header; see empty.cc for what this tree tests.
+#ifndef TCPDEMUX_CORE_EMPTY_H_
+#define TCPDEMUX_CORE_EMPTY_H_
+
+namespace tcpdemux::core {}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_EMPTY_H_

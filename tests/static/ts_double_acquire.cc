@@ -1,0 +1,28 @@
+// Negative-compile case: acquiring a mutex the calling scope already
+// holds. Expected Clang diagnostic (asserted by tests/static/CMakeLists):
+//   acquiring mutex 'mutex_' that is already held
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit_twice(int amount) {
+    mutex_.lock();
+    mutex_.lock();  // planted violation: already held
+    balance_ += amount;
+    mutex_.unlock();
+    mutex_.unlock();
+  }
+
+ private:
+  tcpdemux::core::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void tcpdemux_static_double_acquire() {
+  Account account;
+  account.deposit_twice(1);
+}

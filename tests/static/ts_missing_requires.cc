@@ -1,0 +1,27 @@
+// Negative-compile case: calling a REQUIRES(mutex_) function without
+// holding the mutex. Expected Clang diagnostic (asserted by
+// tests/static/CMakeLists):
+//   calling function 'balance_locked' requires holding mutex 'mutex_'
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  int balance_locked() const REQUIRES(mutex_) { return balance_; }
+
+  int balance_unlocked() const {
+    return balance_locked();  // planted violation: caller holds nothing
+  }
+
+ private:
+  mutable tcpdemux::core::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int tcpdemux_static_missing_requires() {
+  const Account account;
+  return account.balance_unlocked();
+}

@@ -1,0 +1,81 @@
+// Positive control for the negative-compile harness: exercises every
+// annotation vocabulary item the repo uses — capability fields, GUARDED_BY
+// data, REQUIRES helpers, RAII scoped acquisition, try_lock with manual
+// release, and reader/writer locking — in the shapes the analysis accepts.
+// This file MUST compile cleanly under -Werror=thread-safety; if it stops
+// compiling, the harness (not the planted violations) is broken, so the
+// negative cases below prove nothing.
+#include "core/thread_annotations.h"
+
+namespace {
+
+using tcpdemux::core::Mutex;
+using tcpdemux::core::MutexLock;
+using tcpdemux::core::ReaderMutexLock;
+using tcpdemux::core::SharedMutex;
+using tcpdemux::core::WriterMutexLock;
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    const MutexLock lock(mutex_);
+    return balance_;
+  }
+
+  // REQUIRES helper: callers must hold the lock; no re-lock inside.
+  int balance_locked() const REQUIRES(mutex_) { return balance_; }
+
+  int withdraw_all() {
+    const MutexLock lock(mutex_);
+    const int taken = balance_locked();
+    balance_ = 0;
+    return taken;
+  }
+
+  // try_lock + manual unlock, the rcu_demuxer cache-install shape.
+  bool try_deposit(int amount) {
+    if (!mutex_.try_lock()) return false;
+    balance_ += amount;
+    mutex_.unlock();
+    return true;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+class Directory {
+ public:
+  void publish(int generation) {
+    const WriterMutexLock lock(mutex_);
+    generation_ = generation;
+  }
+
+  int snapshot() const {
+    const ReaderMutexLock lock(mutex_);
+    return generation_;
+  }
+
+ private:
+  mutable SharedMutex mutex_;
+  int generation_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+// The harness builds this as a static library; reference the types so the
+// translation unit is not empty and nothing is optimized out unanalyzed.
+int tcpdemux_static_positive_control() {
+  Account account;
+  account.deposit(2);
+  account.try_deposit(3);
+  Directory directory;
+  directory.publish(1);
+  return account.withdraw_all() + account.balance() + directory.snapshot();
+}

@@ -1,0 +1,24 @@
+// Negative-compile case: writing a GUARDED_BY field without holding its
+// mutex. Expected Clang diagnostic (asserted by tests/static/CMakeLists):
+//   writing variable 'balance_' requires holding mutex 'mutex_' exclusively
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit_unguarded(int amount) {
+    balance_ += amount;  // planted violation: no lock held
+  }
+
+ private:
+  tcpdemux::core::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void tcpdemux_static_unguarded_access() {
+  Account account;
+  account.deposit_unguarded(1);
+}

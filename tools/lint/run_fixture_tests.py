@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-test for the lint framework against tests/lint_fixtures/.
+
+Three assertions, run as the `lint.fixtures` ctest:
+
+1. Linting tests/lint_fixtures/repo yields EXACTLY the (file, line, rule)
+   triples in repo/expected.json — every rule's positive case fires, and
+   every NOLINT / NOLINTNEXTLINE / exempt-file case stays silent.
+2. The --json export for that run validates as tcpdemux.lint.v1
+   (via validate_findings.py) and its findings arrive stably sorted.
+3. Linting tests/lint_fixtures/repo_stale — where the exempt files do
+   not exist — exits 2 and names every stale exempt entry.
+
+Usage: run_fixture_tests.py REPO_ROOT
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import check_lint  # noqa: E402
+import validate_findings  # noqa: E402
+
+
+def fail(msg: str) -> None:
+    print(f"lint fixtures: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_lint(root: str):
+    rules = check_lint.build_rules(root)
+    config_errors = check_lint.validate_exemptions(root, rules)
+    findings, files_checked = check_lint.lint_tree(root, rules)
+    return rules, config_errors, findings, files_checked
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    fixtures = os.path.join(argv[1], "tests", "lint_fixtures")
+    good_root = os.path.join(fixtures, "repo")
+    stale_root = os.path.join(fixtures, "repo_stale")
+
+    # --- 1. the good tree: exact finding set ---------------------------
+    _, config_errors, findings, files_checked = run_lint(good_root)
+    if config_errors:
+        fail(f"repo/ must have no config errors, got: {config_errors}")
+
+    with open(os.path.join(good_root, "expected.json"),
+              encoding="utf-8") as fh:
+        expected = {(f["file"], f["line"], f["rule"])
+                    for f in json.load(fh)["findings"]}
+    actual = {(f.file, f.line, f.rule) for f in findings}
+
+    for triple in sorted(expected - actual):
+        print(f"lint fixtures: expected but not reported: {triple}",
+              file=sys.stderr)
+    for triple in sorted(actual - expected):
+        print(f"lint fixtures: reported but not expected: {triple}",
+              file=sys.stderr)
+    if expected != actual:
+        fail(f"finding set mismatch ({len(actual)} actual vs "
+             f"{len(expected)} expected)")
+    if len(findings) != len(expected):
+        fail("duplicate findings for a single (file, line, rule)")
+
+    # --- 2. stable order + valid JSON export ---------------------------
+    keys = [f.sort_key() for f in findings]
+    if keys != sorted(keys):
+        fail("findings are not stably sorted by (file, line, rule, message)")
+    doc = check_lint.to_json_doc(findings, files_checked)
+    problems = validate_findings.validate(doc)
+    if problems:
+        fail(f"--json export does not validate: {problems}")
+
+    # --- 3. the stale tree: loud exit 2, every entry named -------------
+    rules, stale_errors, _, _ = run_lint(stale_root)
+    if not stale_errors:
+        fail("repo_stale/ must produce stale-exempt config errors")
+    stale_exempts = {exempt for rule in rules for exempt in rule.exempt}
+    for exempt in sorted(stale_exempts):
+        if not any(exempt in err for err in stale_errors):
+            fail(f"stale exempt entry {exempt!r} not reported")
+    rc = check_lint.main([stale_root])
+    if rc != 2:
+        fail(f"check_lint on repo_stale/ must exit 2, got {rc}")
+
+    print(f"lint fixtures: PASS ({len(findings)} expected findings "
+          f"matched exactly; {len(stale_errors)} stale exempt entries "
+          "reported; JSON export valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

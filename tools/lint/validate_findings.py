@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate a lint findings export against the tcpdemux.lint.v1 schema.
+
+Stdlib-only, mirroring tools/telemetry/validate_schema.py: CI emits
+build/lint_findings.json and pipes it through this validator so the
+export format is itself a tested contract, not a best-effort dump.
+
+Usage: validate_findings.py FINDINGS_JSON
+Exit codes: 0 valid, 1 invalid or unreadable.
+"""
+
+import json
+import sys
+
+SCHEMA = "tcpdemux.lint.v1"
+
+FINDING_FIELDS = {
+    "file": str,
+    "line": int,
+    "rule": str,
+    "message": str,
+}
+
+
+def validate(doc) -> list:
+    """Return a list of human-readable problems (empty == valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+
+    if doc.get("schema") != SCHEMA:
+        problems.append(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+
+    for key in ("files_checked", "violations"):
+        value = doc.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{key} must be a non-negative integer")
+
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        problems.append("findings must be a list")
+        return problems
+
+    for i, f in enumerate(findings):
+        where = f"findings[{i}]"
+        if not isinstance(f, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for field, typ in FINDING_FIELDS.items():
+            value = f.get(field)
+            if not isinstance(value, typ) or isinstance(value, bool):
+                problems.append(
+                    f"{where}.{field} must be {typ.__name__}")
+        if isinstance(f.get("line"), int) and f["line"] < 1:
+            problems.append(f"{where}.line must be >= 1")
+        extra = set(f) - set(FINDING_FIELDS)
+        if extra:
+            problems.append(f"{where} has unknown fields {sorted(extra)}")
+
+    keys = [
+        (f["file"], f["line"], f["rule"], f["message"])
+        for f in findings
+        if isinstance(f, dict) and all(
+            isinstance(f.get(field), typ) and
+            not isinstance(f.get(field), bool)
+            for field, typ in FINDING_FIELDS.items())
+    ]
+    if keys != sorted(keys):
+        problems.append(
+            "findings must be sorted by (file, line, rule, message)")
+
+    if isinstance(doc.get("violations"), int) and \
+            doc["violations"] != len(findings):
+        problems.append(
+            f"violations ({doc['violations']}) != len(findings) "
+            f"({len(findings)})")
+
+    by_rule = doc.get("findings_by_rule")
+    if not isinstance(by_rule, dict):
+        problems.append("findings_by_rule must be an object")
+    else:
+        counted = {}
+        for f in findings:
+            if isinstance(f, dict) and isinstance(f.get("rule"), str):
+                counted[f["rule"]] = counted.get(f["rule"], 0) + 1
+        if by_rule != counted:
+            problems.append(
+                f"findings_by_rule {by_rule} inconsistent with findings "
+                f"(recount: {counted})")
+
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1], encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"validate_findings: cannot read {argv[1]}: {err}",
+              file=sys.stderr)
+        return 1
+    problems = validate(doc)
+    for problem in problems:
+        print(f"validate_findings: {argv[1]}: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"validate_findings: {argv[1]}: valid {SCHEMA} "
+              f"({doc['violations']} finding(s), "
+              f"{doc['files_checked']} file(s) checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
