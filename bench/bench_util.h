@@ -215,8 +215,9 @@ class MissSequencer {
 //                       alongside the timings
 //   --sizes <a,b,...>   restrict a population-sweep bench to these sizes
 //                       (overhead A/B runs re-measure one size many times)
-//   --miss-rate <f>     blend f (in [0,1)) negative lookups into the key
-//                       stream (keys absent from the table, see above)
+//   --miss-rate <f>     blend f (in [0,1]) negative lookups into the key
+//                       stream (keys absent from the table, see above);
+//                       1.0 = every lookup misses, the pure negative axis
 //   --smoke             minimum-size, minimum-rep run for CI sanity checking
 // ---------------------------------------------------------------------------
 
@@ -248,8 +249,8 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       char* end = nullptr;
       opts.miss_rate = std::strtod(argv[++i], &end);
       if (end == nullptr || *end != '\0' || opts.miss_rate < 0.0 ||
-          opts.miss_rate >= 1.0) {
-        std::fprintf(stderr, "--miss-rate: need a fraction in [0, 1)\n");
+          opts.miss_rate > 1.0) {
+        std::fprintf(stderr, "--miss-rate: need a fraction in [0, 1]\n");
         std::exit(2);
       }
     } else if (arg == "--sizes" && i + 1 < argc) {

@@ -67,7 +67,9 @@ std::vector<std::string> demux_specs() {
           "sequent:251:crc32",
           "dynamic",
           "rcu:251:crc32",
-          "flat:4096:crc32"};
+          "flat:4096:crc32",
+          "flat16:4096:crc32",
+          "cuckoo:4096:crc32c"};
 }
 
 // Synthesizes a capture from a small TPC/A run and writes it where the

@@ -27,7 +27,9 @@ for b in "${BENCHES[@]}"; do
   "$ROOT/build/bench/$b" --smoke --json "$TMPDIR_JSON/$b.json"
 done
 
-# Each export is a JSON array; merge them into one array.
+# Each export is a JSON array; merge them into one array, then check the
+# backend roster: every demuxer family the registry grew must show up in
+# the merged export, or a bench spec list silently went stale.
 python3 - "$OUT" "$TMPDIR_JSON"/*.json <<'EOF'
 import json, sys
 out, *parts = sys.argv[1:]
@@ -39,4 +41,14 @@ with open(out, "w") as f:
     json.dump(records, f, indent=1)
     f.write("\n")
 print(f"merged {len(records)} records -> {out}")
+
+families = {r["name"].split(":")[0] for r in records if "name" in r}
+required = {"flat", "flat16", "cuckoo", "sequent", "connection_id"}
+missing = sorted(required - families)
+if missing:
+    sys.exit(f"bench export is missing backend families: {missing}")
+hashes = {r["name"] for r in records if r.get("bench") == "wallclock_hash"}
+if not any("crc32c" in h for h in hashes):
+    sys.exit("wallclock_hash export has no crc32c row")
+print(f"backend roster OK: {sorted(families)}")
 EOF

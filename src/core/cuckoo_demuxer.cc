@@ -1,0 +1,441 @@
+#include "core/cuckoo_demuxer.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fault_inject.h"
+#include "core/prefetch.h"
+#include "core/simd.h"
+
+namespace tcpdemux::core {
+namespace {
+
+constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CuckooDemuxer::CuckooDemuxer(Options options) : options_(options) {
+  if (options_.initial_capacity == 0) {
+    throw std::invalid_argument("CuckooDemuxer: capacity must be >= 1");
+  }
+  const std::size_t slots = round_up_pow2(
+      std::max(options_.initial_capacity, kMinBuckets * kBucketWidth));
+  const std::size_t buckets = slots / kBucketWidth;
+  bucket_mask_ = buckets - 1;
+  meta_.assign(buckets, BucketMeta{});
+  filter_counts_.assign(buckets, {});
+  hashes_.assign(slots, 0);
+  keys_.assign(slots, net::FlowKey{});
+  pcbs_.resize(slots);
+}
+
+CuckooDemuxer::Probe CuckooDemuxer::find_slot(
+    std::uint32_t h, const net::FlowKey& key) const noexcept {
+  Probe r;
+  const std::uint8_t tag = tag_of(h);
+  const std::size_t b1 = bucket_of(h);
+  std::uint32_t match = bucket_match(meta_[b1].tags.data(), tag);
+  while (match != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(match));
+    ++r.examined;
+    if (keys_[b1 * kBucketWidth + s] == key) {
+      r.slot = b1 * kBucketWidth + s;
+      return r;
+    }
+    match &= match - 1;
+  }
+  // Cuckoo++ filter: the alternate bucket can hold this key only if some
+  // resident with this fingerprint nibble overflowed out of b1 — which
+  // registered the bit. No bit, no second probe: the common negative
+  // lookup ends after one bucket's metadata.
+  if ((meta_[b1].filter & (1U << filter_index(tag))) == 0) return r;
+  r.buckets = 2;
+  const std::size_t b2 = alt_bucket(b1, tag);
+  match = bucket_match(meta_[b2].tags.data(), tag);
+  while (match != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(match));
+    ++r.examined;
+    if (keys_[b2 * kBucketWidth + s] == key) {
+      r.slot = b2 * kBucketWidth + s;
+      return r;
+    }
+    match &= match - 1;
+  }
+  return r;
+}
+
+void CuckooDemuxer::filter_add(std::size_t bucket, std::uint8_t tag) noexcept {
+  const std::uint32_t idx = filter_index(tag);
+  ++filter_counts_[bucket][idx];
+  meta_[bucket].filter |= static_cast<std::uint16_t>(1U << idx);
+}
+
+void CuckooDemuxer::filter_remove(std::size_t bucket,
+                                  std::uint8_t tag) noexcept {
+  const std::uint32_t idx = filter_index(tag);
+  if (--filter_counts_[bucket][idx] == 0) {
+    meta_[bucket].filter &= static_cast<std::uint16_t>(~(1U << idx));
+  }
+}
+
+void CuckooDemuxer::set_slot(std::size_t slot, std::uint32_t h,
+                             const net::FlowKey& key,
+                             std::unique_ptr<Pcb> pcb) noexcept {
+  meta_[slot / kBucketWidth].tags[slot % kBucketWidth] = tag_of(h);
+  hashes_[slot] = h;
+  keys_[slot] = key;
+  pcbs_[slot] = std::move(pcb);
+}
+
+void CuckooDemuxer::move_slot(std::size_t from, std::size_t to) noexcept {
+  const std::size_t from_bucket = from / kBucketWidth;
+  const std::uint8_t tag = meta_[from_bucket].tags[from % kBucketWidth];
+  const std::size_t primary = bucket_of(hashes_[from]);
+  meta_[to / kBucketWidth].tags[to % kBucketWidth] = tag;
+  meta_[from_bucket].tags[from % kBucketWidth] = 0;
+  hashes_[to] = hashes_[from];
+  keys_[to] = keys_[from];
+  pcbs_[to] = std::move(pcbs_[from]);
+  // A move is always between the entry's two candidate buckets, so it
+  // either leaves home (register in the filter) or returns home
+  // (deregister). The counted backing store keeps shared bits exact.
+  if (from_bucket == primary) {
+    filter_add(primary, tag);
+  } else {
+    filter_remove(primary, tag);
+  }
+}
+
+bool CuckooDemuxer::place_entry(std::uint32_t h, const net::FlowKey& key,
+                                std::unique_ptr<Pcb>& pcb,
+                                std::size_t* effort) {
+  const std::uint8_t tag = tag_of(h);
+  const std::size_t b1 = bucket_of(h);
+  const std::size_t b2 = alt_bucket(b1, tag);
+  *effort = 0;
+  for (std::size_t s = 0; s < kBucketWidth; ++s) {
+    if (meta_[b1].tags[s] == 0) {
+      set_slot(b1 * kBucketWidth + s, h, key, std::move(pcb));
+      return true;
+    }
+  }
+  for (std::size_t s = 0; s < kBucketWidth; ++s) {
+    if (meta_[b2].tags[s] == 0) {
+      set_slot(b2 * kBucketWidth + s, h, key, std::move(pcb));
+      filter_add(b1, tag);
+      return true;
+    }
+  }
+  // Both candidate buckets full: breadth-first search of the kick graph
+  // finds the *shortest* displacement path (random-walk cuckoo can wander
+  // arbitrarily). node.via is the slot within the parent's bucket whose
+  // resident can vacate into node.bucket; the alternate of a resident is
+  // recomputed from its current bucket and tag alone (the xor involution),
+  // never from its key.
+  struct Node {
+    std::size_t bucket;
+    std::int16_t parent;
+    std::uint8_t via;
+  };
+  std::array<Node, kMaxBfsNodes> nodes;
+  std::size_t count = 0;
+  nodes[count++] = Node{b1, -1, 0};
+  nodes[count++] = Node{b2, -1, 0};
+  for (std::size_t qi = 0; qi < count; ++qi) {
+    const std::size_t from_bucket = nodes[qi].bucket;
+    for (std::size_t s = 0; s < kBucketWidth; ++s) {
+      const std::uint8_t rtag = meta_[from_bucket].tags[s];
+      if (rtag == 0) continue;  // only full buckets are ever expanded
+      const std::size_t other =
+          (from_bucket ^ (net::mix32_avalanche(rtag) | 1U)) & bucket_mask_;
+      std::size_t empty = kNpos;
+      for (std::size_t e = 0; e < kBucketWidth; ++e) {
+        if (meta_[other].tags[e] == 0) {
+          empty = e;
+          break;
+        }
+      }
+      if (empty != kNpos) {
+        *effort = count;
+        // Unwind: vacate along the parent chain, then install the new
+        // entry in the freed root slot (root is b1 or b2 by construction).
+        move_slot(from_bucket * kBucketWidth + s,
+                  other * kBucketWidth + empty);
+        std::size_t free = from_bucket * kBucketWidth + s;
+        std::size_t cur = qi;
+        while (nodes[cur].parent >= 0) {
+          const auto p = static_cast<std::size_t>(nodes[cur].parent);
+          const std::size_t from =
+              nodes[p].bucket * kBucketWidth + nodes[cur].via;
+          move_slot(from, free);
+          free = from;
+          cur = p;
+        }
+        set_slot(free, h, key, std::move(pcb));
+        if (free / kBucketWidth != b1) filter_add(b1, tag);
+        return true;
+      }
+      if (count < kMaxBfsNodes) {
+        bool seen = false;
+        for (std::size_t n = 0; n < count && !seen; ++n) {
+          seen = nodes[n].bucket == other;
+        }
+        if (!seen) {
+          nodes[count++] = Node{other, static_cast<std::int16_t>(qi),
+                                static_cast<std::uint8_t>(s)};
+        }
+      }
+    }
+  }
+  *effort = count;
+  return false;
+}
+
+Pcb* CuckooDemuxer::insert(const net::FlowKey& key) {
+  std::uint32_t h = hash_of(key);
+  if (find_slot(h, key).slot != kNpos) return nullptr;
+  if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
+    ++inserts_shed_;
+    telemetry_->on_shed();
+    return nullptr;
+  }
+  if (FaultInjector::instance().poll_alloc()) return nullptr;
+  // Grow at 7/8 occupancy: 4-way buckets keep kick paths short below
+  // that, and the filter bits stay sparse.
+  if ((size_ + 1) * 8 > capacity() * 7) grow();
+  auto pcb = std::make_unique<Pcb>(key, next_conn_id());
+  Pcb* const raw = pcb.get();
+  std::size_t effort = 0;
+  bool placed = place_entry(h, key, pcb, &effort);
+  for (int attempt = 0; attempt < 2 && !placed; ++attempt) {
+    watermark_ = std::max<std::uint64_t>(watermark_, effort);
+    // Kick search exhausted its budget. A keyed-seed rotation scatters
+    // bucket-targeted floods; growth absorbs honest local saturation. A
+    // table that stays unplaceable while at most half full is under a
+    // crafted full-hash collision set (> 2*kBucketWidth keys sharing both
+    // buckets at any geometry), which only shedding answers.
+    if (options_.rehash_on_overload &&
+        inserts_since_rehash_ >= rehash_cooldown_) {
+      rehash_with_fresh_seed();
+      h = hash_of(key);
+      placed = place_entry(h, key, pcb, &effort);
+      if (placed) break;
+    }
+    if (size_ * 2 < capacity()) break;
+    grow();
+    placed = place_entry(h, key, pcb, &effort);
+  }
+  if (!placed) {
+    ++inserts_shed_;
+    telemetry_->on_shed();
+    return nullptr;
+  }
+  ++size_;
+  telemetry_->on_insert();
+  note_insert(effort);
+  return raw;
+}
+
+void CuckooDemuxer::note_insert(std::size_t effort) {
+  watermark_ = std::max<std::uint64_t>(watermark_, effort);
+  ++inserts_since_rehash_;
+}
+
+void CuckooDemuxer::rehash_with_fresh_seed() {
+  options_.hasher.seed = net::next_seed(options_.hasher.seed);
+  rebuild(bucket_count());
+  watermark_ = 0;  // search effort restarts under the fresh seed
+  ++overload_rehashes_;
+  telemetry_->on_rehash();
+  inserts_since_rehash_ = 0;
+  // Hysteresis: even if every key collides under every seed, at most one
+  // rehash per `limit` further inserts — bounded thrash.
+  rehash_cooldown_ = watermark_limit();
+}
+
+void CuckooDemuxer::rebuild(std::size_t buckets) {
+  struct Entry {
+    net::FlowKey key;
+    std::unique_ptr<Pcb> pcb;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(size_);
+  const std::size_t old_capacity = capacity();
+  for (std::size_t slot = 0; slot < old_capacity; ++slot) {
+    if (meta_[slot / kBucketWidth].tags[slot % kBucketWidth] != 0) {
+      entries.push_back(Entry{keys_[slot], std::move(pcbs_[slot])});
+    }
+  }
+  while (true) {
+    bucket_mask_ = buckets - 1;
+    meta_.assign(buckets, BucketMeta{});
+    filter_counts_.assign(buckets, {});
+    hashes_.assign(buckets * kBucketWidth, 0);
+    keys_.assign(buckets * kBucketWidth, net::FlowKey{});
+    pcbs_.clear();
+    pcbs_.resize(buckets * kBucketWidth);
+    bool ok = true;
+    for (auto& e : entries) {
+      std::size_t effort = 0;
+      if (!place_entry(hash_of(e.key), e.key, e.pcb, &effort)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return;
+    // Re-placement failed (possible only for near-degenerate hash sets at
+    // this geometry). Reclaim what was placed, keep what was not, and
+    // double: co-residents can share both candidate buckets at *every*
+    // capacity only by sharing their full hash, and at most 2*kBucketWidth
+    // of those ever co-reside — so doubling always separates the rest.
+    std::vector<Entry> remaining;
+    remaining.reserve(entries.size());
+    const std::size_t cap = capacity();
+    for (std::size_t slot = 0; slot < cap; ++slot) {
+      if (meta_[slot / kBucketWidth].tags[slot % kBucketWidth] != 0) {
+        remaining.push_back(Entry{keys_[slot], std::move(pcbs_[slot])});
+      }
+    }
+    for (auto& e : entries) {
+      if (e.pcb != nullptr) remaining.push_back(std::move(e));
+    }
+    entries = std::move(remaining);
+    buckets *= 2;
+  }
+}
+
+void CuckooDemuxer::grow() { rebuild(bucket_count() * 2); }
+
+bool CuckooDemuxer::erase(const net::FlowKey& key) {
+  const Probe p = find_slot(hash_of(key), key);
+  if (p.slot == kNpos) return false;
+  const std::size_t bucket = p.slot / kBucketWidth;
+  const std::uint8_t tag = meta_[bucket].tags[p.slot % kBucketWidth];
+  const std::size_t primary = bucket_of(hashes_[p.slot]);
+  if (bucket != primary) filter_remove(primary, tag);
+  meta_[bucket].tags[p.slot % kBucketWidth] = 0;
+  pcbs_[p.slot].reset();
+  --size_;
+  telemetry_->on_erase();
+  return true;
+}
+
+LookupResult CuckooDemuxer::lookup(const net::FlowKey& key,
+                                   SegmentKind /*kind*/) {
+  const Probe p = find_slot(hash_of(key), key);
+  buckets_probed_ += p.buckets;
+  LookupResult r;
+  r.examined = p.examined;
+  if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+  note_lookup(r);
+  return r;
+}
+
+void CuckooDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
+                                 std::span<LookupResult> results,
+                                 SegmentKind /*kind*/) {
+  // Same pipeline as the flat table: hash the chunk, issue prefetches for
+  // every primary bucket's metadata and key line, then probe. The
+  // alternate bucket is rarely touched (that is the filter's job), so
+  // prefetching it would waste bandwidth.
+  constexpr std::size_t kChunk = 16;
+  std::array<std::uint32_t, kChunk> h;
+  for (std::size_t base = 0; base < keys.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, keys.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      h[i] = hash_of(keys[base + i]);
+      prefetch_read(&meta_[bucket_of(h[i])]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      prefetch_read(&keys_[bucket_of(h[i]) * kBucketWidth]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Probe p = find_slot(h[i], keys[base + i]);
+      buckets_probed_ += p.buckets;
+      LookupResult r;
+      r.examined = p.examined;
+      if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+      note_lookup(r);
+      results[base + i] = r;
+    }
+  }
+}
+
+LookupResult CuckooDemuxer::lookup_wildcard(const net::FlowKey& key) {
+  // Exact probe first (cheap), then BSD best-match over every resident —
+  // wildcard-bearing keys hash elsewhere, so nothing short of a sweep can
+  // find them. Same contract as the flat table.
+  const Probe p = find_slot(hash_of(key), key);
+  LookupResult best;
+  best.examined = p.examined;
+  if (p.slot != kNpos) {
+    best.pcb = pcbs_[p.slot].get();
+    return best;
+  }
+  int best_score = -1;
+  const std::size_t cap = capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (meta_[i / kBucketWidth].tags[i % kBucketWidth] == 0) continue;
+    ++best.examined;
+    const int score = keys_[i].match_score(key);
+    if (score < 0) continue;
+    if (score == 0) {
+      best.pcb = pcbs_[i].get();
+      return best;
+    }
+    if (best_score < 0 || score < best_score) {
+      best_score = score;
+      best.pcb = pcbs_[i].get();
+    }
+  }
+  return best;
+}
+
+void CuckooDemuxer::for_each_pcb(
+    const std::function<void(const Pcb&)>& fn) const {
+  const std::size_t cap = capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (meta_[i / kBucketWidth].tags[i % kBucketWidth] != 0) fn(*pcbs_[i]);
+  }
+}
+
+std::vector<std::size_t> CuckooDemuxer::occupancy() const {
+  std::vector<std::size_t> buckets(bucket_count(), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    for (std::size_t s = 0; s < kBucketWidth; ++s) {
+      if (meta_[b].tags[s] != 0) ++buckets[b];
+    }
+  }
+  return buckets;
+}
+
+ResilienceStats CuckooDemuxer::resilience() const {
+  return {overload_rehashes_, inserts_shed_, watermark_, watermark_limit()};
+}
+
+std::size_t CuckooDemuxer::memory_bytes() const {
+  return size_ * sizeof(Pcb) + sizeof(*this) +
+         bucket_count() *
+             (sizeof(BucketMeta) + sizeof(std::array<std::uint16_t, 16>)) +
+         capacity() * (sizeof(std::uint32_t) + sizeof(net::FlowKey) +
+                       sizeof(std::unique_ptr<Pcb>));
+}
+
+std::string CuckooDemuxer::name() const {
+  std::string n = "cuckoo(cap=";
+  n += std::to_string(capacity());
+  n += ',';
+  n += net::hash_spec_name(options_.hasher);
+  if (options_.rehash_on_overload) n += ",rehash";
+  if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
+  n += ')';
+  return n;
+}
+
+}  // namespace tcpdemux::core

@@ -5,6 +5,7 @@
 
 #include "core/bsd_list.h"
 #include "core/connection_id.h"
+#include "core/cuckoo_demuxer.h"
 #include "core/dynamic_hash.h"
 #include "core/flat_demuxer.h"
 #include "core/hashed_mtf.h"
@@ -65,6 +66,15 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
       return std::make_unique<FlatDemuxer>(
           FlatDemuxer::Options{config.flat_capacity, hasher,
                                config.rehash_on_overload, config.max_pcbs});
+    case Algorithm::kFlat16:
+      return std::make_unique<FlatDemuxer>(
+          FlatDemuxer::Options{config.flat_capacity, hasher,
+                               config.rehash_on_overload, config.max_pcbs,
+                               /*group_probe=*/true});
+    case Algorithm::kCuckoo:
+      return std::make_unique<CuckooDemuxer>(
+          CuckooDemuxer::Options{config.flat_capacity, hasher,
+                                 config.rehash_on_overload, config.max_pcbs});
   }
   return nullptr;
 }
@@ -104,6 +114,8 @@ std::string_view algorithm_name(Algorithm algorithm) noexcept {
     case Algorithm::kDynamic: return "dynamic";
     case Algorithm::kRcu: return "rcu";
     case Algorithm::kFlat: return "flat";
+    case Algorithm::kFlat16: return "flat16";
+    case Algorithm::kCuckoo: return "cuckoo";
   }
   return "?";
 }
@@ -130,6 +142,17 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     config.algorithm = Algorithm::kRcu;
   } else if (head == "flat") {
     config.algorithm = Algorithm::kFlat;
+  } else if (head == "flat16") {
+    config.algorithm = Algorithm::kFlat16;
+  } else if (head == "cuckoo") {
+    config.algorithm = Algorithm::kCuckoo;
+    // A partial-key cuckoo table derives its alternate bucket from the
+    // fingerprint tag, so both bucket choices inherit the hash's quality —
+    // under a fold that an address schedule can collapse (xor_fold), every
+    // colliding key shares both buckets and the table degrades to an
+    // 8-entry list it must shed from. Default to the hardware CRC32C
+    // family instead; an explicit hasher token still overrides.
+    config.hasher = net::HasherKind::kCrc32c;
   } else {
     return std::nullopt;
   }
@@ -144,7 +167,10 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     return config;
   }
 
-  const bool is_flat = config.algorithm == Algorithm::kFlat;
+  // The slot-array tables share capacity parsing and the resilience gates.
+  const bool is_flat = config.algorithm == Algorithm::kFlat ||
+                       config.algorithm == Algorithm::kFlat16 ||
+                       config.algorithm == Algorithm::kCuckoo;
   const bool takes_chains = config.algorithm == Algorithm::kSequent ||
                             config.algorithm == Algorithm::kHashedMtf ||
                             config.algorithm == Algorithm::kDynamic ||

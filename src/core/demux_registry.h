@@ -23,6 +23,8 @@ enum class Algorithm : std::uint8_t {
   kDynamic,       ///< self-resizing hash chains (post-paper extension)
   kRcu,           ///< lock-free-read hash chains + epoch reclaim (RCU)
   kFlat,          ///< open-addressing robin-hood table, fingerprint tags
+  kFlat16,        ///< flat table with SIMD 16-slot group probing
+  kCuckoo,        ///< 4-way bucketized cuckoo table, Cuckoo++ filters
 };
 
 struct DemuxConfig {
@@ -31,7 +33,7 @@ struct DemuxConfig {
   net::HasherKind hasher = net::HasherKind::kXorFold;
   bool per_chain_cache = true;       ///< Sequent only
   std::size_t id_capacity = 65536;   ///< connection-ID only
-  std::size_t flat_capacity = 1024;  ///< flat only (initial slots)
+  std::size_t flat_capacity = 1024;  ///< flat/flat16/cuckoo (initial slots)
   // Adversarial-resilience knobs (see DESIGN.md "Adversarial resilience").
   std::uint32_t hash_seed = 0;  ///< 0 = unkeyed (paper-fidelity default)
   bool rehash_on_overload = false;  ///< sequent/flat: seed-rotating rehash
@@ -49,6 +51,11 @@ struct DemuxConfig {
 ///   "dynamic[:initial_chains[:hasher][:opts...]]"
 ///   "rcu[:chains[:hasher][:opts...]]"        (lock-free-read Sequent)
 ///   "flat[:capacity[:hasher][:opts...]]"     (open-addressing flat table)
+///   "flat16[:capacity[:hasher][:opts...]]"   (flat + SIMD group probing)
+///   "cuckoo[:capacity[:hasher][:opts...]]"   (4-way Cuckoo++ table;
+///                                            defaults to crc32c, since its
+///                                            alt-bucket derivation needs a
+///                                            mixing hash — see registry.cc)
 ///
 /// A hasher token may carry a hex seed suffix, "hasher@1f2e" — the keyed
 /// family (seed 0 == "@0" == unkeyed, bit-identical to the plain name).
@@ -56,8 +63,10 @@ struct DemuxConfig {
 ///
 /// Trailing option tokens, each at most once:
 ///   "nocache"   sequent/rcu: disable the per-chain cache
-///   "rehash"    sequent/flat: rehash with a fresh seed on overload watermark
-///   "max=N"     sequent/dynamic/flat: shed inserts beyond N PCBs (N > 0)
+///   "rehash"    sequent/flat/flat16/cuckoo: rehash with a fresh seed on
+///               overload watermark
+///   "max=N"     sequent/dynamic/flat/flat16/cuckoo: shed inserts beyond
+///               N PCBs (N > 0)
 /// Returns nullopt on any unrecognized token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
 #include "core/fault_inject.h"
 #include "core/prefetch.h"
+#include "core/simd.h"
 
 namespace tcpdemux::core {
 namespace {
@@ -34,6 +36,7 @@ FlatDemuxer::FlatDemuxer(Options options) : options_(options) {
 
 FlatDemuxer::Probe FlatDemuxer::find_slot(
     std::uint32_t h, const net::FlowKey& key) const noexcept {
+  if (options_.group_probe) return find_slot_grouped(h, key);
   Probe r;
   const std::uint8_t tag = tag_of(h);
   std::size_t i = h & mask_;
@@ -56,6 +59,40 @@ FlatDemuxer::Probe FlatDemuxer::find_slot(
     ++dist;
   }
   return r;  // unreachable in a well-formed table (load factor < 1)
+}
+
+FlatDemuxer::Probe FlatDemuxer::find_slot_grouped(
+    std::uint32_t h, const net::FlowKey& key) const noexcept {
+  Probe r;
+  const std::uint8_t tag = tag_of(h);
+  const std::size_t home = h & mask_;
+  std::size_t base = home & ~(kGroupWidth - 1);
+  // The home group starts mid-run: slots before `home` belong to earlier
+  // probe runs, so mask them out of both the match and empty views.
+  std::uint32_t live = 0xffffU << (home - base);
+  const std::size_t groups = capacity() / kGroupWidth;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::uint32_t match = group_match(&tags_[base], tag) & live;
+    const std::uint32_t empty = group_empty(&tags_[base]) & live;
+    if (empty != 0) {
+      // The probe run ends at the first empty slot; fingerprint matches
+      // beyond it are residents of later runs and cannot be our key.
+      match &= (empty & (0U - empty)) - 1;
+    }
+    while (match != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(match));
+      ++r.examined;
+      if (keys_[base + bit] == key) {
+        r.slot = base + bit;
+        return r;
+      }
+      match &= match - 1;
+    }
+    if (empty != 0) return r;  // run exhausted without a key match: absent
+    base = (base + kGroupWidth) & mask_;
+    live = 0xffffU;
+  }
+  return r;  // unreachable: load factor < 1 guarantees an empty slot
 }
 
 Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
@@ -309,7 +346,7 @@ std::size_t FlatDemuxer::memory_bytes() const {
 }
 
 std::string FlatDemuxer::name() const {
-  std::string n = "flat(cap=";
+  std::string n = options_.group_probe ? "flat16(cap=" : "flat(cap=";
   n += std::to_string(capacity());
   n += ',';
   n += net::hash_spec_name(options_.hasher);

@@ -58,6 +58,13 @@ class FlatDemuxer final : public Demuxer {
     /// Refuse inserts beyond this many PCBs (0 = unbounded). Refused
     /// inserts return nullptr and count in resilience().inserts_shed.
     std::size_t max_pcbs = 0;
+    /// Probe the fingerprint-tag array 16 slots at a time (core/simd.h)
+    /// instead of byte-at-a-time: one vector compare filters a whole group
+    /// and one more finds the run-terminating empty slot. Registered as the
+    /// `flat16` spec. Storage, insertion, and deletion are unchanged —
+    /// robin-hood keeps every probe run contiguous from the home slot to
+    /// the first empty slot, which is exactly what group termination needs.
+    bool group_probe = false;
   };
 
   FlatDemuxer() : FlatDemuxer(Options()) {}
@@ -131,6 +138,13 @@ class FlatDemuxer final : public Demuxer {
   };
   [[nodiscard]] Probe find_slot(std::uint32_t h,
                                 const net::FlowKey& key) const noexcept;
+  /// Group-probed variant of find_slot (Options::group_probe): examines
+  /// 16-aligned tag groups with one vector compare each. Capacity is a
+  /// power of two >= 16, so groups never straddle the array end and the
+  /// wrap is a mask on the group base. Slots before the home slot in its
+  /// own group are masked out — they belong to an earlier probe run.
+  [[nodiscard]] Probe find_slot_grouped(std::uint32_t h,
+                                        const net::FlowKey& key) const noexcept;
 
   /// Robin-hood placement of a (pre-hashed) entry; the caller has already
   /// established the key is absent and the load factor is acceptable.

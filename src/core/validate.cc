@@ -8,6 +8,7 @@
 
 #include "core/bsd_list.h"
 #include "core/connection_id.h"
+#include "core/cuckoo_demuxer.h"
 #include "core/demuxer.h"
 #include "core/dynamic_hash.h"
 #include "core/flat_demuxer.h"
@@ -458,6 +459,106 @@ ValidationReport StructuralValidator::validate(const FlatDemuxer& demuxer) {
   return report;
 }
 
+ValidationReport StructuralValidator::validate(const CuckooDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+  constexpr std::size_t kW = CuckooDemuxer::kBucketWidth;
+  const std::size_t buckets = demuxer.bucket_count();
+  const std::size_t capacity = demuxer.capacity();
+  if (buckets < CuckooDemuxer::kMinBuckets ||
+      (buckets & (buckets - 1)) != 0) {
+    errors.add("cuckoo: bucket count ", buckets,
+               " is not a power of two >= 4");
+    return report;
+  }
+  if (demuxer.meta_.size() != buckets ||
+      demuxer.filter_counts_.size() != buckets ||
+      demuxer.hashes_.size() != capacity ||
+      demuxer.keys_.size() != capacity || demuxer.pcbs_.size() != capacity) {
+    errors.add("cuckoo: arrays are not all sized to ", buckets, " buckets");
+    return report;
+  }
+
+  // Expected counted-filter state, recomputed from resident placement.
+  std::vector<std::array<std::uint16_t, 16>> expected(buckets);
+  std::unordered_set<net::FlowKey> keys;
+  std::size_t occupied = 0;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    const std::size_t bucket = i / kW;
+    const std::uint8_t tag = demuxer.meta_[bucket].tags[i % kW];
+    if (tag == 0) {
+      if (demuxer.pcbs_[i] != nullptr) {
+        errors.add("cuckoo slot ", i, ": empty tag but a PCB is still owned");
+      }
+      continue;
+    }
+    ++occupied;
+    const Pcb* const pcb = demuxer.pcbs_[i].get();
+    if (pcb == nullptr) {
+      errors.add("cuckoo slot ", i, ": occupied tag but no PCB");
+      continue;
+    }
+    if (pcb->key != demuxer.keys_[i]) {
+      errors.add("cuckoo slot ", i, ": PCB key ", pcb->key.to_string(),
+                 " != slot key ", demuxer.keys_[i].to_string());
+    }
+    const std::uint32_t h = demuxer.hash_of(demuxer.keys_[i]);
+    if (demuxer.hashes_[i] != h) {
+      errors.add("cuckoo slot ", i, ": stored hash ", demuxer.hashes_[i],
+                 " != hash of stored key ", h);
+    }
+    if (tag != CuckooDemuxer::tag_of(demuxer.hashes_[i])) {
+      errors.add("cuckoo slot ", i, ": tag ", static_cast<unsigned>(tag),
+                 " disagrees with stored hash's fingerprint ",
+                 static_cast<unsigned>(
+                     CuckooDemuxer::tag_of(demuxer.hashes_[i])));
+    }
+    // Placement: a resident must sit in its primary bucket or the
+    // alternate derived from (primary, tag) — anywhere else it is
+    // unreachable by lookup.
+    const std::size_t primary = demuxer.bucket_of(demuxer.hashes_[i]);
+    const std::size_t alt = demuxer.alt_bucket(primary, tag);
+    if (bucket != primary && bucket != alt) {
+      errors.add("cuckoo slot ", i, ": resident of bucket ", bucket,
+                 " but its candidates are ", primary, " and ", alt);
+    }
+    // Filter soundness: an overflowed resident (living in its alternate)
+    // must be registered in its primary bucket's counted filter, or a
+    // negative-looking probe of the primary bucket would hide it forever.
+    if (bucket == alt && bucket != primary) {
+      ++expected[primary][CuckooDemuxer::filter_index(tag)];
+    }
+    if (!keys.insert(demuxer.keys_[i]).second) {
+      errors.add("cuckoo: duplicate key ", demuxer.keys_[i].to_string());
+    }
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    for (std::size_t idx = 0; idx < 16; ++idx) {
+      if (demuxer.filter_counts_[b][idx] != expected[b][idx]) {
+        errors.add("cuckoo bucket ", b, ": filter count[", idx, "] = ",
+                   demuxer.filter_counts_[b][idx],
+                   " but placement implies ", expected[b][idx]);
+      }
+      const bool bit =
+          (demuxer.meta_[b].filter & (1U << idx)) != 0;
+      if (bit != (demuxer.filter_counts_[b][idx] != 0)) {
+        errors.add("cuckoo bucket ", b, ": filter bit ", idx,
+                   bit ? " set without" : " clear despite",
+                   " a backing count");
+      }
+    }
+  }
+  if (occupied != demuxer.size_) {
+    errors.add("cuckoo: occupied slots (", occupied, ") != size counter (",
+               demuxer.size_, ")");
+  }
+  if (demuxer.size_ * 8 > capacity * 7) {
+    errors.add("cuckoo: occupancy ", demuxer.size_,
+               " exceeds 7/8 of capacity ", capacity);
+  }
+  return report;
+}
+
 ValidationReport validate_demuxer(const Demuxer& demuxer) {
   if (const auto* d = dynamic_cast<const BsdListDemuxer*>(&demuxer)) {
     return StructuralValidator::validate(*d);
@@ -484,6 +585,9 @@ ValidationReport validate_demuxer(const Demuxer& demuxer) {
     return StructuralValidator::validate(d->inner());
   }
   if (const auto* d = dynamic_cast<const FlatDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
+  if (const auto* d = dynamic_cast<const CuckooDemuxer*>(&demuxer)) {
     return StructuralValidator::validate(*d);
   }
   ValidationReport report;
@@ -594,6 +698,30 @@ void ValidatorTestAccess::flat_move_slot(FlatDemuxer& d, std::size_t from,
   d.keys_[to] = d.keys_[from];
   d.pcbs_[to] = std::move(d.pcbs_[from]);
   d.tags_[from] = 0;
+}
+
+std::uint8_t& ValidatorTestAccess::cuckoo_tag(CuckooDemuxer& d,
+                                              std::size_t slot) {
+  return d.meta_[slot / CuckooDemuxer::kBucketWidth]
+      .tags[slot % CuckooDemuxer::kBucketWidth];
+}
+
+std::uint16_t& ValidatorTestAccess::cuckoo_filter(CuckooDemuxer& d,
+                                                  std::size_t bucket) {
+  return d.meta_[bucket].filter;
+}
+
+std::size_t& ValidatorTestAccess::cuckoo_size(CuckooDemuxer& d) {
+  return d.size_;
+}
+
+void ValidatorTestAccess::cuckoo_move_slot(CuckooDemuxer& d, std::size_t from,
+                                           std::size_t to) {
+  cuckoo_tag(d, to) = cuckoo_tag(d, from);
+  d.hashes_[to] = d.hashes_[from];
+  d.keys_[to] = d.keys_[from];
+  d.pcbs_[to] = std::move(d.pcbs_[from]);
+  cuckoo_tag(d, from) = 0;
 }
 
 }  // namespace tcpdemux::core

@@ -10,6 +10,10 @@
 //   kMultiplicative   Fibonacci/Knuth multiplicative hash of the folded key
 //   kCrc32            CRC-32 (IEEE 802.3 polynomial) over the 12 key bytes,
 //                     Jain's recommendation for address lookup [Jai89]
+//   kCrc32c           CRC-32C (Castagnoli) over the same bytes — identical
+//                     mixing pedigree, but x86 SSE4.2 / ARMv8 execute it in
+//                     hardware (net/crc32c.h), so CRC-quality hashing costs
+//                     about as much as the naive folds
 //   kJenkins          Bob Jenkins' 96-bit mix (lookup2 final mix)
 //   kToeplitz         Microsoft RSS Toeplitz hash with the canonical key —
 //                     what contemporary NIC receive-side scaling uses
@@ -53,17 +57,19 @@ enum class HasherKind : std::uint8_t {
   kAddFold,
   kMultiplicative,
   kCrc32,
+  kCrc32c,
   kJenkins,
   kToeplitz,
   kSipHash,
 };
 
 /// All hasher kinds, for iteration in tests and benches.
-inline constexpr std::array<HasherKind, 8> kAllHashers = {
+inline constexpr std::array<HasherKind, 9> kAllHashers = {
     HasherKind::kBsdModulo,      HasherKind::kXorFold,
     HasherKind::kAddFold,        HasherKind::kMultiplicative,
-    HasherKind::kCrc32,          HasherKind::kJenkins,
-    HasherKind::kToeplitz,       HasherKind::kSipHash,
+    HasherKind::kCrc32,          HasherKind::kCrc32c,
+    HasherKind::kJenkins,        HasherKind::kToeplitz,
+    HasherKind::kSipHash,
 };
 
 /// Short stable name ("crc32", "siphash", ...).

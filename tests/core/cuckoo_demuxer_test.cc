@@ -1,0 +1,273 @@
+// CuckooDemuxer unit tests: the bucketized-cuckoo mechanics the shared
+// property/differential suites cannot see from outside — capacity
+// rounding, BFS kick paths across growth, the Cuckoo++ presence filter
+// keeping negative lookups at ~1 bucket, counted-filter maintenance under
+// churn, and the bucket-flood -> keyed-rehash recovery path.
+#include "core/cuckoo_demuxer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/validate.h"
+#include "net/flow_key.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::core {
+namespace {
+
+// Distinct keys varying in the address only (see flat_demuxer_test.cc for
+// why mirroring i into the port collapses xor_fold).
+net::FlowKey key(std::uint32_t i) {
+  return net::FlowKey{net::Ipv4Addr(10, 0, 0, 1), 1521,
+                      net::Ipv4Addr(10, static_cast<std::uint8_t>(i >> 16),
+                                    static_cast<std::uint8_t>(i >> 8),
+                                    static_cast<std::uint8_t>(i & 0xff)),
+                      20000};
+}
+
+TEST(CuckooDemuxerTest, CapacityRoundsUpToPowerOfTwoSlots) {
+  EXPECT_EQ(CuckooDemuxer(CuckooDemuxer::Options{1}).capacity(), 16u);
+  EXPECT_EQ(CuckooDemuxer(CuckooDemuxer::Options{16}).capacity(), 16u);
+  EXPECT_EQ(CuckooDemuxer(CuckooDemuxer::Options{17}).capacity(), 32u);
+  EXPECT_EQ(CuckooDemuxer(CuckooDemuxer::Options{1000}).capacity(), 1024u);
+  EXPECT_EQ(CuckooDemuxer(CuckooDemuxer::Options{1024}).bucket_count(), 256u);
+}
+
+TEST(CuckooDemuxerTest, RejectsZeroCapacity) {
+  EXPECT_THROW(CuckooDemuxer(CuckooDemuxer::Options{0}),
+               std::invalid_argument);
+}
+
+TEST(CuckooDemuxerTest, InsertLookupEraseRoundTrip) {
+  CuckooDemuxer d;
+  Pcb* const p = d.insert(key(1));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(d.insert(key(1)), nullptr) << "duplicate insert must fail";
+  const auto r = d.lookup(key(1));
+  EXPECT_EQ(r.pcb, p);
+  EXPECT_EQ(r.examined, 1u);
+  EXPECT_FALSE(r.cache_hit) << "the cuckoo table has no single-entry cache";
+  EXPECT_TRUE(d.erase(key(1)));
+  EXPECT_FALSE(d.erase(key(1)));
+  EXPECT_EQ(d.lookup(key(1)).pcb, nullptr);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(CuckooDemuxerTest, GrowthKeepsEveryKeyFindableAndPcbPointersStable) {
+  CuckooDemuxer d(CuckooDemuxer::Options{16});
+  std::vector<Pcb*> pcbs;
+  constexpr std::uint32_t kN = 1000;  // forces several doublings from 16
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    Pcb* const p = d.insert(key(i));
+    ASSERT_NE(p, nullptr) << i;
+    pcbs.push_back(p);
+  }
+  EXPECT_GE(d.capacity(), kN);
+  EXPECT_LE(d.size() * 8, d.capacity() * 7) << "load factor bound violated";
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(d.lookup(key(i)).pcb, pcbs[i]) << i;
+  }
+  EXPECT_TRUE(StructuralValidator::validate(d).ok());
+}
+
+TEST(CuckooDemuxerTest, EveryLookupTouchesAtMostTwoBuckets) {
+  CuckooDemuxer d(CuckooDemuxer::Options{4096});
+  for (std::uint32_t i = 0; i < 3500; ++i) {  // ~85% load, no growth
+    ASSERT_NE(d.insert(key(i)), nullptr) << i;
+  }
+  EXPECT_EQ(d.capacity(), 4096u);
+  const std::uint64_t before = d.buckets_probed();
+  for (std::uint32_t i = 0; i < 3500; ++i) {
+    ASSERT_NE(d.lookup(key(i)).pcb, nullptr) << i;
+  }
+  EXPECT_LE(d.buckets_probed() - before, 2u * 3500u);
+}
+
+TEST(CuckooDemuxerTest, FilterKeepsNegativeLookupsNearOneBucket) {
+  CuckooDemuxer d(CuckooDemuxer::Options{4096});
+  for (std::uint32_t i = 0; i < 3500; ++i) {  // ~85% load: kicks + overflow
+    ASSERT_NE(d.insert(key(i)), nullptr) << i;
+  }
+  constexpr std::uint32_t kMisses = 4000;
+  const std::uint64_t before = d.buckets_probed();
+  std::uint64_t miss_examined = 0;
+  for (std::uint32_t i = 0; i < kMisses; ++i) {
+    const auto r = d.lookup(key(100000 + i));
+    EXPECT_EQ(r.pcb, nullptr);
+    miss_examined += r.examined;
+  }
+  const std::uint64_t probed = d.buckets_probed() - before;
+  // The Cuckoo++ claim: the filter answers almost every negative lookup
+  // from the primary bucket's metadata alone. Even at 85% load the set
+  // bits stay sparse (one of 16 per overflowed resident), so well under
+  // 15% of misses should need the second bucket.
+  EXPECT_LE(probed, kMisses + kMisses * 15 / 100)
+      << "filter stopped suppressing second-bucket probes";
+  // And misses almost never compare keys (7 fingerprint bits).
+  EXPECT_LE(miss_examined, kMisses / 4);
+}
+
+TEST(CuckooDemuxerTest, ChurnKeepsFilterExactAndStructureValid) {
+  CuckooDemuxer d(CuckooDemuxer::Options{1024});
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      ASSERT_NE(d.insert(key(i)), nullptr);
+    }
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(d.erase(key(i)));
+    }
+    const auto report = StructuralValidator::validate(d);
+    ASSERT_TRUE(report.ok()) << report.to_string();
+  }
+  EXPECT_EQ(d.size(), 0u);
+  // An empty table must have an empty filter everywhere, or stale bits
+  // would tax every future negative lookup with a second bucket probe.
+  const std::uint64_t before = d.buckets_probed();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.lookup(key(i)).pcb, nullptr);
+  }
+  EXPECT_EQ(d.buckets_probed() - before, 100u)
+      << "churn left stale presence-filter bits behind";
+}
+
+TEST(CuckooDemuxerTest, BucketFloodShedsWithoutRehashOption) {
+  // Craft keys sharing primary bucket AND fingerprint: they share both
+  // candidate buckets, so only 2 * kBucketWidth = 8 can ever reside.
+  const net::HashSpec spec{net::HasherKind::kCrc32, 0};
+  CuckooDemuxer d(CuckooDemuxer::Options{256, spec});
+  const std::size_t mask = d.bucket_count() - 1;
+  std::vector<net::FlowKey> flood;
+  for (std::uint32_t i = 0; flood.size() < 12 && i < 2000000; ++i) {
+    const std::uint32_t h =
+        net::mix32_avalanche(net::hash_flow(spec, key(i)));
+    if ((h & mask) == 0 && (h >> 25) == 0x40) flood.push_back(key(i));
+  }
+  ASSERT_EQ(flood.size(), 12u) << "key crafting exhausted its budget";
+  std::size_t inserted = 0;
+  for (const auto& k : flood) {
+    if (d.insert(k) != nullptr) ++inserted;
+  }
+  EXPECT_EQ(inserted, 8u) << "a shared bucket pair holds exactly 8";
+  EXPECT_EQ(d.resilience().inserts_shed, 4u);
+  EXPECT_EQ(d.capacity(), 256u) << "a degenerate flood must not force growth";
+  const auto report = StructuralValidator::validate(d);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CuckooDemuxerTest, BucketFloodRecoversViaKeyedRehash) {
+  // Same crafted flood, but with the rehash option: exhausting the kick
+  // budget rotates the seed, which scatters the shared bucket pair (the
+  // keys collide in the masked bits, not the full hash), so every key
+  // lands.
+  const net::HashSpec spec{net::HasherKind::kCrc32, 0};
+  CuckooDemuxer d(
+      CuckooDemuxer::Options{256, spec, /*rehash_on_overload=*/true});
+  const std::size_t mask = d.bucket_count() - 1;
+  std::vector<net::FlowKey> flood;
+  for (std::uint32_t i = 0; flood.size() < 12 && i < 2000000; ++i) {
+    const std::uint32_t h =
+        net::mix32_avalanche(net::hash_flow(spec, key(i)));
+    if ((h & mask) == 0 && (h >> 25) == 0x40) flood.push_back(key(i));
+  }
+  ASSERT_EQ(flood.size(), 12u) << "key crafting exhausted its budget";
+  for (const auto& k : flood) {
+    ASSERT_NE(d.insert(k), nullptr);
+  }
+  EXPECT_EQ(d.size(), 12u);
+  EXPECT_GE(d.resilience().overload_rehashes, 1u);
+  EXPECT_NE(d.hash_spec().seed, 0u) << "rehash must rotate the seed";
+  for (const auto& k : flood) {
+    EXPECT_NE(d.lookup(k).pcb, nullptr);
+  }
+  const auto report = StructuralValidator::validate(d);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(CuckooDemuxerTest, MaxPcbsShedsBeyondCap) {
+  CuckooDemuxer d(CuckooDemuxer::Options{
+      1024, net::HashSpec{net::HasherKind::kXorFold, 0}, false,
+      /*max_pcbs=*/10});
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_NE(d.insert(key(i)), nullptr);
+  }
+  EXPECT_EQ(d.insert(key(10)), nullptr);
+  EXPECT_EQ(d.resilience().inserts_shed, 1u);
+  ASSERT_TRUE(d.erase(key(0)));
+  EXPECT_NE(d.insert(key(10)), nullptr) << "erase must free cap headroom";
+}
+
+TEST(CuckooDemuxerTest, ForEachSeesExactlyTheResidents) {
+  CuckooDemuxer d(CuckooDemuxer::Options{64});
+  std::unordered_set<net::FlowKey> expected;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    d.insert(key(i));
+    expected.insert(key(i));
+  }
+  for (std::uint32_t i = 0; i < 40; i += 2) {
+    d.erase(key(i));
+    expected.erase(key(i));
+  }
+  std::size_t seen = 0;
+  d.for_each_pcb([&](const Pcb& pcb) {
+    ++seen;
+    EXPECT_TRUE(expected.contains(pcb.key));
+  });
+  EXPECT_EQ(seen, expected.size());
+}
+
+TEST(CuckooDemuxerTest, OccupancySumsToSizeAcrossBuckets) {
+  CuckooDemuxer d(CuckooDemuxer::Options{256});
+  for (std::uint32_t i = 0; i < 150; ++i) d.insert(key(i));
+  const auto buckets = d.occupancy();
+  EXPECT_EQ(buckets.size(), d.bucket_count());
+  std::size_t total = 0;
+  for (const std::size_t b : buckets) {
+    EXPECT_LE(b, CuckooDemuxer::kBucketWidth);
+    total += b;
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(CuckooDemuxerTest, MemoryBytesPricesBucketsSlotsAndPcbs) {
+  CuckooDemuxer d(CuckooDemuxer::Options{1024});
+  const std::size_t empty = d.memory_bytes();
+  // Each slot costs hash + key + pointer; each bucket adds tag/filter
+  // metadata and the counted-filter backing store.
+  EXPECT_GE(empty, 1024 * (4 + sizeof(net::FlowKey) + sizeof(void*)) +
+                       256 * (6 + 32));
+  for (std::uint32_t i = 0; i < 100; ++i) d.insert(key(i));
+  EXPECT_GE(d.memory_bytes(), empty + 100 * sizeof(Pcb));
+}
+
+TEST(CuckooDemuxerTest, NameReportsCapacityAndHasher) {
+  CuckooDemuxer d(
+      CuckooDemuxer::Options{256, net::HashSpec{net::HasherKind::kCrc32, 0}});
+  EXPECT_EQ(d.name(), "cuckoo(cap=256,crc32)");
+}
+
+TEST(CuckooDemuxerTest, BatchMatchesScalarExactly) {
+  CuckooDemuxer a(CuckooDemuxer::Options{128});
+  CuckooDemuxer b(CuckooDemuxer::Options{128});
+  for (std::uint32_t i = 0; i < 300; ++i) {  // spans a growth
+    a.insert(key(i));
+    b.insert(key(i));
+  }
+  std::vector<net::FlowKey> keys;
+  for (std::uint32_t i = 0; i < 64; ++i) keys.push_back(key(i * 7 % 400));
+  std::vector<LookupResult> batch(keys.size());
+  b.lookup_batch(keys, batch, SegmentKind::kData);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto scalar = a.lookup(keys[i]);
+    EXPECT_EQ(batch[i].pcb == nullptr, scalar.pcb == nullptr) << i;
+    EXPECT_EQ(batch[i].examined, scalar.examined) << i;
+  }
+  EXPECT_EQ(a.stats().lookups, b.stats().lookups);
+  EXPECT_EQ(a.stats().pcbs_examined, b.stats().pcbs_examined);
+  EXPECT_EQ(a.buckets_probed(), b.buckets_probed());
+}
+
+}  // namespace
+}  // namespace tcpdemux::core

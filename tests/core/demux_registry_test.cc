@@ -29,7 +29,9 @@ TEST(Registry, ParseSimpleNames) {
            {"hashed_mtf", Algorithm::kHashedMtf},
            {"connection_id", Algorithm::kConnectionId},
            {"rcu", Algorithm::kRcu},
-           {"flat", Algorithm::kFlat}}) {
+           {"flat", Algorithm::kFlat},
+           {"flat16", Algorithm::kFlat16},
+           {"cuckoo", Algorithm::kCuckoo}}) {
     const auto config = parse_demux_spec(spec);
     ASSERT_TRUE(config.has_value()) << spec;
     EXPECT_EQ(config->algorithm, algo) << spec;
@@ -163,6 +165,56 @@ TEST(Registry, ParseRejectsBadFlatSpec) {
   EXPECT_FALSE(parse_demux_spec("flat:abc").has_value());
   EXPECT_FALSE(parse_demux_spec("flat:64:sha256").has_value());
   EXPECT_FALSE(parse_demux_spec("flat:64:crc32:nocache").has_value());
+}
+
+TEST(Registry, ParseFlat16Spec) {
+  const auto config = parse_demux_spec("flat16:4096:crc32");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kFlat16);
+  EXPECT_EQ(config->flat_capacity, 4096u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kCrc32);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "flat16(cap=4096,crc32)");
+}
+
+TEST(Registry, Flat16DefaultConfig) {
+  const auto d = make_demuxer(*parse_demux_spec("flat16"));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->name(), "flat16(cap=1024,xor_fold)");
+}
+
+TEST(Registry, ParseCuckooSpec) {
+  const auto config = parse_demux_spec("cuckoo:512:jenkins");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->algorithm, Algorithm::kCuckoo);
+  EXPECT_EQ(config->flat_capacity, 512u);
+  EXPECT_EQ(config->hasher, net::HasherKind::kJenkins);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "cuckoo(cap=512,jenkins)");
+}
+
+TEST(Registry, CuckooDefaultsToHardwareCrc32c) {
+  // The alt-bucket derivation needs a mixing hash, so the bare spec picks
+  // the hardware-accelerated CRC32C family rather than xor_fold.
+  const auto config = parse_demux_spec("cuckoo");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->hasher, net::HasherKind::kCrc32c);
+  const auto d = make_demuxer(*config);
+  EXPECT_EQ(d->name(), "cuckoo(cap=1024,crc32c)");
+}
+
+TEST(Registry, CuckooCapacityRoundsUpToPowerOfTwo) {
+  const auto d = make_demuxer(*parse_demux_spec("cuckoo:1000"));
+  EXPECT_EQ(d->name(), "cuckoo(cap=1024,crc32c)");
+}
+
+TEST(Registry, ParseRejectsBadFlat16AndCuckooSpecs) {
+  EXPECT_FALSE(parse_demux_spec("flat16:0").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:0").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat16:64:sha256").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:64:sha256").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat16:64:crc32:nocache").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:64:crc32c:nocache").has_value());
 }
 
 TEST(Registry, ConfiguredDemuxerReflectsSpec) {

@@ -20,12 +20,14 @@ net::FlowKey key(std::uint32_t i) {
                       static_cast<std::uint16_t>(10000 + (i % 50000))};
 }
 
-const char* kSpecs[] = {"bsd",          "mtf",
-                        "srcache",      "sequent:19:crc32",
-                        "sequent:1",    "sequent:101:toeplitz",
-                        "hashed_mtf",   "dynamic",
+const char* kSpecs[] = {"bsd",           "mtf",
+                        "srcache",       "sequent:19:crc32",
+                        "sequent:1",     "sequent:101:toeplitz",
+                        "hashed_mtf",    "dynamic",
                         "connection_id", "rcu:19:crc32",
-                        "flat",          "flat:64:crc32"};
+                        "flat",          "flat:64:crc32",
+                        "flat16",        "flat16:64:crc32",
+                        "cuckoo",        "cuckoo:64:crc32"};
 
 TEST(Differential, AllAlgorithmsAgreeOnMembership) {
   std::vector<std::unique_ptr<Demuxer>> demuxers;

@@ -102,7 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("bsd", "mtf", "srcache", "connection_id", "sequent",
                       "sequent:7:crc32:nocache", "hashed_mtf", "dynamic:5",
                       "rcu", "rcu:7:crc32:nocache", "flat", "flat:64",
-                      "flat:1024:crc32"),
+                      "flat:1024:crc32", "flat16", "flat16:64",
+                      "flat16:1024:crc32", "cuckoo", "cuckoo:64",
+                      "cuckoo:1024:crc32c"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -80,7 +80,9 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, WildcardProperty,
                                            "hashed_mtf", "dynamic",
                                            "connection_id", "rcu",
                                            "rcu:101:crc32", "flat",
-                                           "flat:64:crc32"),
+                                           "flat:64:crc32", "flat16",
+                                           "flat16:64:crc32", "cuckoo",
+                                           "cuckoo:64:crc32"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {

@@ -1,0 +1,23 @@
+// Fixture: simd-discipline — positives for the intrinsic-header and
+// intrinsic-call forms, plus one suppressed case.
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace tcpdemux::core {
+
+std::uint32_t scatter_probe(const std::uint8_t* tags) {
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(group));
+}
+
+std::uint32_t crc_probe(std::uint32_t crc, std::uint8_t byte) {
+  return __crc32cb(crc, byte);
+}
+
+std::uint32_t suppressed_probe(std::uint32_t crc, std::uint8_t byte) {
+  return _mm_crc32_u8(crc, byte);  // NOLINT(simd-discipline)
+}
+
+}  // namespace tcpdemux::core

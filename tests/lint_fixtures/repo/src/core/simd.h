@@ -1,0 +1,23 @@
+// Fixture copy of the simd-discipline exempt file: the audited group-probe
+// shim deliberately contains banned intrinsic patterns to prove the
+// exemption machinery holds.
+#ifndef TCPDEMUX_CORE_SIMD_H_
+#define TCPDEMUX_CORE_SIMD_H_
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace tcpdemux::core {
+
+inline std::uint32_t group_match(const std::uint8_t* tags, std::uint8_t tag) {
+  const __m128i probe = _mm_set1_epi8(static_cast<char>(tag));
+  const __m128i group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags));
+  return static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(group, probe)));
+}
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_SIMD_H_

@@ -1,0 +1,19 @@
+// Fixture copy of the simd-discipline exempt file: the audited hardware
+// CRC32C shim deliberately contains banned intrinsic patterns to prove
+// the exemption machinery holds.
+#ifndef TCPDEMUX_NET_CRC32C_H_
+#define TCPDEMUX_NET_CRC32C_H_
+
+#include <nmmintrin.h>
+
+#include <cstdint>
+
+namespace tcpdemux::net {
+
+inline std::uint32_t crc_step(std::uint32_t crc, std::uint64_t word) {
+  return static_cast<std::uint32_t>(_mm_crc32_u64(crc, word));
+}
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_CRC32C_H_

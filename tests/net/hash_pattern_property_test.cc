@@ -17,6 +17,7 @@ using Param = std::tuple<HasherKind, sim::ClientPattern>;
 bool is_mixing_hash(HasherKind kind) {
   switch (kind) {
     case HasherKind::kCrc32:
+    case HasherKind::kCrc32c:
     case HasherKind::kJenkins:
     case HasherKind::kToeplitz:
     case HasherKind::kMultiplicative:

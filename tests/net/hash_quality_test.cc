@@ -75,7 +75,8 @@ TEST(HashQuality, StrongHashChiSquaredReasonable) {
   // within a very generous envelope (mean 18, stddev 6).
   const auto keys = sequential_port_keys(2000);
   for (const HasherKind kind :
-       {HasherKind::kCrc32, HasherKind::kJenkins, HasherKind::kToeplitz}) {
+       {HasherKind::kCrc32, HasherKind::kCrc32c, HasherKind::kJenkins,
+        HasherKind::kToeplitz}) {
     const auto r = evaluate_hash_quality(kind, keys, 19);
     EXPECT_LT(r.chi_squared, 18.0 + 10.0 * 6.0) << hasher_name(kind);
   }

@@ -4,7 +4,11 @@
 
 #include <array>
 #include <cstring>
+#include <random>
 #include <unordered_set>
+#include <vector>
+
+#include "net/crc32c.h"
 
 namespace tcpdemux::net {
 namespace {
@@ -22,6 +26,68 @@ TEST(Crc32, StandardCheckValue) {
 }
 
 TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32_ieee({}), 0u); }
+
+TEST(Crc32c, StandardCheckValue) {
+  // The canonical CRC-32C check: crc32c("123456789") == 0xe3069283.
+  const char* s = "123456789";
+  std::array<std::uint8_t, 9> bytes{};
+  std::memcpy(bytes.data(), s, 9);
+  EXPECT_EQ(crc32c(bytes), 0xe3069283u);
+  EXPECT_EQ(crc32c_sw(bytes), 0xe3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) {
+  EXPECT_EQ(crc32c({}), 0u);
+  EXPECT_EQ(crc32c_sw({}), 0u);
+}
+
+TEST(Crc32c, DiffersFromIeeeCrc32) {
+  // Castagnoli and IEEE are different polynomials; a hasher registry that
+  // aliased them would silently lose the hardware-accelerated family.
+  const char* s = "123456789";
+  std::array<std::uint8_t, 9> bytes{};
+  std::memcpy(bytes.data(), s, 9);
+  EXPECT_NE(crc32c(bytes), crc32_ieee(bytes));
+}
+
+TEST(Crc32c, HardwareMatchesSoftwareOnRandomInputs) {
+  // The table fallback is the oracle: on machines with SSE4.2/ARMv8 CRC
+  // this pins the silicon against it over every length 0..64 (covering
+  // the 8/4/1-byte tail ladder); on machines without, hw falls back to
+  // sw and the test degenerates to a tautology rather than failing.
+  std::mt19937_64 rng(20260808);
+  for (std::size_t len = 0; len <= 64; ++len) {
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(crc32c_hw(bytes), crc32c_sw(bytes)) << "len=" << len;
+  }
+}
+
+TEST(Crc32c, BackendNameIsKnown) {
+  const std::string_view backend = crc32c_backend();
+  EXPECT_TRUE(backend == "sse4.2" || backend == "armv8-crc" ||
+              backend == "table")
+      << backend;
+  if (crc32c_hw_available()) {
+    EXPECT_NE(backend, "table");
+  }
+}
+
+TEST(Crc32c, FlowHashMatchesDirectCrcOfRssInput) {
+  const FlowKey key = server_key(Ipv4Addr(172, 16, 9, 44), 51515);
+  // hash_flow serializes the packet 4-tuple exactly like the RSS input:
+  // foreign (source) address, local (destination) address, ports.
+  std::array<std::uint8_t, 12> in{};
+  const std::uint32_t src = key.foreign_addr.value();
+  const std::uint32_t dst = key.local_addr.value();
+  in[0] = src >> 24; in[1] = (src >> 16) & 0xff;
+  in[2] = (src >> 8) & 0xff; in[3] = src & 0xff;
+  in[4] = dst >> 24; in[5] = (dst >> 16) & 0xff;
+  in[6] = (dst >> 8) & 0xff; in[7] = dst & 0xff;
+  in[8] = key.foreign_port >> 8; in[9] = key.foreign_port & 0xff;
+  in[10] = key.local_port >> 8; in[11] = key.local_port & 0xff;
+  EXPECT_EQ(hash_flow(HasherKind::kCrc32c, key), crc32c(in));
+}
 
 struct RssVector {
   Ipv4Addr src;
@@ -72,6 +138,33 @@ TEST(Toeplitz, HashFlowMatchesManualInput) {
 TEST(Toeplitz, ZeroInputHashesToZero) {
   const std::array<std::uint8_t, 12> zeros{};
   EXPECT_EQ(toeplitz_hash(zeros, rss_default_key()), 0u);
+}
+
+TEST(Toeplitz, KeyScheduleTableMatchesBitOracleOnRandomFlows) {
+  // hash_flow(kToeplitz) runs the per-byte key-schedule table; the generic
+  // toeplitz_hash() is the bit-at-a-time oracle. They must agree on every
+  // flow, or the table was scheduled wrong.
+  std::mt19937_64 rng(1992);
+  for (int round = 0; round < 2000; ++round) {
+    const FlowKey key{
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+    };
+    std::array<std::uint8_t, 12> in{};
+    const std::uint32_t src = key.foreign_addr.value();
+    const std::uint32_t dst = key.local_addr.value();
+    in[0] = src >> 24; in[1] = (src >> 16) & 0xff;
+    in[2] = (src >> 8) & 0xff; in[3] = src & 0xff;
+    in[4] = dst >> 24; in[5] = (dst >> 16) & 0xff;
+    in[6] = (dst >> 8) & 0xff; in[7] = dst & 0xff;
+    in[8] = key.foreign_port >> 8; in[9] = key.foreign_port & 0xff;
+    in[10] = key.local_port >> 8; in[11] = key.local_port & 0xff;
+    ASSERT_EQ(hash_flow(HasherKind::kToeplitz, key),
+              toeplitz_hash(in, rss_default_key()))
+        << "round " << round;
+  }
 }
 
 TEST(Hashers, AllKindsHaveDistinctNames) {

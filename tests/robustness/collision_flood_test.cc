@@ -4,6 +4,7 @@
 // configurations keep the paper's O(N/2H) behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/demux_registry.h"
@@ -164,6 +165,59 @@ TEST(CollisionFlood, ReplayDegradesUnkeyedAndSparesKeyedFlat) {
   ASSERT_EQ(unkeyed.misses, 0u);
   ASSERT_EQ(keyed.misses, 0u);
   EXPECT_GT(unkeyed.overall.mean(), 10.0 * (keyed.overall.mean() + 1.0));
+}
+
+TEST(CollisionFlood, CuckooShedsAttackOrSpreadsItButNeverScansLinearly) {
+  // The cuckoo table's failure mode under a full-hash flood is the
+  // *opposite* of the chained/flat tables': placement is bounded at two
+  // 4-slot buckets, so lookup cost CANNOT degrade into a linear scan.
+  // Instead the unplaceable attack keys (all sharing one bucket pair) are
+  // shed — the attacker's own connections fail while everyone else's
+  // latency is untouched. The PRF tier scatters the same keys and admits
+  // every one.
+  CollisionFloodTraceParams params;
+  params.benign.users = 60;
+  params.benign.duration = 90.0;
+  params.attack_start = 5.0;
+  params.attack_duration = 45.0;
+  params.arrivals_per_conn = 8;
+
+  CollisionFloodParams craft;
+  craft.count = 1200;
+  const auto attack_keys = craft_xorfold_collisions(craft, 0xdead0002);
+  const auto flood = generate_collision_flood(params, attack_keys);
+
+  // Unkeyed, driven directly (the replay harness treats a rejected open as
+  // a hard error, and rejecting is exactly what we assert here): at most
+  // 2 buckets * 4 slots of the 1200 colliding keys fit in the shared
+  // bucket pair; the rest shed.
+  {
+    const auto demuxer =
+        core::make_demuxer(*core::parse_demux_spec("cuckoo:4096:xor_fold"));
+    std::size_t placed = 0;
+    for (const net::FlowKey& key : attack_keys) {
+      placed += demuxer->insert(key) != nullptr ? 1 : 0;
+    }
+    EXPECT_LE(placed, 8u);
+    EXPECT_EQ(demuxer->resilience().inserts_shed,
+              attack_keys.size() - placed);
+    // ...and the worst lookup the polluted table answers still examines at
+    // most the structural bound of 8 keys — no collateral latency damage.
+    std::uint32_t worst = 0;
+    for (const net::FlowKey& key : attack_keys) {
+      worst = std::max(worst, demuxer->lookup(key).examined);
+    }
+    EXPECT_LE(worst, 8u);
+  }
+
+  // Keyed PRF tier, full replay: the crafted hashes scatter, every attack
+  // connection is admitted, and lookups stay O(1) for everyone.
+  const auto config = core::parse_demux_spec("cuckoo:4096:siphash@5eed");
+  ASSERT_TRUE(config.has_value());
+  const auto demuxer = core::make_demuxer(*config);
+  const ReplayResult keyed = replay_trace(flood.trace, flood.keys, *demuxer);
+  ASSERT_EQ(keyed.misses, 0u);
+  EXPECT_LE(keyed.overall.max(), 8u);
 }
 
 }  // namespace

@@ -128,7 +128,10 @@ INSTANTIATE_TEST_SUITE_P(
                       "sequent:7:crc32:nocache", "hashed_mtf:19",
                       "dynamic:5:crc32", "rcu", "rcu:7:crc32:nocache", "flat",
                       "flat:64:crc32", "sequent:19:siphash@5eed:rehash",
-                      "flat:256:siphash@5eed:rehash"),
+                      "flat:256:siphash@5eed:rehash", "flat16",
+                      "flat16:64:crc32", "flat16:256:siphash@5eed:rehash",
+                      "cuckoo", "cuckoo:64:crc32",
+                      "cuckoo:256:siphash@5eed:rehash"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "core/cuckoo_demuxer.h"
 #include "core/demux_registry.h"
 #include "core/dynamic_hash.h"
 #include "core/flat_demuxer.h"
@@ -63,6 +64,18 @@ TEST(Shedding, DynamicEnforcesMaxPcbs) {
 TEST(Shedding, FlatEnforcesMaxPcbs) {
   FlatDemuxer demuxer(
       {1024, net::HasherKind::kCrc32, false, /*max_pcbs=*/64});
+  expect_cap_enforced(demuxer, 64);
+}
+
+TEST(Shedding, Flat16EnforcesMaxPcbs) {
+  FlatDemuxer demuxer({1024, net::HasherKind::kCrc32, false, /*max_pcbs=*/64,
+                       /*group_probe=*/true});
+  expect_cap_enforced(demuxer, 64);
+}
+
+TEST(Shedding, CuckooEnforcesMaxPcbs) {
+  CuckooDemuxer demuxer(
+      {1024, net::HasherKind::kCrc32c, false, /*max_pcbs=*/64});
   expect_cap_enforced(demuxer, 64);
 }
 

@@ -32,6 +32,12 @@ Line rules:
   telemetry-registry no mutable static integer/atomic counters in src/core:
                      instrumentation goes through DemuxStats /
                      report::Telemetry.
+  simd-discipline    vector/hash intrinsics (_mm_*, NEON v*q_*, __crc32*,
+                     and their headers) only inside the audited shims
+                     core/simd.h and net/crc32c.h: every SIMD path must
+                     ship next to its portable SWAR/table fallback and a
+                     runtime-verifiable backend report, not scatter
+                     ifdef'd intrinsics through the tree.
   rng-discipline     no raw std::mt19937 engines in src/sim, src/tcp, or
                      src/net outside sim/rng.h: generators draw through
                      sim::Rng so every trace is reproducible from one seed.
@@ -527,6 +533,19 @@ def build_rules(root: str) -> list:
             "no ad-hoc mutable static counters in src/core: route "
             "instrumentation through DemuxStats / report::Telemetry so it "
             "is per-demuxer, resettable, and exported",
+        ),
+        RegexRule(
+            "simd-discipline",
+            r"(?:\b_mm_\w+|\b_mm256_\w+|\b__m128i?\b|\b__m256i?d?\b"
+            r"|\bv(?:ld1|st1|ceq|dup|and|orr|min|max)q?_\w+"
+            r"|\b__crc32c?[bhwd]\b"
+            r"|#\s*include\s*<(?:\w*mmintrin|arm_neon|arm_acle)\.h>)",
+            ("src", "tests", "bench", "examples"),
+            "vector/hash intrinsics live only in the audited shims "
+            "(core/simd.h group probing, net/crc32c.h hashing): one "
+            "portable header per capability keeps every SIMD path paired "
+            "with its SWAR/table fallback and runtime dispatch",
+            ("src/core/simd.h", "src/net/crc32c.h"),
         ),
         RegexRule(
             "rng-discipline",

@@ -37,6 +37,11 @@ MIN_SYNTHETIC_WORKLOADS = 5
 MIN_PCAP_WORKLOADS = 1
 MIN_DEMUXERS = 5
 
+# Demuxer families (the spec head before the first ':') that must have a
+# row in every matrix. Grown alongside the registry so a new backend that
+# never enters the bench is caught here, not noticed months later.
+REQUIRED_DEMUXER_FAMILIES = ("bsd", "sequent", "flat", "flat16", "cuckoo")
+
 
 def _is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
@@ -107,6 +112,13 @@ def check_matrix(records, errors):
             f"only {len(demuxers)} demuxers (need >= {MIN_DEMUXERS}): "
             f"{demuxers}"
         )
+    families = {d.split(":")[0] for d in demuxers}
+    for family in REQUIRED_DEMUXER_FAMILIES:
+        if family not in families:
+            errors.append(
+                f"required demuxer family '{family}' has no matrix row "
+                f"(present: {sorted(families)})"
+            )
     return len(workloads), len(demuxers), len(cells)
 
 
