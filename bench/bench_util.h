@@ -213,8 +213,9 @@ class MissSequencer {
 //   --json <path>       export a JSON record array (report/bench_json.h)
 //   --telemetry <path>  dump per-demuxer telemetry (report/telemetry_json.h)
 //                       alongside the timings
-//   --sizes <a,b,...>   restrict a population-sweep bench to these sizes
-//                       (overhead A/B runs re-measure one size many times)
+//   --sizes <a,b,...>   restrict a population-sweep bench to these sizes;
+//                       "500k"/"2m" suffixes scale by 1e3/1e6 (overhead A/B
+//                       runs re-measure one size many times)
 //   --miss-rate <f>     blend f (in [0,1]) negative lookups into the key
 //                       stream (keys absent from the table, see above);
 //                       1.0 = every lookup misses, the pure negative axis
@@ -257,9 +258,20 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       const std::string list = argv[++i];
       for (std::size_t pos = 0; pos < list.size();) {
         const std::size_t comma = std::min(list.find(',', pos), list.size());
-        const unsigned long v = std::strtoul(
-            list.substr(pos, comma - pos).c_str(), nullptr, 10);
-        if (v == 0) {
+        const std::string item = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+        // Scale suffix for population sizes: "500k" and "2m" read better
+        // than raw digit strings in the multi-million-PCB sweeps.
+        if (end != nullptr && (*end == 'k' || *end == 'K')) {
+          v *= 1000ULL;
+          ++end;
+        } else if (end != nullptr && (*end == 'm' || *end == 'M')) {
+          v *= 1000000ULL;
+          ++end;
+        }
+        if (v == 0 || v > 0xffffffffULL || end == nullptr || *end != '\0' ||
+            end == item.c_str()) {
           std::fprintf(stderr, "--sizes: bad size list '%s'\n", list.c_str());
           std::exit(2);
         }

@@ -16,6 +16,10 @@
 //   wallclock_lookup [--smoke] [--json <path>] [--telemetry <path>]
 //                    [--sizes <a,b,...>] [--miss-rate <f>]
 //
+// --sizes accepts k/m suffixes ("--sizes 2m" measures a two-million-PCB
+// population); the arrival sequence and structure sizing scale with the
+// requested population, so multi-million rows need no other flags.
+//
 // --miss-rate blends negative lookups (keys absent from the table) into
 // the arrival stream at the given fraction — the axis where linear scans
 // pay full population cost to answer "no connection" while the flat
@@ -81,7 +85,11 @@ std::vector<std::pair<std::uint32_t, core::SegmentKind>> make_sequence(
 std::uint32_t scaled_chains(std::uint32_t users) {
   if (users <= 2000) return 251;
   if (users <= 20000) return 2521;
-  return 25013;
+  if (users <= 200000) return 25013;
+  // Multi-million-PCB rows (--sizes 2m/10m): keep mean chain length ~8
+  // rather than letting the 200 k tier degenerate to 80+ per chain.
+  if (users <= 2000000) return 250007;
+  return 1250003;
 }
 
 std::vector<std::string> specs_for(std::uint32_t users) {

@@ -27,6 +27,24 @@ for b in "${BENCHES[@]}"; do
   "$ROOT/build/bench/$b" --smoke --json "$TMPDIR_JSON/$b.json"
 done
 
+# --sizes suffix handling: "2k" must parse to a 2000-user row (the
+# multi-million sweeps are spelled "--sizes 2m"; a regression here would
+# silently bench the wrong population).
+echo "== bench smoke: --sizes suffix parse =="
+"$ROOT/build/bench/wallclock_lookup" --smoke --sizes 2k \
+    --json "$TMPDIR_JSON/sizes_suffix.json"
+python3 - "$TMPDIR_JSON/sizes_suffix.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+users = {r["metrics"]["users"] for r in records
+         if "users" in r.get("metrics", {})}
+if users != {2000}:
+    sys.exit(f"--sizes 2k parsed to populations {sorted(users)}, not 2000")
+print("--sizes suffix parse OK")
+EOF
+rm -f "$TMPDIR_JSON/sizes_suffix.json"
+
 # Each export is a JSON array; merge them into one array, then check the
 # backend roster: every demuxer family the registry grew must show up in
 # the merged export, or a bench spec list silently went stale.

@@ -15,6 +15,8 @@
 #   stage 10 tidy    clang-tidy over compile_commands   (SKIP_TIDY=1 skips)
 #   stage 11 swar    SWAR-forced rebuild of the group-probe/hash fallbacks
 #                    + core/fuzz/robustness ctest       (SKIP_SWAR=1 skips)
+#   stage 12 resize  wallclock_resize --smoke + bounded-pause
+#                    assertion (validate_resize.py)     (SKIP_RESIZE=1 skips)
 #
 # Stages 9 and 10 need LLVM tooling (clang++ / clang-tidy) and skip with a
 # notice when it is not installed, so a GCC-only box still passes the gate.
@@ -188,6 +190,24 @@ if [[ "${SKIP_SWAR:-0}" != "1" ]]; then
   done
 else
   skipped swar SKIP_SWAR
+fi
+
+if [[ "${SKIP_RESIZE:-0}" != "1" ]]; then
+  stage resize "incremental-resize pause smoke + bounded-pause assertion"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  cmake --build "$ROOT/build" -j "$JOBS" --target wallclock_resize
+  # Smoke-size growth sweep (64k -> 128k per backend, baseline vs
+  # incremental); the validator asserts the incremental worst-case pause
+  # stays a fixed fraction of the stop-the-world spike and that lookup
+  # p99 stays flat through the doubling.
+  "$ROOT/build/bench/wallclock_resize" --smoke \
+      --json "$ROOT/build/wallclock_resize.smoke.json"
+  python3 "$ROOT/tools/bench/validate_resize.py" \
+      "$ROOT/build/wallclock_resize.smoke.json"
+else
+  skipped resize SKIP_RESIZE
 fi
 
 echo

@@ -7,6 +7,7 @@
 
 #include "core/fault_inject.h"
 #include "core/prefetch.h"
+#include "core/resize_policy.h"
 #include "core/simd.h"
 
 namespace tcpdemux::core {
@@ -200,15 +201,22 @@ bool CuckooDemuxer::place_entry(std::uint32_t h, const net::FlowKey& key,
 Pcb* CuckooDemuxer::insert(const net::FlowKey& key) {
   std::uint32_t h = hash_of(key);
   if (find_slot(h, key).slot != kNpos) return nullptr;
+  if (old_ != nullptr && find_slot_old(h, key).slot != kNpos) return nullptr;
   if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
     ++inserts_shed_;
     telemetry_->on_shed();
     return nullptr;
   }
   if (FaultInjector::instance().poll_alloc()) return nullptr;
-  // Grow at 7/8 occupancy: 4-way buckets keep kick paths short below
-  // that, and the filter bits stay sparse.
-  if ((size_ + 1) * 8 > capacity() * 7) grow();
+  maybe_grow();
+  // Ladder rung 2: growth is allocation-blocked and the live array has
+  // hit its hard 15/16 watermark — shed rather than let kick searches
+  // thrash a nearly full table.
+  if (grow_blocked_ && (size_ + 1) * 16 > capacity() * 15) {
+    ++inserts_shed_;
+    telemetry_->on_shed();
+    return nullptr;
+  }
   auto pcb = std::make_unique<Pcb>(key, next_conn_id());
   Pcb* const raw = pcb.get();
   std::size_t effort = 0;
@@ -239,7 +247,183 @@ Pcb* CuckooDemuxer::insert(const net::FlowKey& key) {
   ++size_;
   telemetry_->on_insert();
   note_insert(effort);
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateBatch);
   return raw;
+}
+
+void CuckooDemuxer::maybe_grow() {
+  // Grow at 7/8 occupancy: 4-way buckets keep kick paths short below
+  // that, and the filter bits stay sparse.
+  if ((size_ + 1) * 8 <= capacity() * 7) return;
+  if (!options_.incremental) {
+    grow();
+    return;
+  }
+  if (old_ != nullptr) {
+    // The *new* array itself hit the trigger while the old one still
+    // drains: churn outpaced migration. Finish the drain (bounded by the
+    // remaining debt), then start the next doubling below.
+    finish_migration();
+  }
+  if (grow_blocked_ && grow_retry_in_ > 0) {
+    --grow_retry_in_;
+    return;
+  }
+  start_migration();
+}
+
+bool CuckooDemuxer::start_migration() {
+  if (FaultInjector::instance().poll_alloc()) {
+    defer_migration();
+    return false;
+  }
+  const std::size_t buckets = bucket_count() * 2;
+  const std::size_t slots = buckets * kBucketWidth;
+  std::unique_ptr<OldTable> old;
+  std::vector<BucketMeta> meta;
+  std::vector<std::array<std::uint16_t, 16>> filter_counts;
+  std::vector<std::uint32_t> hashes;
+  std::vector<net::FlowKey> keys;
+  std::vector<std::unique_ptr<Pcb>> pcbs;
+  try {
+    old = std::make_unique<OldTable>();
+    meta.assign(buckets, BucketMeta{});
+    filter_counts.assign(buckets, {});
+    hashes.assign(slots, 0);
+    keys.assign(slots, net::FlowKey{});
+    pcbs.resize(slots);
+  } catch (const std::bad_alloc&) {
+    defer_migration();
+    return false;
+  }
+  // Everything allocated: swing the live arrays behind the drain cursor.
+  // No failure path from here on, so no intermediate state can leak.
+  old->bucket_mask = bucket_mask_;
+  old->residents = size_;
+  old->meta = std::move(meta_);
+  old->hashes = std::move(hashes_);
+  old->keys = std::move(keys_);
+  old->pcbs = std::move(pcbs_);
+  old->filter_counts = std::move(filter_counts_);
+  old_ = std::move(old);
+  bucket_mask_ = buckets - 1;
+  meta_ = std::move(meta);
+  hashes_ = std::move(hashes);
+  keys_ = std::move(keys);
+  pcbs_ = std::move(pcbs);
+  filter_counts_ = std::move(filter_counts);
+  grow_blocked_ = false;
+  grow_backoff_ = 0;
+  grow_retry_in_ = 0;
+  telemetry_->on_resize_start();
+  return true;
+}
+
+void CuckooDemuxer::defer_migration() {
+  grow_blocked_ = true;
+  grow_backoff_ =
+      grow_backoff_ == 0
+          ? kGrowBackoffMin
+          : std::min<std::uint64_t>(grow_backoff_ * 2, kGrowBackoffMax);
+  grow_retry_in_ = grow_backoff_;
+  telemetry_->on_resize_defer();
+}
+
+void CuckooDemuxer::migrate_batch(std::size_t budget) {
+  if (old_ == nullptr) return;
+  OldTable& old = *old_;
+  std::size_t moved = 0;
+  std::size_t scanned = 0;
+  const std::size_t scan_budget = budget * kMigrateScanFactor;
+  while (moved < budget && old.residents > 0) {
+    // residents > 0 guarantees an occupied slot at or past the cursor:
+    // nothing is ever placed or kicked into the old array, so the
+    // drained prefix [0, cursor) never refills.
+    const std::size_t slot = old.cursor;
+    if (old.meta[slot / kBucketWidth].tags[slot % kBucketWidth] == 0) {
+      ++old.cursor;
+      if (++scanned >= scan_budget) break;
+      continue;
+    }
+    const std::uint32_t h = old.hashes[slot];
+    const net::FlowKey key = old.keys[slot];
+    std::unique_ptr<Pcb> pcb = std::move(old.pcbs[slot]);
+    std::size_t effort = 0;
+    while (!place_entry(h, key, pcb, &effort)) {
+      // Kick search exhausted mid-drain — possible only for degenerate
+      // hash sets (the live array is at most half full here). The
+      // stop-the-world rebuild ladder separates them; pointer-stable.
+      grow();
+    }
+    clear_slot_old(slot);
+    --old.residents;
+    ++moved;
+  }
+  telemetry_->on_resize_step(moved, old.residents);
+  if (old.residents == 0) {
+    old_.reset();
+    telemetry_->on_resize_complete();
+  }
+}
+
+void CuckooDemuxer::finish_migration() {
+  while (old_ != nullptr) migrate_batch(old_->residents + 1);
+}
+
+bool CuckooDemuxer::migration_step() {
+  migrate_batch(kMigrateBatch);
+  return old_ != nullptr;
+}
+
+CuckooDemuxer::Probe CuckooDemuxer::find_slot_old(
+    std::uint32_t h, const net::FlowKey& key) const noexcept {
+  const OldTable& old = *old_;
+  Probe r;
+  const std::uint8_t tag = tag_of(h);
+  const std::size_t b1 = h & old.bucket_mask;
+  std::uint32_t match = bucket_match(old.meta[b1].tags.data(), tag);
+  while (match != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(match));
+    ++r.examined;
+    if (old.keys[b1 * kBucketWidth + s] == key) {
+      r.slot = b1 * kBucketWidth + s;
+      return r;
+    }
+    match &= match - 1;
+  }
+  if ((old.meta[b1].filter & (1U << filter_index(tag))) == 0) return r;
+  r.buckets = 2;
+  const std::size_t b2 =
+      (b1 ^ (net::mix32_avalanche(tag) | 1U)) & old.bucket_mask;
+  match = bucket_match(old.meta[b2].tags.data(), tag);
+  while (match != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(match));
+    ++r.examined;
+    if (old.keys[b2 * kBucketWidth + s] == key) {
+      r.slot = b2 * kBucketWidth + s;
+      return r;
+    }
+    match &= match - 1;
+  }
+  return r;
+}
+
+void CuckooDemuxer::old_filter_remove(std::size_t bucket,
+                                      std::uint8_t tag) noexcept {
+  const std::uint32_t idx = filter_index(tag);
+  if (--old_->filter_counts[bucket][idx] == 0) {
+    old_->meta[bucket].filter &= static_cast<std::uint16_t>(~(1U << idx));
+  }
+}
+
+void CuckooDemuxer::clear_slot_old(std::size_t slot) noexcept {
+  OldTable& old = *old_;
+  const std::size_t bucket = slot / kBucketWidth;
+  const std::uint8_t tag = old.meta[bucket].tags[slot % kBucketWidth];
+  const std::size_t primary = old.hashes[slot] & old.bucket_mask;
+  if (bucket != primary) old_filter_remove(primary, tag);
+  old.meta[bucket].tags[slot % kBucketWidth] = 0;
+  old.pcbs[slot].reset();
 }
 
 void CuckooDemuxer::note_insert(std::size_t effort) {
@@ -248,6 +432,10 @@ void CuckooDemuxer::note_insert(std::size_t effort) {
 }
 
 void CuckooDemuxer::rehash_with_fresh_seed() {
+  // The old array's stored hashes and filters were computed under the
+  // outgoing seed; re-probing it after rotation would miss every
+  // resident. Drain it first (rare: needs an overload mid-migration).
+  finish_migration();
   options_.hasher.seed = net::next_seed(options_.hasher.seed);
   rebuild(bucket_count());
   watermark_ = 0;  // search effort restarts under the fresh seed
@@ -313,33 +501,67 @@ void CuckooDemuxer::rebuild(std::size_t buckets) {
 void CuckooDemuxer::grow() { rebuild(bucket_count() * 2); }
 
 bool CuckooDemuxer::erase(const net::FlowKey& key) {
-  const Probe p = find_slot(hash_of(key), key);
-  if (p.slot == kNpos) return false;
-  const std::size_t bucket = p.slot / kBucketWidth;
-  const std::uint8_t tag = meta_[bucket].tags[p.slot % kBucketWidth];
-  const std::size_t primary = bucket_of(hashes_[p.slot]);
-  if (bucket != primary) filter_remove(primary, tag);
-  meta_[bucket].tags[p.slot % kBucketWidth] = 0;
-  pcbs_[p.slot].reset();
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
+  if (p.slot != kNpos) {
+    const std::size_t bucket = p.slot / kBucketWidth;
+    const std::uint8_t tag = meta_[bucket].tags[p.slot % kBucketWidth];
+    const std::size_t primary = bucket_of(hashes_[p.slot]);
+    if (bucket != primary) filter_remove(primary, tag);
+    meta_[bucket].tags[p.slot % kBucketWidth] = 0;
+    pcbs_[p.slot].reset();
+  } else {
+    if (old_ == nullptr) return false;
+    const Probe q = find_slot_old(h, key);
+    if (q.slot == kNpos) return false;
+    clear_slot_old(q.slot);
+    if (--old_->residents == 0) {
+      old_.reset();
+      telemetry_->on_resize_complete();
+    }
+  }
   --size_;
   telemetry_->on_erase();
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateBatch);
   return true;
 }
 
 LookupResult CuckooDemuxer::lookup(const net::FlowKey& key,
                                    SegmentKind /*kind*/) {
-  const Probe p = find_slot(hash_of(key), key);
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
   buckets_probed_ += p.buckets;
   LookupResult r;
   r.examined = p.examined;
-  if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+  if (p.slot != kNpos) {
+    r.pcb = pcbs_[p.slot].get();
+  } else if (old_ != nullptr) [[unlikely]] {
+    // Mid-migration a resident may still sit in the draining array; both
+    // probes' examined counts are charged (the paper's metric counts
+    // every key compared, whichever array holds it).
+    const Probe q = find_slot_old(h, key);
+    buckets_probed_ += q.buckets;
+    r.examined += q.examined;
+    if (q.slot != kNpos) r.pcb = old_->pcbs[q.slot].get();
+  }
   note_lookup(r);
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateLookupBatch);
   return r;
 }
 
 void CuckooDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
                                  std::span<LookupResult> results,
-                                 SegmentKind /*kind*/) {
+                                 SegmentKind kind) {
+  if (old_ != nullptr) [[unlikely]] {
+    // Mid-migration the pipelined prefetch would have to target both
+    // arrays; take the scalar path, which also paces the drain (one
+    // migrated entry per lookup). Results and stats stay bit-identical
+    // to per-packet lookup() by construction.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      results[i] = lookup(keys[i], kind);
+    }
+    return;
+  }
   // Same pipeline as the flat table: hash the chunk, issue prefetches for
   // every primary bucket's metadata and key line, then probe. The
   // alternate bucket is rarely touched (that is the filter's job), so
@@ -370,29 +592,48 @@ void CuckooDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
 LookupResult CuckooDemuxer::lookup_wildcard(const net::FlowKey& key) {
   // Exact probe first (cheap), then BSD best-match over every resident —
   // wildcard-bearing keys hash elsewhere, so nothing short of a sweep can
-  // find them. Same contract as the flat table.
-  const Probe p = find_slot(hash_of(key), key);
+  // find them. Same contract as the flat table. Both arrays are probed
+  // and swept while a migration drains.
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
   LookupResult best;
   best.examined = p.examined;
   if (p.slot != kNpos) {
     best.pcb = pcbs_[p.slot].get();
     return best;
   }
-  int best_score = -1;
-  const std::size_t cap = capacity();
-  for (std::size_t i = 0; i < cap; ++i) {
-    if (meta_[i / kBucketWidth].tags[i % kBucketWidth] == 0) continue;
-    ++best.examined;
-    const int score = keys_[i].match_score(key);
-    if (score < 0) continue;
-    if (score == 0) {
-      best.pcb = pcbs_[i].get();
+  if (old_ != nullptr) {
+    const Probe q = find_slot_old(h, key);
+    best.examined += q.examined;
+    if (q.slot != kNpos) {
+      best.pcb = old_->pcbs[q.slot].get();
       return best;
     }
-    if (best_score < 0 || score < best_score) {
-      best_score = score;
-      best.pcb = pcbs_[i].get();
+  }
+  int best_score = -1;
+  const auto sweep = [&](const std::vector<BucketMeta>& meta,
+                         const std::vector<net::FlowKey>& table_keys,
+                         const std::vector<std::unique_ptr<Pcb>>& table_pcbs,
+                         std::size_t cap) {
+    for (std::size_t i = 0; i < cap; ++i) {
+      if (meta[i / kBucketWidth].tags[i % kBucketWidth] == 0) continue;
+      ++best.examined;
+      const int score = table_keys[i].match_score(key);
+      if (score < 0) continue;
+      if (score == 0) {
+        best.pcb = table_pcbs[i].get();
+        return true;
+      }
+      if (best_score < 0 || score < best_score) {
+        best_score = score;
+        best.pcb = table_pcbs[i].get();
+      }
     }
+    return false;
+  };
+  if (sweep(meta_, keys_, pcbs_, capacity())) return best;
+  if (old_ != nullptr) {
+    sweep(old_->meta, old_->keys, old_->pcbs, old_->capacity());
   }
   return best;
 }
@@ -403,13 +644,27 @@ void CuckooDemuxer::for_each_pcb(
   for (std::size_t i = 0; i < cap; ++i) {
     if (meta_[i / kBucketWidth].tags[i % kBucketWidth] != 0) fn(*pcbs_[i]);
   }
+  if (old_ == nullptr) return;
+  const std::size_t old_cap = old_->capacity();
+  for (std::size_t i = 0; i < old_cap; ++i) {
+    if (old_->meta[i / kBucketWidth].tags[i % kBucketWidth] != 0) {
+      fn(*old_->pcbs[i]);
+    }
+  }
 }
 
 std::vector<std::size_t> CuckooDemuxer::occupancy() const {
-  std::vector<std::size_t> buckets(bucket_count(), 0);
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
+  const std::size_t old_buckets =
+      old_ == nullptr ? 0 : old_->bucket_mask + 1;
+  std::vector<std::size_t> buckets(bucket_count() + old_buckets, 0);
+  for (std::size_t b = 0; b < bucket_count(); ++b) {
     for (std::size_t s = 0; s < kBucketWidth; ++s) {
       if (meta_[b].tags[s] != 0) ++buckets[b];
+    }
+  }
+  for (std::size_t b = 0; b < old_buckets; ++b) {
+    for (std::size_t s = 0; s < kBucketWidth; ++s) {
+      if (old_->meta[b].tags[s] != 0) ++buckets[bucket_count() + b];
     }
   }
   return buckets;
@@ -420,11 +675,18 @@ ResilienceStats CuckooDemuxer::resilience() const {
 }
 
 std::size_t CuckooDemuxer::memory_bytes() const {
-  return size_ * sizeof(Pcb) + sizeof(*this) +
-         bucket_count() *
-             (sizeof(BucketMeta) + sizeof(std::array<std::uint16_t, 16>)) +
-         capacity() * (sizeof(std::uint32_t) + sizeof(net::FlowKey) +
-                       sizeof(std::unique_ptr<Pcb>));
+  constexpr std::size_t kPerBucket =
+      sizeof(BucketMeta) + sizeof(std::array<std::uint16_t, 16>);
+  constexpr std::size_t kPerSlot = sizeof(std::uint32_t) +
+                                   sizeof(net::FlowKey) +
+                                   sizeof(std::unique_ptr<Pcb>);
+  std::size_t bytes = size_ * sizeof(Pcb) + sizeof(*this) +
+                      bucket_count() * kPerBucket + capacity() * kPerSlot;
+  if (old_ != nullptr) {
+    bytes += sizeof(OldTable) + (old_->bucket_mask + 1) * kPerBucket +
+             old_->capacity() * kPerSlot;
+  }
+  return bytes;
 }
 
 std::string CuckooDemuxer::name() const {
@@ -434,6 +696,7 @@ std::string CuckooDemuxer::name() const {
   n += net::hash_spec_name(options_.hasher);
   if (options_.rehash_on_overload) n += ",rehash";
   if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
+  if (options_.incremental) n += ",incremental";
   n += ')';
   return n;
 }

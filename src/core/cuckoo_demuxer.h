@@ -60,6 +60,11 @@ class CuckooDemuxer final : public Demuxer {
     /// Refuse inserts beyond this many PCBs (0 = unbounded). Refused
     /// inserts return nullptr and count in resilience().inserts_shed.
     std::size_t max_pcbs = 0;
+    /// Grow by incremental migration instead of stop-the-world rebuild:
+    /// the outgoing bucket array drains behind a slot cursor, a bounded
+    /// batch per operation, so no insert ever pays an O(size) pause (see
+    /// DESIGN.md "Incremental resize & degradation ladder").
+    bool incremental = false;
   };
 
   CuckooDemuxer() : CuckooDemuxer(Options()) {}
@@ -108,6 +113,16 @@ class CuckooDemuxer final : public Demuxer {
   [[nodiscard]] std::uint64_t watermark_limit() const noexcept {
     return kMaxBfsNodes;
   }
+
+  bool migration_step() override;
+  /// True while an outgoing bucket array is still draining.
+  [[nodiscard]] bool migrating() const noexcept { return old_ != nullptr; }
+  /// PCBs still resident in the outgoing array (0 when not migrating).
+  [[nodiscard]] std::size_t migration_debt() const noexcept {
+    return old_ == nullptr ? 0 : old_->residents;
+  }
+  /// True while growth is allocation-blocked (ladder rung 1 engaged).
+  [[nodiscard]] bool growth_blocked() const noexcept { return grow_blocked_; }
 
   static constexpr std::size_t kBucketWidth = 4;
 
@@ -162,6 +177,37 @@ class CuckooDemuxer final : public Demuxer {
   [[nodiscard]] Probe find_slot(std::uint32_t h,
                                 const net::FlowKey& key) const noexcept;
 
+  /// The outgoing table during an incremental migration: a full shadow of
+  /// the hot/cold arrays under their pre-doubling bucket mask. Nothing is
+  /// ever placed or kicked into it, so slots [0, cursor) stay empty once
+  /// drained and `residents > 0` guarantees an occupied slot at or past
+  /// the cursor. Its counted filters are maintained through erase/drain,
+  /// so old-side negative probes keep the one-bucket guarantee.
+  struct OldTable {
+    std::size_t bucket_mask = 0;
+    std::size_t cursor = 0;  ///< slot index; advances only past empties
+    std::size_t residents = 0;
+    std::vector<BucketMeta> meta;
+    std::vector<std::uint32_t> hashes;
+    std::vector<net::FlowKey> keys;
+    std::vector<std::unique_ptr<Pcb>> pcbs;
+    std::vector<std::array<std::uint16_t, 16>> filter_counts;
+    [[nodiscard]] std::size_t capacity() const noexcept {
+      return (bucket_mask + 1) * kBucketWidth;
+    }
+  };
+
+  [[nodiscard]] Probe find_slot_old(std::uint32_t h,
+                                    const net::FlowKey& key) const noexcept;
+  void old_filter_remove(std::size_t bucket, std::uint8_t tag) noexcept;
+  void clear_slot_old(std::size_t slot) noexcept;
+
+  void maybe_grow();
+  bool start_migration();
+  void defer_migration();
+  void migrate_batch(std::size_t budget);
+  void finish_migration();
+
   void filter_add(std::size_t bucket, std::uint8_t tag) noexcept;
   void filter_remove(std::size_t bucket, std::uint8_t tag) noexcept;
 
@@ -190,7 +236,14 @@ class CuckooDemuxer final : public Demuxer {
 
   Options options_;
   std::size_t bucket_mask_ = 0;  ///< bucket_count - 1 (power of two)
+  /// Total PCBs across the live and (during migration) outgoing arrays.
   std::size_t size_ = 0;
+
+  /// Degradation-ladder state: growth allocation-blocked, with the
+  /// current backoff window and inserts remaining until the next retry.
+  bool grow_blocked_ = false;
+  std::uint64_t grow_backoff_ = 0;
+  std::uint64_t grow_retry_in_ = 0;
 
   // Overload / shedding state (see DESIGN.md "Adversarial resilience").
   std::uint64_t watermark_ = 0;
@@ -208,6 +261,7 @@ class CuckooDemuxer final : public Demuxer {
   std::vector<net::FlowKey> keys_;
   std::vector<std::unique_ptr<Pcb>> pcbs_;
   std::vector<std::array<std::uint16_t, 16>> filter_counts_;
+  std::unique_ptr<OldTable> old_;
 };
 
 }  // namespace tcpdemux::core

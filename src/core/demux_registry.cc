@@ -58,23 +58,25 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
     case Algorithm::kDynamic:
       return std::make_unique<DynamicHashDemuxer>(DynamicHashDemuxer::Options{
           config.chains, 2.0, hasher, config.per_chain_cache,
-          config.max_pcbs});
+          config.max_pcbs, config.incremental});
     case Algorithm::kRcu:
       return std::make_unique<RcuDemuxerAdapter>(RcuSequentDemuxer::Options{
           config.chains, hasher, config.per_chain_cache});
     case Algorithm::kFlat:
       return std::make_unique<FlatDemuxer>(
           FlatDemuxer::Options{config.flat_capacity, hasher,
-                               config.rehash_on_overload, config.max_pcbs});
+                               config.rehash_on_overload, config.max_pcbs,
+                               /*group_probe=*/false, config.incremental});
     case Algorithm::kFlat16:
       return std::make_unique<FlatDemuxer>(
           FlatDemuxer::Options{config.flat_capacity, hasher,
                                config.rehash_on_overload, config.max_pcbs,
-                               /*group_probe=*/true});
+                               /*group_probe=*/true, config.incremental});
     case Algorithm::kCuckoo:
       return std::make_unique<CuckooDemuxer>(
           CuckooDemuxer::Options{config.flat_capacity, hasher,
-                                 config.rehash_on_overload, config.max_pcbs});
+                                 config.rehash_on_overload, config.max_pcbs,
+                                 config.incremental});
   }
   return nullptr;
 }
@@ -207,9 +209,11 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
   const bool rehashable = config.algorithm == Algorithm::kSequent || is_flat;
   const bool cappable = config.algorithm == Algorithm::kSequent ||
                         config.algorithm == Algorithm::kDynamic || is_flat;
+  const bool growable = config.algorithm == Algorithm::kDynamic || is_flat;
   bool saw_nocache = false;
   bool saw_rehash = false;
   bool saw_max = false;
+  bool saw_incremental = false;
   for (; idx < parts.size(); ++idx) {
     const std::string_view tok = parts[idx];
     if (tok == "nocache" && cacheable && !saw_nocache) {
@@ -223,6 +227,9 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
       if (!cap || *cap == 0) return std::nullopt;
       config.max_pcbs = *cap;
       saw_max = true;
+    } else if (tok == "incremental" && growable && !saw_incremental) {
+      config.incremental = true;
+      saw_incremental = true;
     } else {
       return std::nullopt;
     }

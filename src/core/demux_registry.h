@@ -38,6 +38,10 @@ struct DemuxConfig {
   std::uint32_t hash_seed = 0;  ///< 0 = unkeyed (paper-fidelity default)
   bool rehash_on_overload = false;  ///< sequent/flat: seed-rotating rehash
   std::size_t max_pcbs = 0;         ///< sequent/dynamic/flat: 0 = unbounded
+  /// dynamic/flat/flat16/cuckoo: grow by bounded-pause incremental
+  /// migration instead of a stop-the-world rebuild (see DESIGN.md
+  /// "Incremental resize & degradation ladder").
+  bool incremental = false;
 };
 
 /// Instantiates the configured demuxer.
@@ -67,6 +71,8 @@ struct DemuxConfig {
 ///               overload watermark
 ///   "max=N"     sequent/dynamic/flat/flat16/cuckoo: shed inserts beyond
 ///               N PCBs (N > 0)
+///   "incremental"  dynamic/flat/flat16/cuckoo: bounded-pause incremental
+///               resize with the memory-pressure degradation ladder
 /// Returns nullopt on any unrecognized token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);

@@ -8,6 +8,7 @@
 
 #include "core/fault_inject.h"
 #include "core/prefetch.h"
+#include "core/resize_policy.h"
 #include "core/simd.h"
 
 namespace tcpdemux::core {
@@ -98,22 +99,187 @@ FlatDemuxer::Probe FlatDemuxer::find_slot_grouped(
 Pcb* FlatDemuxer::insert(const net::FlowKey& key) {
   std::uint32_t h = hash_of(key);
   if (find_slot(h, key).slot != kNpos) return nullptr;
+  if (old_ != nullptr && find_slot_old(h, key).slot != kNpos) return nullptr;
   if (options_.max_pcbs != 0 && size_ >= options_.max_pcbs) {
     ++inserts_shed_;
     telemetry_->on_shed();
     return nullptr;
   }
   if (FaultInjector::instance().poll_alloc()) return nullptr;
-  // Grow at 7/8 occupancy: beyond that, probe runs lengthen sharply and
-  // the tag array stops saving traffic.
-  if ((size_ + 1) * 8 > capacity() * 7) grow();
+  maybe_grow();
+  // Ladder rung 2: growth is allocation-blocked and the array has hit its
+  // hard 15/16 watermark — shed rather than let probe runs degrade
+  // unboundedly toward a full table.
+  if (grow_blocked_ && (size_ + 1) * 16 > capacity() * 15) {
+    ++inserts_shed_;
+    telemetry_->on_shed();
+    return nullptr;
+  }
   auto pcb = std::make_unique<Pcb>(key, next_conn_id());
   Pcb* const raw = pcb.get();
   const std::size_t dist = place(h, key, std::move(pcb));
   ++size_;
   telemetry_->on_insert();
   note_insert(dist);
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateBatch);
   return raw;
+}
+
+void FlatDemuxer::maybe_grow() {
+  // Grow at 7/8 occupancy: beyond that, probe runs lengthen sharply and
+  // the tag array stops saving traffic.
+  if ((size_ + 1) * 8 <= capacity() * 7) return;
+  if (!options_.incremental) {
+    grow();
+    return;
+  }
+  if (old_ != nullptr) {
+    // The *new* array itself hit the trigger while the old one still
+    // drains: churn outpaced migration. Finish the drain (bounded by the
+    // remaining debt), then start the next doubling below.
+    finish_migration();
+  }
+  if (grow_blocked_ && grow_retry_in_ > 0) {
+    --grow_retry_in_;
+    return;
+  }
+  start_migration();
+}
+
+bool FlatDemuxer::start_migration() {
+  if (FaultInjector::instance().poll_alloc()) {
+    defer_migration();
+    return false;
+  }
+  const std::size_t cap = capacity() * 2;
+  std::unique_ptr<OldTable> old;
+  std::vector<std::uint8_t> tags;
+  std::vector<std::uint32_t> hashes;
+  std::vector<net::FlowKey> keys;
+  std::vector<std::unique_ptr<Pcb>> pcbs;
+  try {
+    old = std::make_unique<OldTable>();
+    tags.assign(cap, 0);
+    hashes.assign(cap, 0);
+    keys.assign(cap, net::FlowKey{});
+    pcbs.resize(cap);
+  } catch (const std::bad_alloc&) {
+    defer_migration();
+    return false;
+  }
+  // Everything allocated: swing the live array behind the drain cursor.
+  // No failure path from here on, so no intermediate state can leak.
+  old->mask = mask_;
+  old->residents = size_;
+  old->tags = std::move(tags_);
+  old->hashes = std::move(hashes_);
+  old->keys = std::move(keys_);
+  old->pcbs = std::move(pcbs_);
+  old_ = std::move(old);
+  mask_ = cap - 1;
+  tags_ = std::move(tags);
+  hashes_ = std::move(hashes);
+  keys_ = std::move(keys);
+  pcbs_ = std::move(pcbs);
+  grow_blocked_ = false;
+  grow_backoff_ = 0;
+  grow_retry_in_ = 0;
+  telemetry_->on_resize_start();
+  return true;
+}
+
+void FlatDemuxer::defer_migration() {
+  grow_blocked_ = true;
+  grow_backoff_ =
+      grow_backoff_ == 0
+          ? kGrowBackoffMin
+          : std::min<std::uint64_t>(grow_backoff_ * 2, kGrowBackoffMax);
+  grow_retry_in_ = grow_backoff_;
+  telemetry_->on_resize_defer();
+}
+
+void FlatDemuxer::migrate_batch(std::size_t budget) {
+  if (old_ == nullptr) return;
+  OldTable& old = *old_;
+  std::size_t moved = 0;
+  std::size_t scanned = 0;
+  const std::size_t scan_budget = budget * kMigrateScanFactor;
+  while (moved < budget && old.residents > 0) {
+    // residents > 0 guarantees an occupied slot at or past the cursor:
+    // nothing is ever placed into the old array, and backward-shift only
+    // vacates slots, so the drained prefix [0, cursor) never refills.
+    if (old.tags[old.cursor] == 0) {
+      ++old.cursor;
+      if (++scanned >= scan_budget) break;
+      continue;
+    }
+    const std::size_t i = old.cursor;
+    const std::uint32_t h = old.hashes[i];
+    const net::FlowKey key = old.keys[i];
+    std::unique_ptr<Pcb> pcb = std::move(old.pcbs[i]);
+    // Copy-place into the new array first, then clear the old slot; the
+    // old array stays intact up to the moment the entry is live in the
+    // new one. Placement into the preallocated array cannot allocate.
+    place(h, key, std::move(pcb));
+    remove_at_old(i);
+    --old.residents;
+    ++moved;
+  }
+  telemetry_->on_resize_step(moved, old.residents);
+  if (old.residents == 0) {
+    old_.reset();
+    telemetry_->on_resize_complete();
+  }
+}
+
+void FlatDemuxer::finish_migration() {
+  while (old_ != nullptr) migrate_batch(old_->residents + 1);
+}
+
+bool FlatDemuxer::migration_step() {
+  migrate_batch(kMigrateBatch);
+  return old_ != nullptr;
+}
+
+FlatDemuxer::Probe FlatDemuxer::find_slot_old(
+    std::uint32_t h, const net::FlowKey& key) const noexcept {
+  const OldTable& old = *old_;
+  Probe r;
+  const std::uint8_t tag = tag_of(h);
+  std::size_t i = h & old.mask;
+  std::size_t dist = 0;
+  while (dist <= old.mask) {
+    const std::uint8_t t = old.tags[i];
+    if (t == 0) return r;
+    if (t == tag) {
+      ++r.examined;
+      if (old.keys[i] == key) {
+        r.slot = i;
+        return r;
+      }
+    }
+    if (old.probe_distance(i) < dist) return r;
+    i = (i + 1) & old.mask;
+    ++dist;
+  }
+  return r;
+}
+
+void FlatDemuxer::remove_at_old(std::size_t i) {
+  OldTable& old = *old_;
+  old.pcbs[i].reset();
+  std::size_t j = i;
+  while (true) {
+    const std::size_t n = (j + 1) & old.mask;
+    if (old.tags[n] == 0 || old.probe_distance(n) == 0) break;
+    old.tags[j] = old.tags[n];
+    old.hashes[j] = old.hashes[n];
+    old.keys[j] = old.keys[n];
+    old.pcbs[j] = std::move(old.pcbs[n]);
+    j = n;
+  }
+  old.tags[j] = 0;
+  old.pcbs[j].reset();
 }
 
 std::size_t FlatDemuxer::place(std::uint32_t h, net::FlowKey key,
@@ -153,6 +319,10 @@ void FlatDemuxer::note_insert(std::size_t place_distance) {
 }
 
 void FlatDemuxer::rehash_with_fresh_seed() {
+  // The old array's stored hashes were computed under the outgoing seed;
+  // re-probing it after rotation would miss every resident. Drain it
+  // first (rare: requires an overload trigger mid-migration).
+  finish_migration();
   options_.hasher.seed = net::next_seed(options_.hasher.seed);
   const std::size_t cap = capacity();
   std::vector<std::uint8_t> old_tags = std::move(tags_);
@@ -183,11 +353,23 @@ ResilienceStats FlatDemuxer::resilience() const {
 }
 
 bool FlatDemuxer::erase(const net::FlowKey& key) {
-  const Probe p = find_slot(hash_of(key), key);
-  if (p.slot == kNpos) return false;
-  remove_at(p.slot);
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
+  if (p.slot != kNpos) {
+    remove_at(p.slot);
+  } else {
+    if (old_ == nullptr) return false;
+    const Probe q = find_slot_old(h, key);
+    if (q.slot == kNpos) return false;
+    remove_at_old(q.slot);
+    if (--old_->residents == 0) {
+      old_.reset();
+      telemetry_->on_resize_complete();
+    }
+  }
   --size_;
   telemetry_->on_erase();
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateBatch);
   return true;
 }
 
@@ -233,17 +415,38 @@ void FlatDemuxer::grow() {
 
 LookupResult FlatDemuxer::lookup(const net::FlowKey& key,
                                  SegmentKind /*kind*/) {
-  const Probe p = find_slot(hash_of(key), key);
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
   LookupResult r;
   r.examined = p.examined;
-  if (p.slot != kNpos) r.pcb = pcbs_[p.slot].get();
+  if (p.slot != kNpos) {
+    r.pcb = pcbs_[p.slot].get();
+  } else if (old_ != nullptr) [[unlikely]] {
+    // Mid-migration a resident may still sit in the draining array; both
+    // probes' examined counts are charged (the paper's metric counts every
+    // key compared, whichever array holds it).
+    const Probe q = find_slot_old(h, key);
+    r.examined += q.examined;
+    if (q.slot != kNpos) r.pcb = old_->pcbs[q.slot].get();
+  }
   note_lookup(r);
+  if (old_ != nullptr) [[unlikely]] migrate_batch(kMigrateLookupBatch);
   return r;
 }
 
 void FlatDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
                                std::span<LookupResult> results,
-                               SegmentKind /*kind*/) {
+                               SegmentKind kind) {
+  if (old_ != nullptr) [[unlikely]] {
+    // Mid-migration the pipelined prefetch would have to target both
+    // arrays; take the scalar path, which also paces the drain (one
+    // migrated entry per lookup). Results and stats stay bit-identical
+    // to per-packet lookup() by construction.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      results[i] = lookup(keys[i], kind);
+    }
+    return;
+  }
   // Pipeline: hash the whole chunk and issue prefetches for every home
   // slot's tag and key lines, then probe. By the time the first probe
   // dereferences its slot the remaining loads are already in flight, so a
@@ -275,29 +478,46 @@ void FlatDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
 LookupResult FlatDemuxer::lookup_wildcard(const net::FlowKey& key) {
   // Exact probe first (cheap), then BSD best-match over every resident:
   // wildcard-bearing keys hash elsewhere, so nothing short of a sweep can
-  // find them — exactly the chained demuxers' all-chains fallback.
-  const Probe p = find_slot(hash_of(key), key);
+  // find them — exactly the chained demuxers' all-chains fallback. Both
+  // arrays are probed and swept while a migration drains.
+  const std::uint32_t h = hash_of(key);
+  const Probe p = find_slot(h, key);
   LookupResult best;
   best.examined = p.examined;
   if (p.slot != kNpos) {
     best.pcb = pcbs_[p.slot].get();
     return best;
   }
-  int best_score = -1;
-  for (std::size_t i = 0; i <= mask_; ++i) {
-    if (tags_[i] == 0) continue;
-    ++best.examined;
-    const int score = keys_[i].match_score(key);
-    if (score < 0) continue;
-    if (score == 0) {
-      best.pcb = pcbs_[i].get();
+  if (old_ != nullptr) {
+    const Probe q = find_slot_old(h, key);
+    best.examined += q.examined;
+    if (q.slot != kNpos) {
+      best.pcb = old_->pcbs[q.slot].get();
       return best;
     }
-    if (best_score < 0 || score < best_score) {
-      best_score = score;
-      best.pcb = pcbs_[i].get();
-    }
   }
+  int best_score = -1;
+  const auto sweep = [&](const std::vector<std::uint8_t>& tags,
+                         const std::vector<net::FlowKey>& table_keys,
+                         const std::vector<std::unique_ptr<Pcb>>& table_pcbs) {
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (tags[i] == 0) continue;
+      ++best.examined;
+      const int score = table_keys[i].match_score(key);
+      if (score < 0) continue;
+      if (score == 0) {
+        best.pcb = table_pcbs[i].get();
+        return true;
+      }
+      if (best_score < 0 || score < best_score) {
+        best_score = score;
+        best.pcb = table_pcbs[i].get();
+      }
+    }
+    return false;
+  };
+  if (sweep(tags_, keys_, pcbs_)) return best;
+  if (old_ != nullptr) sweep(old_->tags, old_->keys, old_->pcbs);
   return best;
 }
 
@@ -306,6 +526,10 @@ void FlatDemuxer::for_each_pcb(
   for (std::size_t i = 0; i <= mask_; ++i) {
     if (tags_[i] != 0) fn(*pcbs_[i]);
   }
+  if (old_ == nullptr) return;
+  for (std::size_t i = 0; i <= old_->mask; ++i) {
+    if (old_->tags[i] != 0) fn(*old_->pcbs[i]);
+  }
 }
 
 std::size_t FlatDemuxer::max_probe_distance() const noexcept {
@@ -313,36 +537,57 @@ std::size_t FlatDemuxer::max_probe_distance() const noexcept {
   for (std::size_t i = 0; i <= mask_; ++i) {
     if (tags_[i] != 0) max = std::max(max, probe_distance(i));
   }
+  if (old_ != nullptr) {
+    for (std::size_t i = 0; i <= old_->mask; ++i) {
+      if (old_->tags[i] != 0) max = std::max(max, old_->probe_distance(i));
+    }
+  }
   return max;
 }
 
 std::vector<std::size_t> FlatDemuxer::occupancy() const {
   std::vector<std::size_t> runs;
   if (size_ == 0) return runs;
-  const std::size_t cap = capacity();
   // Start at an empty slot so a run wrapping the table end is not split
-  // in two; a full table is one run.
-  std::size_t start = 0;
-  while (start < cap && tags_[start] != 0) ++start;
-  if (start == cap) return {size_};
-  std::size_t run = 0;
-  for (std::size_t n = 0; n < cap; ++n) {
-    const std::size_t i = (start + n) & mask_;
-    if (tags_[i] != 0) {
-      ++run;
-    } else if (run != 0) {
-      runs.push_back(run);
-      run = 0;
+  // in two; a full table is one run. During a migration the old array's
+  // runs are appended after the live array's, so the total still sums to
+  // size() and skew reflects both generations.
+  const auto append_runs = [&runs](const std::vector<std::uint8_t>& tags,
+                                   std::size_t mask) {
+    const std::size_t cap = mask + 1;
+    std::size_t start = 0;
+    while (start < cap && tags[start] != 0) ++start;
+    if (start == cap) {
+      runs.push_back(cap);
+      return;
     }
-  }
-  if (run != 0) runs.push_back(run);
+    std::size_t run = 0;
+    for (std::size_t n = 0; n < cap; ++n) {
+      const std::size_t i = (start + n) & mask;
+      if (tags[i] != 0) {
+        ++run;
+      } else if (run != 0) {
+        runs.push_back(run);
+        run = 0;
+      }
+    }
+    if (run != 0) runs.push_back(run);
+  };
+  append_runs(tags_, mask_);
+  if (old_ != nullptr) append_runs(old_->tags, old_->mask);
   return runs;
 }
 
 std::size_t FlatDemuxer::memory_bytes() const {
-  return size_ * sizeof(Pcb) + sizeof(*this) +
-         capacity() * (sizeof(std::uint8_t) + sizeof(std::uint32_t) +
-                       sizeof(net::FlowKey) + sizeof(std::unique_ptr<Pcb>));
+  constexpr std::size_t kPerSlot =
+      sizeof(std::uint8_t) + sizeof(std::uint32_t) + sizeof(net::FlowKey) +
+      sizeof(std::unique_ptr<Pcb>);
+  std::size_t bytes = size_ * sizeof(Pcb) + sizeof(*this) +
+                      capacity() * kPerSlot;
+  if (old_ != nullptr) {
+    bytes += sizeof(OldTable) + old_->capacity() * kPerSlot;
+  }
+  return bytes;
 }
 
 std::string FlatDemuxer::name() const {
@@ -352,6 +597,7 @@ std::string FlatDemuxer::name() const {
   n += net::hash_spec_name(options_.hasher);
   if (options_.rehash_on_overload) n += ",rehash";
   if (options_.max_pcbs != 0) n += ",max=" + std::to_string(options_.max_pcbs);
+  if (options_.incremental) n += ",incremental";
   n += ')';
   return n;
 }

@@ -23,7 +23,15 @@
 //     degrades with churn;
 //   * growth doubles the table at 7/8 occupancy and rehashes in place
 //     (amortized O(1) per insert). Pcb objects are individually owned, so
-//     Pcb* stay stable across growth and slot shifts.
+//     Pcb* stay stable across growth and slot shifts;
+//   * with Options::incremental the rehash is no longer stop-the-world:
+//     the old slot array is kept behind a drain cursor and every
+//     insert/erase/lookup migrates a bounded batch of residents into the
+//     doubled array, so worst-case per-operation work is O(batch), not
+//     O(n). When the doubled array cannot be allocated the table degrades
+//     down a ladder — defer-and-retry with exponential backoff, then
+//     shed-at-watermark — instead of corrupting state (see DESIGN.md
+//     "Incremental resize & degradation ladder").
 //
 // Accounting: `examined` counts key comparisons (fingerprint hits), the
 // moments this structure actually touches a connection's identity. Tag
@@ -65,6 +73,10 @@ class FlatDemuxer final : public Demuxer {
     /// robin-hood keeps every probe run contiguous from the home slot to
     /// the first empty slot, which is exactly what group termination needs.
     bool group_probe = false;
+    /// Grow by incremental migration instead of a stop-the-world rehash:
+    /// the old array drains behind a cursor, a bounded batch per
+    /// operation, with the allocation-failure degradation ladder armed.
+    bool incremental = false;
   };
 
   FlatDemuxer() : FlatDemuxer(Options()) {}
@@ -85,7 +97,20 @@ class FlatDemuxer final : public Demuxer {
   [[nodiscard]] std::size_t memory_bytes() const override;
 
   /// Current slot count (doubles as the table grows). Test/bench hook.
+  /// While an incremental migration is in flight this is the *new* array's
+  /// capacity; the draining old array is extra (see memory_bytes()).
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  bool migration_step() override;
+  /// True while an incremental migration is draining the old array.
+  [[nodiscard]] bool migrating() const noexcept { return old_ != nullptr; }
+  /// Residents still waiting in the old array (0 when not migrating).
+  [[nodiscard]] std::size_t migration_debt() const noexcept {
+    return old_ != nullptr ? old_->residents : 0;
+  }
+  /// True while the degradation ladder has growth blocked on allocation
+  /// failure (inserts shed once occupancy reaches 15/16).
+  [[nodiscard]] bool growth_blocked() const noexcept { return grow_blocked_; }
   /// Longest probe sequence any resident key currently needs (test hook:
   /// robin-hood keeps this small even at high load).
   [[nodiscard]] std::size_t max_probe_distance() const noexcept;
@@ -154,18 +179,65 @@ class FlatDemuxer final : public Demuxer {
                     std::unique_ptr<Pcb> pcb);
   /// Backward-shift removal of the resident at slot `i`.
   void remove_at(std::size_t i);
-  /// Doubles the slot array and re-places every resident.
+  /// Doubles the slot array and re-places every resident (stop-the-world;
+  /// the non-incremental growth path).
   void grow();
+  /// Growth policy switch: stop-the-world grow(), or the incremental
+  /// start/force-finish/ladder machinery, at the 7/8 trigger.
+  void maybe_grow();
   /// Watermark bookkeeping after a successful insert; triggers a
   /// seed-rotating rehash when the overload policy says so.
   void note_insert(std::size_t place_distance);
   /// Rotates the seed and re-places every resident at the same capacity
-  /// (pointer-stable).
+  /// (pointer-stable). Force-finishes any in-flight migration first — the
+  /// old array's stored hashes would go stale under the new seed.
   void rehash_with_fresh_seed();
+
+  // --- incremental migration (Options::incremental) ----------------------
+  // The previous slot array, kept fully probe-able while it drains. Only
+  // removal ever touches it (nothing is placed or displaced into it), so
+  // it stays a valid robin-hood table and slots [0, cursor) stay empty:
+  // backward-shift pulls entries *toward* the removal slot and vacates the
+  // tail of the run, never refilling the drained prefix.
+  struct OldTable {
+    std::size_t mask = 0;
+    std::size_t cursor = 0;     ///< slots [0, cursor) are drained
+    std::size_t residents = 0;  ///< entries not yet migrated
+    std::vector<std::uint8_t> tags;
+    std::vector<std::uint32_t> hashes;
+    std::vector<net::FlowKey> keys;
+    std::vector<std::unique_ptr<Pcb>> pcbs;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return mask + 1; }
+    [[nodiscard]] std::size_t probe_distance(std::size_t i) const noexcept {
+      return (i - (hashes[i] & mask)) & mask;
+    }
+  };
+
+  /// Scalar probe of the draining old array (no group probing: the old
+  /// array is cold by construction and dies within one migration).
+  [[nodiscard]] Probe find_slot_old(std::uint32_t h,
+                                    const net::FlowKey& key) const noexcept;
+  /// Backward-shift removal in the old array (keeps it robin-hood valid).
+  void remove_at_old(std::size_t i);
+  /// Allocates the doubled array and swings the current one behind the
+  /// drain cursor. Returns false — after stepping the degradation ladder —
+  /// if the allocation failed (injected or real).
+  bool start_migration();
+  /// Migrates up to `budget` residents (and advances the cursor over at
+  /// most 64*budget empty slots, so a sparse old array still finishes in
+  /// bounded steps). No-op when not migrating.
+  void migrate_batch(std::size_t budget);
+  /// Drains the old array completely (the rare stop-the-world fallback:
+  /// a second growth trigger or a seed rotation mid-migration).
+  void finish_migration();
+  /// Ladder rung 1: growth refused by the allocator. Blocks growth and
+  /// arms an exponentially backed-off retry countdown (in inserts).
+  void defer_migration();
 
   Options options_;
   std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
-  std::size_t size_ = 0;
+  std::size_t size_ = 0;   ///< residents across the live and old arrays
 
   // Overload / shedding state (see DESIGN.md "Adversarial resilience").
   std::uint64_t watermark_ = 0;
@@ -173,6 +245,10 @@ class FlatDemuxer final : public Demuxer {
   std::uint64_t inserts_shed_ = 0;
   std::uint64_t inserts_since_rehash_ = 0;
   std::uint64_t rehash_cooldown_ = 0;  ///< 0 until the first rehash
+  // Degradation-ladder state (incremental mode only).
+  bool grow_blocked_ = false;       ///< allocation for the next array failed
+  std::uint64_t grow_backoff_ = 0;  ///< current retry backoff, in inserts
+  std::uint64_t grow_retry_in_ = 0;  ///< inserts until the next retry
   // Structure-of-arrays slot storage. Parallel, all sized capacity():
   // a probe touches tags_ (1 B/slot), then hashes_ for the robin-hood
   // bound (4 B/slot), and keys_ (12 B/slot) only on a fingerprint match.
@@ -181,6 +257,7 @@ class FlatDemuxer final : public Demuxer {
   std::vector<std::uint32_t> hashes_;
   std::vector<net::FlowKey> keys_;
   std::vector<std::unique_ptr<Pcb>> pcbs_;
+  std::unique_ptr<OldTable> old_;  ///< non-null while migrating
 };
 
 }  // namespace tcpdemux::core

@@ -243,6 +243,50 @@ ValidationReport StructuralValidator::validate(
     total += members.size();
     all.insert(all.end(), members.begin(), members.end());
   }
+
+  if (demuxer.old_ != nullptr) {
+    const auto& old = *demuxer.old_;
+    if (old.residents == 0) {
+      errors.add(
+          "dynamic(old): migration adjunct present with zero residents");
+    }
+    if (old.cursor > old.buckets.size()) {
+      errors.add("dynamic(old): cursor ", old.cursor,
+                 " exceeds bucket count ", old.buckets.size());
+    }
+    std::size_t old_total = 0;
+    for (std::uint32_t c = 0; c < old.buckets.size(); ++c) {
+      const DynamicHashDemuxer::Bucket& bucket = old.buckets[c];
+      std::vector<const Pcb*> members;
+      std::ostringstream what;
+      what << "dynamic(old) chain " << c;
+      check_list(bucket.list, what.str().c_str(), errors, &members);
+      // Drained-prefix invariant: the cursor advances only past empty
+      // buckets and nothing is ever inserted into the old array, so
+      // [0, cursor) stays empty for the whole migration.
+      if (c < old.cursor && !members.empty()) {
+        errors.add("dynamic(old): chain ", c,
+                   " in the drained prefix [0, cursor=", old.cursor,
+                   ") is non-empty");
+      }
+      for (const Pcb* p : members) {
+        if (demuxer.old_chain_of(p->key) != c) {
+          errors.add("dynamic(old): PCB ", p->key.to_string(),
+                     " hashes to chain ", demuxer.old_chain_of(p->key),
+                     " but sits on chain ", c);
+        }
+      }
+      check_cache_member(bucket.cache, what.str().c_str(), members, errors);
+      old_total += members.size();
+      all.insert(all.end(), members.begin(), members.end());
+    }
+    if (old_total != old.residents) {
+      errors.add("dynamic(old): chain occupancy total (", old_total,
+                 ") != residents counter (", old.residents, ")");
+    }
+    total += old_total;
+  }
+
   if (total != demuxer.size_) {
     errors.add("dynamic: chain occupancy total (", total,
                ") != size counter (", demuxer.size_, ")");
@@ -393,66 +437,137 @@ ValidationReport StructuralValidator::validate(const FlatDemuxer& demuxer) {
     return report;
   }
 
+  // Per-table slot checks; the key set is shared across the live and (when
+  // migrating) old arrays so a key resident in both is caught as a
+  // duplicate. Returns the table's occupied-slot count.
   std::unordered_set<net::FlowKey> keys;
-  std::size_t occupied = 0;
-  for (std::size_t i = 0; i < capacity; ++i) {
-    if (demuxer.tags_[i] == 0) {
-      if (demuxer.pcbs_[i] != nullptr) {
-        errors.add("flat slot ", i, ": empty tag but a PCB is still owned");
+  const auto check_table =
+      [&](const std::vector<std::uint8_t>& tags,
+          const std::vector<std::uint32_t>& hashes,
+          const std::vector<net::FlowKey>& slot_keys,
+          const std::vector<std::unique_ptr<Pcb>>& pcbs, std::size_t mask,
+          const char* what) {
+        std::size_t occupied = 0;
+        const std::size_t cap = mask + 1;
+        for (std::size_t i = 0; i < cap; ++i) {
+          if (tags[i] == 0) {
+            if (pcbs[i] != nullptr) {
+              errors.add(what, " slot ", i,
+                         ": empty tag but a PCB is still owned");
+            }
+            continue;
+          }
+          ++occupied;
+          const Pcb* const pcb = pcbs[i].get();
+          if (pcb == nullptr) {
+            errors.add(what, " slot ", i, ": occupied tag but no PCB");
+            continue;
+          }
+          // Tag <-> hash <-> key agreement: the fingerprint array and the
+          // hash array must both describe the key actually stored in the
+          // slot, or lookups silently stop finding it.
+          if (pcb->key != slot_keys[i]) {
+            errors.add(what, " slot ", i, ": PCB key ", pcb->key.to_string(),
+                       " != slot key ", slot_keys[i].to_string());
+          }
+          const std::uint32_t h = demuxer.hash_of(slot_keys[i]);
+          if (hashes[i] != h) {
+            errors.add(what, " slot ", i, ": stored hash ", hashes[i],
+                       " != hash of stored key ", h);
+          }
+          if (tags[i] != FlatDemuxer::tag_of(hashes[i])) {
+            errors.add(what, " slot ", i, ": tag ",
+                       static_cast<unsigned>(tags[i]),
+                       " disagrees with stored hash's fingerprint ",
+                       static_cast<unsigned>(FlatDemuxer::tag_of(hashes[i])));
+          }
+          // Robin-hood probe invariant: a displaced resident implies an
+          // occupied predecessor at most one step closer to its own home.
+          // A violation breaks the miss early-exit (keys become
+          // unreachable).
+          const std::size_t dist = (i - (hashes[i] & mask)) & mask;
+          if (dist > 0) {
+            const std::size_t prev = (i - 1) & mask;
+            const std::size_t prev_dist =
+                (prev - (hashes[prev] & mask)) & mask;
+            if (tags[prev] == 0) {
+              errors.add(what, " slot ", i, ": probe distance ", dist,
+                         " but predecessor slot is empty");
+            } else if (prev_dist + 1 < dist) {
+              errors.add(what, " slot ", i, ": probe distance ", dist,
+                         " exceeds predecessor's by more than one (",
+                         prev_dist, ")");
+            }
+          }
+          if (!keys.insert(slot_keys[i]).second) {
+            errors.add(what, ": duplicate key ", slot_keys[i].to_string());
+          }
+        }
+        return occupied;
+      };
+
+  std::size_t occupied =
+      check_table(demuxer.tags_, demuxer.hashes_, demuxer.keys_,
+                  demuxer.pcbs_, demuxer.mask_, "flat");
+
+  if (demuxer.old_ != nullptr) {
+    const auto& old = *demuxer.old_;
+    const std::size_t old_capacity = old.mask + 1;
+    if (old.tags.size() != old_capacity ||
+        old.hashes.size() != old_capacity ||
+        old.keys.size() != old_capacity || old.pcbs.size() != old_capacity) {
+      errors.add("flat(old): slot arrays are not all sized to capacity ",
+                 old_capacity);
+      return report;
+    }
+    // The adjunct exists only while debt remains, and drains into a table
+    // exactly one doubling larger.
+    if (old.residents == 0) {
+      errors.add("flat(old): migration adjunct present with zero residents");
+    }
+    if (old_capacity * 2 != capacity) {
+      errors.add("flat(old): old capacity ", old_capacity,
+                 " is not half the live capacity ", capacity);
+    }
+    // Drained-prefix invariant: the cursor advances only past empty slots
+    // and nothing is ever placed into the old array, so [0, cursor) stays
+    // empty for the whole migration.
+    if (old.cursor > old_capacity) {
+      errors.add("flat(old): cursor ", old.cursor, " exceeds capacity ",
+                 old_capacity);
+    }
+    for (std::size_t i = 0; i < std::min(old.cursor, old_capacity); ++i) {
+      if (old.tags[i] != 0) {
+        errors.add("flat(old): slot ", i,
+                   " in the drained prefix [0, cursor=", old.cursor,
+                   ") is occupied");
+        break;
       }
-      continue;
     }
-    ++occupied;
-    const Pcb* const pcb = demuxer.pcbs_[i].get();
-    if (pcb == nullptr) {
-      errors.add("flat slot ", i, ": occupied tag but no PCB");
-      continue;
+    const std::size_t old_occupied = check_table(
+        old.tags, old.hashes, old.keys, old.pcbs, old.mask, "flat(old)");
+    if (old_occupied != old.residents) {
+      errors.add("flat(old): occupied slots (", old_occupied,
+                 ") != residents counter (", old.residents, ")");
     }
-    // Tag <-> hash <-> key agreement: the fingerprint array and the hash
-    // array must both describe the key actually stored in the slot, or
-    // lookups silently stop finding it.
-    if (pcb->key != demuxer.keys_[i]) {
-      errors.add("flat slot ", i, ": PCB key ", pcb->key.to_string(),
-                 " != slot key ", demuxer.keys_[i].to_string());
-    }
-    const std::uint32_t h = demuxer.hash_of(demuxer.keys_[i]);
-    if (demuxer.hashes_[i] != h) {
-      errors.add("flat slot ", i, ": stored hash ", demuxer.hashes_[i],
-                 " != hash of stored key ", h);
-    }
-    if (demuxer.tags_[i] != FlatDemuxer::tag_of(demuxer.hashes_[i])) {
-      errors.add("flat slot ", i, ": tag ",
-                 static_cast<unsigned>(demuxer.tags_[i]),
-                 " disagrees with stored hash's fingerprint ",
-                 static_cast<unsigned>(
-                     FlatDemuxer::tag_of(demuxer.hashes_[i])));
-    }
-    // Robin-hood probe invariant: a displaced resident implies an occupied
-    // predecessor at most one step closer to its own home. A violation
-    // breaks the miss early-exit (keys become unreachable).
-    const std::size_t dist = demuxer.probe_distance(i);
-    if (dist > 0) {
-      const std::size_t prev = (i - 1) & demuxer.mask_;
-      if (demuxer.tags_[prev] == 0) {
-        errors.add("flat slot ", i, ": probe distance ", dist,
-                   " but predecessor slot is empty");
-      } else if (demuxer.probe_distance(prev) + 1 < dist) {
-        errors.add("flat slot ", i, ": probe distance ", dist,
-                   " exceeds predecessor's by more than one (",
-                   demuxer.probe_distance(prev), ")");
-      }
-    }
-    if (!keys.insert(demuxer.keys_[i]).second) {
-      errors.add("flat: duplicate key ", demuxer.keys_[i].to_string());
-    }
+    occupied += old_occupied;
   }
+
   if (occupied != demuxer.size_) {
     errors.add("flat: occupied slots (", occupied, ") != size counter (",
                demuxer.size_, ")");
   }
   // Growth keeps occupancy at or below 7/8; a violation means the next
-  // insert was allowed to degrade probe runs past the design bound.
-  if (demuxer.size_ * 8 > capacity * 7) {
+  // insert was allowed to degrade probe runs past the design bound. While
+  // growth is allocation-blocked the degradation ladder admits up to the
+  // hard 15/16 shed watermark instead.
+  if (demuxer.grow_blocked_) {
+    if (demuxer.size_ * 16 > capacity * 15) {
+      errors.add("flat: occupancy ", demuxer.size_,
+                 " exceeds the blocked-growth 15/16 watermark of capacity ",
+                 capacity);
+    }
+  } else if (demuxer.size_ * 8 > capacity * 7) {
     errors.add("flat: occupancy ", demuxer.size_, " exceeds 7/8 of capacity ",
                capacity);
   }
@@ -479,80 +594,157 @@ ValidationReport StructuralValidator::validate(const CuckooDemuxer& demuxer) {
     return report;
   }
 
-  // Expected counted-filter state, recomputed from resident placement.
-  std::vector<std::array<std::uint16_t, 16>> expected(buckets);
+  // Per-table checks; the key set is shared across the live and (when
+  // migrating) old arrays so a key resident in both is caught as a
+  // duplicate. Expected counted-filter state is recomputed per table from
+  // resident placement. Returns the table's occupied-slot count.
   std::unordered_set<net::FlowKey> keys;
-  std::size_t occupied = 0;
-  for (std::size_t i = 0; i < capacity; ++i) {
-    const std::size_t bucket = i / kW;
-    const std::uint8_t tag = demuxer.meta_[bucket].tags[i % kW];
-    if (tag == 0) {
-      if (demuxer.pcbs_[i] != nullptr) {
-        errors.add("cuckoo slot ", i, ": empty tag but a PCB is still owned");
+  const auto check_table =
+      [&](const std::vector<CuckooDemuxer::BucketMeta>& meta,
+          const std::vector<std::uint32_t>& hashes,
+          const std::vector<net::FlowKey>& slot_keys,
+          const std::vector<std::unique_ptr<Pcb>>& pcbs,
+          const std::vector<std::array<std::uint16_t, 16>>& filter_counts,
+          std::size_t mask, const char* what) {
+        const std::size_t table_buckets = mask + 1;
+        const std::size_t table_capacity = table_buckets * kW;
+        std::vector<std::array<std::uint16_t, 16>> expected(table_buckets);
+        std::size_t occupied = 0;
+        for (std::size_t i = 0; i < table_capacity; ++i) {
+          const std::size_t bucket = i / kW;
+          const std::uint8_t tag = meta[bucket].tags[i % kW];
+          if (tag == 0) {
+            if (pcbs[i] != nullptr) {
+              errors.add(what, " slot ", i,
+                         ": empty tag but a PCB is still owned");
+            }
+            continue;
+          }
+          ++occupied;
+          const Pcb* const pcb = pcbs[i].get();
+          if (pcb == nullptr) {
+            errors.add(what, " slot ", i, ": occupied tag but no PCB");
+            continue;
+          }
+          if (pcb->key != slot_keys[i]) {
+            errors.add(what, " slot ", i, ": PCB key ", pcb->key.to_string(),
+                       " != slot key ", slot_keys[i].to_string());
+          }
+          const std::uint32_t h = demuxer.hash_of(slot_keys[i]);
+          if (hashes[i] != h) {
+            errors.add(what, " slot ", i, ": stored hash ", hashes[i],
+                       " != hash of stored key ", h);
+          }
+          if (tag != CuckooDemuxer::tag_of(hashes[i])) {
+            errors.add(what, " slot ", i, ": tag ",
+                       static_cast<unsigned>(tag),
+                       " disagrees with stored hash's fingerprint ",
+                       static_cast<unsigned>(
+                           CuckooDemuxer::tag_of(hashes[i])));
+          }
+          // Placement: a resident must sit in its primary bucket or the
+          // alternate derived from (primary, tag) — anywhere else it is
+          // unreachable by lookup.
+          const std::size_t primary = hashes[i] & mask;
+          const std::size_t alt =
+              (primary ^ (net::mix32_avalanche(tag) | 1U)) & mask;
+          if (bucket != primary && bucket != alt) {
+            errors.add(what, " slot ", i, ": resident of bucket ", bucket,
+                       " but its candidates are ", primary, " and ", alt);
+          }
+          // Filter soundness: an overflowed resident (living in its
+          // alternate) must be registered in its primary bucket's counted
+          // filter, or a negative-looking probe of the primary bucket
+          // would hide it forever.
+          if (bucket == alt && bucket != primary) {
+            ++expected[primary][CuckooDemuxer::filter_index(tag)];
+          }
+          if (!keys.insert(slot_keys[i]).second) {
+            errors.add(what, ": duplicate key ", slot_keys[i].to_string());
+          }
+        }
+        for (std::size_t b = 0; b < table_buckets; ++b) {
+          for (std::size_t idx = 0; idx < 16; ++idx) {
+            if (filter_counts[b][idx] != expected[b][idx]) {
+              errors.add(what, " bucket ", b, ": filter count[", idx,
+                         "] = ", filter_counts[b][idx],
+                         " but placement implies ", expected[b][idx]);
+            }
+            const bool bit = (meta[b].filter & (1U << idx)) != 0;
+            if (bit != (filter_counts[b][idx] != 0)) {
+              errors.add(what, " bucket ", b, ": filter bit ", idx,
+                         bit ? " set without" : " clear despite",
+                         " a backing count");
+            }
+          }
+        }
+        return occupied;
+      };
+
+  std::size_t occupied =
+      check_table(demuxer.meta_, demuxer.hashes_, demuxer.keys_,
+                  demuxer.pcbs_, demuxer.filter_counts_, demuxer.bucket_mask_,
+                  "cuckoo");
+
+  if (demuxer.old_ != nullptr) {
+    const auto& old = *demuxer.old_;
+    const std::size_t old_buckets = old.bucket_mask + 1;
+    const std::size_t old_capacity = old.capacity();
+    if (old.meta.size() != old_buckets ||
+        old.filter_counts.size() != old_buckets ||
+        old.hashes.size() != old_capacity ||
+        old.keys.size() != old_capacity || old.pcbs.size() != old_capacity) {
+      errors.add("cuckoo(old): arrays are not all sized to ", old_buckets,
+                 " buckets");
+      return report;
+    }
+    if (old.residents == 0) {
+      errors.add(
+          "cuckoo(old): migration adjunct present with zero residents");
+    }
+    if (old_buckets * 2 != buckets) {
+      errors.add("cuckoo(old): old bucket count ", old_buckets,
+                 " is not half the live bucket count ", buckets);
+    }
+    // Drained-prefix invariant: the cursor advances only past empty slots
+    // and nothing is ever placed or kicked into the old array, so
+    // [0, cursor) stays empty for the whole migration.
+    if (old.cursor > old_capacity) {
+      errors.add("cuckoo(old): cursor ", old.cursor, " exceeds capacity ",
+                 old_capacity);
+    }
+    for (std::size_t i = 0; i < std::min(old.cursor, old_capacity); ++i) {
+      if (old.meta[i / kW].tags[i % kW] != 0) {
+        errors.add("cuckoo(old): slot ", i,
+                   " in the drained prefix [0, cursor=", old.cursor,
+                   ") is occupied");
+        break;
       }
-      continue;
     }
-    ++occupied;
-    const Pcb* const pcb = demuxer.pcbs_[i].get();
-    if (pcb == nullptr) {
-      errors.add("cuckoo slot ", i, ": occupied tag but no PCB");
-      continue;
+    const std::size_t old_occupied =
+        check_table(old.meta, old.hashes, old.keys, old.pcbs,
+                    old.filter_counts, old.bucket_mask, "cuckoo(old)");
+    if (old_occupied != old.residents) {
+      errors.add("cuckoo(old): occupied slots (", old_occupied,
+                 ") != residents counter (", old.residents, ")");
     }
-    if (pcb->key != demuxer.keys_[i]) {
-      errors.add("cuckoo slot ", i, ": PCB key ", pcb->key.to_string(),
-                 " != slot key ", demuxer.keys_[i].to_string());
-    }
-    const std::uint32_t h = demuxer.hash_of(demuxer.keys_[i]);
-    if (demuxer.hashes_[i] != h) {
-      errors.add("cuckoo slot ", i, ": stored hash ", demuxer.hashes_[i],
-                 " != hash of stored key ", h);
-    }
-    if (tag != CuckooDemuxer::tag_of(demuxer.hashes_[i])) {
-      errors.add("cuckoo slot ", i, ": tag ", static_cast<unsigned>(tag),
-                 " disagrees with stored hash's fingerprint ",
-                 static_cast<unsigned>(
-                     CuckooDemuxer::tag_of(demuxer.hashes_[i])));
-    }
-    // Placement: a resident must sit in its primary bucket or the
-    // alternate derived from (primary, tag) — anywhere else it is
-    // unreachable by lookup.
-    const std::size_t primary = demuxer.bucket_of(demuxer.hashes_[i]);
-    const std::size_t alt = demuxer.alt_bucket(primary, tag);
-    if (bucket != primary && bucket != alt) {
-      errors.add("cuckoo slot ", i, ": resident of bucket ", bucket,
-                 " but its candidates are ", primary, " and ", alt);
-    }
-    // Filter soundness: an overflowed resident (living in its alternate)
-    // must be registered in its primary bucket's counted filter, or a
-    // negative-looking probe of the primary bucket would hide it forever.
-    if (bucket == alt && bucket != primary) {
-      ++expected[primary][CuckooDemuxer::filter_index(tag)];
-    }
-    if (!keys.insert(demuxer.keys_[i]).second) {
-      errors.add("cuckoo: duplicate key ", demuxer.keys_[i].to_string());
-    }
+    occupied += old_occupied;
   }
-  for (std::size_t b = 0; b < buckets; ++b) {
-    for (std::size_t idx = 0; idx < 16; ++idx) {
-      if (demuxer.filter_counts_[b][idx] != expected[b][idx]) {
-        errors.add("cuckoo bucket ", b, ": filter count[", idx, "] = ",
-                   demuxer.filter_counts_[b][idx],
-                   " but placement implies ", expected[b][idx]);
-      }
-      const bool bit =
-          (demuxer.meta_[b].filter & (1U << idx)) != 0;
-      if (bit != (demuxer.filter_counts_[b][idx] != 0)) {
-        errors.add("cuckoo bucket ", b, ": filter bit ", idx,
-                   bit ? " set without" : " clear despite",
-                   " a backing count");
-      }
-    }
-  }
+
   if (occupied != demuxer.size_) {
     errors.add("cuckoo: occupied slots (", occupied, ") != size counter (",
                demuxer.size_, ")");
   }
-  if (demuxer.size_ * 8 > capacity * 7) {
+  // Growth keeps occupancy at or below 7/8; while growth is
+  // allocation-blocked the degradation ladder admits up to the hard 15/16
+  // shed watermark instead.
+  if (demuxer.grow_blocked_) {
+    if (demuxer.size_ * 16 > capacity * 15) {
+      errors.add("cuckoo: occupancy ", demuxer.size_,
+                 " exceeds the blocked-growth 15/16 watermark of capacity ",
+                 capacity);
+    }
+  } else if (demuxer.size_ * 8 > capacity * 7) {
     errors.add("cuckoo: occupancy ", demuxer.size_,
                " exceeds 7/8 of capacity ", capacity);
   }

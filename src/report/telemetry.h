@@ -92,6 +92,13 @@ struct TelemetryCounters {
   std::uint64_t erases = 0;        ///< successful PCB removals
   std::uint64_t inserts_shed = 0;  ///< inserts refused at a max_pcbs cap
   std::uint64_t rehashes = 0;      ///< overload-triggered seed rotations
+  // Incremental-resize ledger (growing backends with `incremental` only;
+  // see DESIGN.md "Incremental resize & degradation ladder").
+  std::uint64_t resizes_started = 0;    ///< migrations begun (new table up)
+  std::uint64_t resizes_completed = 0;  ///< migrations fully drained
+  std::uint64_t resizes_deferred = 0;   ///< growth attempts refused by the
+                                        ///  allocator (ladder rung 1)
+  std::uint64_t resize_steps = 0;       ///< bounded migration batches run
 };
 
 /// The per-demuxer registry: fixed-slot counters plus opt-in histograms.
@@ -127,6 +134,21 @@ class Telemetry {
   void on_shed() noexcept { ++counters_.inserts_shed; }
   void on_rehash() noexcept { ++counters_.rehashes; }
 
+  // Incremental-resize events (growing backends with `incremental`).
+  void on_resize_start() noexcept { ++counters_.resizes_started; }
+  void on_resize_complete() noexcept { ++counters_.resizes_completed; }
+  void on_resize_defer() noexcept { ++counters_.resizes_deferred; }
+  /// Records one bounded migration batch: `moved` entries re-placed this
+  /// step (the per-operation pause surrogate) and `debt` entries still
+  /// waiting in the old table afterwards. Counters always; histograms only
+  /// when enabled, like on_lookup.
+  void on_resize_step(std::uint64_t moved, std::uint64_t debt) noexcept {
+    ++counters_.resize_steps;
+    if (!histograms_enabled_) return;
+    resize_work_.add(moved);
+    migration_debt_.add(debt);
+  }
+
   /// Overwrites the three lookup counters. For owners that already keep a
   /// lookup ledger (core::Demuxer's DemuxStats): they skip on_lookup in
   /// counters-only mode to keep the fast path at its pre-telemetry memory
@@ -159,6 +181,12 @@ class Telemetry {
   [[nodiscard]] const Log2Histogram& probe_length() const noexcept {
     return probe_length_;
   }
+  [[nodiscard]] const Log2Histogram& resize_work() const noexcept {
+    return resize_work_;
+  }
+  [[nodiscard]] const Log2Histogram& migration_debt() const noexcept {
+    return migration_debt_;
+  }
 
   void reset() noexcept {
     const bool keep = histograms_enabled_;
@@ -176,6 +204,8 @@ class Telemetry {
   TelemetryCounters counters_;
   Log2Histogram examined_;
   Log2Histogram probe_length_;
+  Log2Histogram resize_work_;
+  Log2Histogram migration_debt_;
 };
 
 /// One interval observation of a demuxer under load: examined-PCB

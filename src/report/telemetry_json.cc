@@ -63,12 +63,20 @@ void append_report(std::ostringstream& os, const TelemetryReport& r) {
      << ", \"found\": " << c.found << ", \"cache_hits\": " << c.cache_hits
      << ", \"inserts\": " << c.inserts << ", \"erases\": " << c.erases
      << ", \"inserts_shed\": " << c.inserts_shed
-     << ", \"rehashes\": " << c.rehashes << "},\n ";
+     << ", \"rehashes\": " << c.rehashes
+     << ", \"resizes_started\": " << c.resizes_started
+     << ", \"resizes_completed\": " << c.resizes_completed
+     << ", \"resizes_deferred\": " << c.resizes_deferred
+     << ", \"resize_steps\": " << c.resize_steps << "},\n ";
   append_histogram(os, "examined", r.telemetry.examined());
   os << ",\n ";
   append_histogram(os, "probe_length", r.telemetry.probe_length());
   os << ",\n ";
   append_histogram(os, "latency_ns", r.latency_ns);
+  os << ",\n ";
+  append_histogram(os, "resize_work", r.telemetry.resize_work());
+  os << ",\n ";
+  append_histogram(os, "migration_debt", r.telemetry.migration_debt());
 
   std::size_t occ_total = 0;
   std::size_t occ_max = 0;

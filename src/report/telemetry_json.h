@@ -8,10 +8,14 @@
 //     "algorithm": "sequent(h=19,crc32)",  // Demuxer::name()
 //     "counters": {"lookups": N, "found": N, "cache_hits": N,
 //                  "inserts": N, "erases": N, "inserts_shed": N,
-//                  "rehashes": N},
+//                  "rehashes": N, "resizes_started": N,
+//                  "resizes_completed": N, "resizes_deferred": N,
+//                  "resize_steps": N},
 //     "examined":     {"count": N, "sum": N, "max": N, "buckets": [...]},
 //     "probe_length": {"count": N, "sum": N, "max": N, "buckets": [...]},
 //     "latency_ns":   {"count": N, "sum": N, "max": N, "buckets": [...]},
+//     "resize_work":    {"count": N, "sum": N, "max": N, "buckets": [...]},
+//     "migration_debt": {"count": N, "sum": N, "max": N, "buckets": [...]},
 //     "occupancy": {"partitions": N, "max": N, "mean": x, "skew": x},
 //     "series": {"interval": N, "samples": [
 //         {"events": N, "lookups": N, "mean_examined": x, "p50": N,

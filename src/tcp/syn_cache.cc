@@ -24,8 +24,19 @@ const SynCache::Entry* SynCache::add(const net::FlowKey& key,
     }
   }
   if (core::FaultInjector::instance().poll_alloc()) {
+    // Allocation pressure gets the same answer as the global cap: the
+    // globally oldest embryo is the least defensible ~40 bytes in the
+    // cache, so shed it to free room and retry the admission once. A
+    // persistent failure (or an already-empty cache) still refuses — but
+    // a transient one must not, or a memory spike silently disables the
+    // handshake path while old embryos sit on the budget.
     ++stats_.alloc_failed;
-    return nullptr;
+    if (size_ == 0) return nullptr;
+    shed_oldest();
+    if (core::FaultInjector::instance().poll_alloc()) {
+      ++stats_.alloc_failed;
+      return nullptr;
+    }
   }
   if (options_.max_entries != 0 && size_ >= options_.max_entries) {
     shed_oldest();

@@ -22,6 +22,12 @@
 // TCPDEMUX_FUZZ_ALLOC_EVERY=N (default 0 = off) arms the allocation-
 // failure injector to refuse every N-th insert-path allocation, proving
 // recovery from memory pressure mid-sequence never corrupts a structure.
+// TCPDEMUX_FUZZ_RESIZE_EVERY=N (default 0 = off) forces an explicit
+// incremental-migration step (Demuxer::migration_step) every N ops and
+// validates immediately after, so the two-table invariants (drained
+// prefix, residents reconciliation, cross-table uniqueness) are exercised
+// at every drain phase the "incremental" specs can reach — combine with
+// ALLOC_EVERY to fuzz the degradation ladder mid-migration.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -84,9 +90,12 @@ void run_fuzz_ops(const std::string& spec,
       env_u64("TCPDEMUX_FUZZ_SEED", 0x5ca1ab1e) ^
       std::hash<std::string>{}(spec);
   const std::uint64_t alloc_every = env_u64("TCPDEMUX_FUZZ_ALLOC_EVERY", 0);
+  const std::uint64_t resize_every =
+      env_u64("TCPDEMUX_FUZZ_RESIZE_EVERY", 0);
   SCOPED_TRACE("spec=" + spec + " ops=" + std::to_string(ops) +
                " seed=" + std::to_string(seed) +
-               " alloc_every=" + std::to_string(alloc_every));
+               " alloc_every=" + std::to_string(alloc_every) +
+               " resize_every=" + std::to_string(resize_every));
 
   const auto config = parse_demux_spec(spec);
   ASSERT_TRUE(config.has_value()) << spec;
@@ -115,6 +124,14 @@ void run_fuzz_ops(const std::string& spec,
 
   std::uint64_t lookups_since_validate = 0;
   for (std::uint64_t op = 0; op < ops; ++op) {
+    if (resize_every != 0 && op % resize_every == 0) {
+      // Forced drain step: a mutation of the two-table state even when no
+      // regular op would touch it, validated on the spot so a cursor that
+      // skipped an occupied slot fails at the step that skipped it.
+      demuxer->migration_step();
+      ASSERT_EQ(invariant_errors(), "")
+          << "after forced migration step at op " << op;
+    }
     const net::FlowKey& k = pool[pick(rng)];
     const bool expected = reference.contains(k);
     const int roll = dice(rng);
@@ -265,7 +282,14 @@ INSTANTIATE_TEST_SUITE_P(
                       "dynamic:5:crc32", "rcu",
                       "rcu:7:crc32:nocache", "flat",
                       "flat:64:crc32", "flat16", "flat16:64:crc32",
-                      "cuckoo", "cuckoo:64:crc32"),
+                      "cuckoo", "cuckoo:64:crc32",
+                      // Bounded-pause incremental resize: the fuzz op mix
+                      // drives growth through the two-table drain (see
+                      // TCPDEMUX_FUZZ_RESIZE_EVERY for forcing extra
+                      // steps); every growing backend runs it.
+                      "dynamic:5:crc32:incremental", "flat:64:incremental",
+                      "flat16:64:incremental",
+                      "cuckoo:64:crc32c:incremental"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return sanitize_spec_name(info.param);
     });
@@ -286,7 +310,14 @@ INSTANTIATE_TEST_SUITE_P(
                       // fully collapse: >8 keys sharing one full hash share
                       // both buckets and shed by design (see the bucket-flood
                       // tests), which would break the fuzz membership model.
-                      "cuckoo:64:siphash@5eed", "cuckoo:64:crc32c:rehash"),
+                      "cuckoo:64:siphash@5eed", "cuckoo:64:crc32c:rehash",
+                      // Incremental resize under the collided pool: the
+                      // drain must cope with one saturated probe run /
+                      // one giant chain spanning both tables.
+                      "dynamic:5:xor_fold:incremental",
+                      "flat:64:xor_fold:incremental",
+                      "flat16:64:xor_fold:rehash:incremental",
+                      "cuckoo:64:siphash@5eed:incremental"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return sanitize_spec_name(info.param);
     });

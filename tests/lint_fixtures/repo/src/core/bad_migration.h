@@ -1,0 +1,30 @@
+// Fixture: migration-cursor coverage of atomics-discipline and
+// lock-discipline. Positives: an atomic drain cursor, an atomic resident
+// count, a condition_variable drain signal, and a once_flag start latch.
+// A plain cursor, a suppressed atomic, and an atomic with an unrelated
+// name must NOT count.
+#ifndef TCPDEMUX_CORE_BAD_MIGRATION_H_
+#define TCPDEMUX_CORE_BAD_MIGRATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace tcpdemux::core {
+
+class BadMigrationState {
+ private:
+  std::atomic<std::size_t> cursor_{0};  // positive: single-writer by design
+  std::atomic<std::uint64_t> residents_{0};  // positive: same
+  std::atomic<std::uint32_t> grow_backoff_{0};  // NOLINT(atomics-discipline)
+  std::size_t plain_cursor_ = 0;  // compliant: plain member
+  std::atomic<int> epoch_gauge_{0};  // compliant: not migration state
+  std::condition_variable drain_cv_;  // positive: ad-hoc coordination
+  std::once_flag migration_started_;  // positive: hidden one-shot sync
+};
+
+}  // namespace tcpdemux::core
+
+#endif  // TCPDEMUX_CORE_BAD_MIGRATION_H_

@@ -144,20 +144,53 @@ TEST(FaultInjector, SynCacheCountsRefusedAdds) {
   InjectorGuard guard;
   tcp::SynCache cache;
   ASSERT_NE(cache.add(nth_key(0), 1, 2, 0.0), nullptr);
+  // Persistent failure: the add sheds the globally oldest embryo to free
+  // room, re-polls, still fails, and refuses — both attempts are counted.
   FaultInjector::instance().arm_every(1);
   EXPECT_EQ(cache.add(nth_key(1), 1, 2, 0.1), nullptr);
   FaultInjector::instance().disarm();
-  EXPECT_EQ(cache.stats().alloc_failed, 1u);
-  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().alloc_failed, 2u);
+  EXPECT_EQ(cache.stats().shed, 1u);
+  EXPECT_EQ(cache.size(), 0u);
   // The refused embryo is simply absent; a later add succeeds.
   EXPECT_EQ(cache.find(nth_key(1)), nullptr);
   EXPECT_NE(cache.add(nth_key(1), 1, 2, 0.2), nullptr);
-  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  // An empty cache has nothing to shed: one poll, one refusal.
+  tcp::SynCache empty;
+  FaultInjector::instance().arm_every(1);
+  EXPECT_EQ(empty.add(nth_key(2), 1, 2, 0.3), nullptr);
+  FaultInjector::instance().disarm();
+  EXPECT_EQ(empty.stats().alloc_failed, 1u);
+  EXPECT_EQ(empty.stats().shed, 0u);
   // A duplicate add never reaches the allocation point.
   FaultInjector::instance().arm_every(1);
-  EXPECT_NE(cache.add(nth_key(0), 9, 9, 0.3), nullptr);
+  EXPECT_NE(cache.add(nth_key(1), 9, 9, 0.4), nullptr);
   FaultInjector::instance().disarm();
+  EXPECT_EQ(cache.stats().alloc_failed, 2u);
+}
+
+// Regression: before the degradation-ladder PR, an injected allocation
+// failure refused the add outright even though the cache held evictable
+// embryos — a transient memory spike silently disabled the handshake
+// path while stale embryos sat on the budget. A single-shot failure must
+// instead shed the globally oldest embryo and admit the newcomer.
+TEST(FaultInjector, SynCacheAllocFailureShedsOldestAndAdmits) {
+  InjectorGuard guard;
+  tcp::SynCache cache;
+  ASSERT_NE(cache.add(nth_key(0), 1, 2, 0.0), nullptr);  // oldest
+  ASSERT_NE(cache.add(nth_key(1), 1, 2, 1.0), nullptr);
+  FaultInjector::instance().arm_after(1);  // fail exactly the next poll
+  const auto* entry = cache.add(nth_key(2), 3, 4, 2.0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->key, nth_key(2));
   EXPECT_EQ(cache.stats().alloc_failed, 1u);
+  EXPECT_EQ(cache.stats().shed, 1u);
+  // The globally oldest embryo paid for the newcomer; the rest survive.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(nth_key(0)), nullptr);
+  EXPECT_NE(cache.find(nth_key(1)), nullptr);
+  EXPECT_NE(cache.find(nth_key(2)), nullptr);
 }
 
 }  // namespace

@@ -22,9 +22,19 @@ COUNTER_FIELDS = (
     "erases",
     "inserts_shed",
     "rehashes",
+    "resizes_started",
+    "resizes_completed",
+    "resizes_deferred",
+    "resize_steps",
 )
 
-HISTOGRAM_FIELDS = ("examined", "probe_length", "latency_ns")
+HISTOGRAM_FIELDS = (
+    "examined",
+    "probe_length",
+    "latency_ns",
+    "resize_work",
+    "migration_debt",
+)
 
 SAMPLE_FIELDS = {
     "events": int,
@@ -86,6 +96,11 @@ def check_report(report, errors):
                 errors.append("counters.found exceeds counters.lookups")
             if counters["cache_hits"] > counters["lookups"]:
                 errors.append("counters.cache_hits exceeds counters.lookups")
+            if counters["resizes_completed"] > counters["resizes_started"]:
+                errors.append(
+                    "counters.resizes_completed exceeds "
+                    "counters.resizes_started"
+                )
 
     for name in HISTOGRAM_FIELDS:
         check_histogram(report, name, errors)
