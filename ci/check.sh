@@ -17,6 +17,8 @@
 #                    + core/fuzz/robustness ctest       (SKIP_SWAR=1 skips)
 #   stage 12 resize  wallclock_resize --smoke + bounded-pause
 #                    assertion (validate_resize.py)     (SKIP_RESIZE=1 skips)
+#   stage 13 sharded wallclock_sharded --smoke + zero-miss/scaling
+#                    assertion (validate_sharded.py)    (SKIP_SHARDED=1 skips)
 #
 # Stages 9 and 10 need LLVM tooling (clang++ / clang-tidy) and skip with a
 # notice when it is not installed, so a GCC-only box still passes the gate.
@@ -208,6 +210,25 @@ if [[ "${SKIP_RESIZE:-0}" != "1" ]]; then
       "$ROOT/build/wallclock_resize.smoke.json"
 else
   skipped resize SKIP_RESIZE
+fi
+
+if [[ "${SKIP_SHARDED:-0}" != "1" ]]; then
+  stage sharded "sharded receive path smoke + zero-miss/scaling assertion"
+  if [[ ! -d "$ROOT/build" ]]; then
+    cmake -B "$ROOT/build" -S "$ROOT" -DTCPDEMUX_WERROR=ON
+  fi
+  cmake --build "$ROOT/build" -j "$JOBS" --target wallclock_sharded
+  # Per-core sharded fleet vs global-lock/striped/RCU head-to-head, plus
+  # a churn replay through a deliberately damaged NIC indirection table;
+  # the validator hard-asserts lost == 0 and duplicate_inserts == 0 under
+  # mis-steering, and that sharding stays competitive with the best
+  # shared-structure baseline at the top thread count.
+  "$ROOT/build/bench/wallclock_sharded" --smoke \
+      --json "$ROOT/build/wallclock_sharded.smoke.json"
+  python3 "$ROOT/tools/bench/validate_sharded.py" \
+      "$ROOT/build/wallclock_sharded.smoke.json"
+else
+  skipped sharded SKIP_SHARDED
 fi
 
 echo

@@ -13,6 +13,7 @@
 #include "core/rcu_demuxer.h"
 #include "core/send_receive_cache.h"
 #include "core/sequent_hash.h"
+#include "core/sharded_demuxer.h"
 
 namespace tcpdemux::core {
 namespace {
@@ -77,6 +78,12 @@ std::unique_ptr<Demuxer> make_demuxer(const DemuxConfig& config) {
           CuckooDemuxer::Options{config.flat_capacity, hasher,
                                  config.rehash_on_overload, config.max_pcbs,
                                  config.incremental});
+    case Algorithm::kSharded: {
+      const auto inner = parse_demux_spec(config.inner_spec);
+      if (!inner) return nullptr;  // parse_demux_spec validated it already
+      return std::make_unique<ShardedDemuxer>(
+          ShardedDemuxer::Options{config.shards, *inner});
+    }
   }
   return nullptr;
 }
@@ -118,13 +125,73 @@ std::string_view algorithm_name(Algorithm algorithm) noexcept {
     case Algorithm::kFlat: return "flat";
     case Algorithm::kFlat16: return "flat16";
     case Algorithm::kCuckoo: return "cuckoo";
+    case Algorithm::kSharded: return "sharded";
   }
   return "?";
 }
 
+namespace {
+
+// Error-channel helper: writes the reason (when the caller wants one) and
+// yields the parse failure in one expression.
+std::optional<DemuxConfig> fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return std::nullopt;
+}
+
+std::string quoted(std::string_view tok) {
+  std::string out = "'";
+  out += tok;
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
 std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
-  const auto parts = split(spec, ':');
+  return parse_demux_spec(spec, nullptr);
+}
+
+std::optional<DemuxConfig> parse_demux_spec(std::string_view spec,
+                                            std::string* error) {
   DemuxConfig config;
+
+  // "sharded:N:<inner-spec>" nests a whole spec after the second ':', so it
+  // is carved off before the flat token split below.
+  constexpr std::string_view kSharded = "sharded";
+  if (spec == kSharded || spec.substr(0, kSharded.size() + 1) == "sharded:") {
+    if (spec.size() <= kSharded.size() + 1) {
+      return fail(error, "sharded needs 'sharded:N:<inner-spec>'");
+    }
+    const std::string_view rest = spec.substr(kSharded.size() + 1);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      return fail(error, "sharded needs 'sharded:N:<inner-spec>'");
+    }
+    const std::string_view count_tok = rest.substr(0, colon);
+    const std::string_view inner = rest.substr(colon + 1);
+    const auto shards = parse_u32(count_tok);
+    if (!shards || *shards == 0) {
+      return fail(error, "bad shard count " + quoted(count_tok) +
+                             " (want an integer >= 1)");
+    }
+    if (inner.substr(0, kSharded.size()) == kSharded) {
+      return fail(error, "sharded cannot nest another sharded spec");
+    }
+    if (!parse_demux_spec(inner, error)) {
+      if (error != nullptr) {
+        *error = "bad inner spec " + quoted(inner) +
+                 (error->empty() ? "" : ": " + *error);
+      }
+      return std::nullopt;
+    }
+    config.algorithm = Algorithm::kSharded;
+    config.shards = *shards;
+    config.inner_spec = std::string(inner);
+    return config;
+  }
+
+  const auto parts = split(spec, ':');
   const std::string_view head = parts[0];
   if (head == "bsd") {
     config.algorithm = Algorithm::kBsd;
@@ -156,14 +223,18 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
     // family instead; an explicit hasher token still overrides.
     config.hasher = net::HasherKind::kCrc32c;
   } else {
-    return std::nullopt;
+    return fail(error, "unknown algorithm " + quoted(head));
   }
 
   if (config.algorithm == Algorithm::kConnectionId) {
-    if (parts.size() > 2) return std::nullopt;
+    if (parts.size() > 2) {
+      return fail(error, "connection_id takes at most one ':capacity' token");
+    }
     if (parts.size() == 2) {
       const auto capacity = parse_u32(parts[1]);
-      if (!capacity || *capacity == 0) return std::nullopt;
+      if (!capacity || *capacity == 0) {
+        return fail(error, "bad connection_id capacity " + quoted(parts[1]));
+      }
       config.id_capacity = *capacity;
     }
     return config;
@@ -177,61 +248,104 @@ std::optional<DemuxConfig> parse_demux_spec(std::string_view spec) {
                             config.algorithm == Algorithm::kHashedMtf ||
                             config.algorithm == Algorithm::kDynamic ||
                             config.algorithm == Algorithm::kRcu;
-  if (parts.size() > 1 && !takes_chains && !is_flat) return std::nullopt;
-
-  if (parts.size() > 1) {
-    const auto count = parse_u32(parts[1]);
-    if (!count || *count == 0) return std::nullopt;
-    if (is_flat) {
-      config.flat_capacity = *count;
-    } else {
-      config.chains = *count;
-    }
+  if (parts.size() > 1 && !takes_chains && !is_flat) {
+    return fail(error,
+                std::string(head) + " takes no ':' parameters");
   }
 
-  // Optional positional hasher token ("crc32" or "crc32@1f2e"), then
-  // trailing option tokens, each at most once.
-  std::size_t idx = 2;
-  if (parts.size() > idx) {
-    if (const auto hs = parse_hash_spec_token(parts[idx])) {
-      // hashed_mtf is a frozen paper strawman: it stays unkeyed.
-      if (hs->seed != 0 && config.algorithm == Algorithm::kHashedMtf) {
-        return std::nullopt;
-      }
-      config.hasher = hs->kind;
-      config.hash_seed = hs->seed;
-      ++idx;
-    }
-  }
-
+  // One pass over the remaining tokens. The numeric count is positional
+  // (directly after the algorithm name); the hasher token and the option
+  // tokens may follow in any order, each at most once — duplicates and
+  // conflicts are named errors, never silent last-wins.
   const bool cacheable = config.algorithm == Algorithm::kSequent ||
                          config.algorithm == Algorithm::kRcu;
   const bool rehashable = config.algorithm == Algorithm::kSequent || is_flat;
   const bool cappable = config.algorithm == Algorithm::kSequent ||
                         config.algorithm == Algorithm::kDynamic || is_flat;
   const bool growable = config.algorithm == Algorithm::kDynamic || is_flat;
+  bool saw_hasher = false;
   bool saw_nocache = false;
   bool saw_rehash = false;
   bool saw_max = false;
   bool saw_incremental = false;
-  for (; idx < parts.size(); ++idx) {
+  for (std::size_t idx = 1; idx < parts.size(); ++idx) {
     const std::string_view tok = parts[idx];
-    if (tok == "nocache" && cacheable && !saw_nocache) {
+    if (const auto count = parse_u32(tok)) {
+      if (idx != 1) {
+        return fail(error, "count token " + quoted(tok) +
+                               " must come directly after the algorithm name");
+      }
+      if (*count == 0) {
+        return fail(error, "count must be >= 1");
+      }
+      if (is_flat) {
+        config.flat_capacity = *count;
+      } else {
+        config.chains = *count;
+      }
+      continue;
+    }
+    if (const auto hs = parse_hash_spec_token(tok)) {
+      if (saw_hasher) {
+        return fail(error, "duplicate hasher token " + quoted(tok));
+      }
+      // hashed_mtf is a frozen paper strawman: it stays unkeyed.
+      if (hs->seed != 0 && config.algorithm == Algorithm::kHashedMtf) {
+        return fail(error, "hashed_mtf does not take a keyed hasher (" +
+                               quoted(tok) + ")");
+      }
+      config.hasher = hs->kind;
+      config.hash_seed = hs->seed;
+      saw_hasher = true;
+      continue;
+    }
+    // A hasher name with a mangled seed suffix ("crc32@1f@2e", "crc32@",
+    // 9+ hex digits) deserves a precise diagnosis, not "unknown token".
+    if (const std::size_t at = tok.find('@');
+        at != std::string_view::npos &&
+        parse_hasher_name(tok.substr(0, at)).has_value()) {
+      return fail(error, "bad seed suffix in " + quoted(tok) +
+                             " (want one '@' and 1-8 hex digits)");
+    }
+    if (tok == "nocache") {
+      if (!cacheable) {
+        return fail(error, "'nocache' is not supported by " +
+                               std::string(algorithm_name(config.algorithm)));
+      }
+      if (saw_nocache) return fail(error, "duplicate 'nocache' token");
       config.per_chain_cache = false;
       saw_nocache = true;
-    } else if (tok == "rehash" && rehashable && !saw_rehash) {
+    } else if (tok == "rehash") {
+      if (!rehashable) {
+        return fail(error, "'rehash' is not supported by " +
+                               std::string(algorithm_name(config.algorithm)));
+      }
+      if (saw_rehash) return fail(error, "duplicate 'rehash' token");
       config.rehash_on_overload = true;
       saw_rehash = true;
-    } else if (tok.substr(0, 4) == "max=" && cappable && !saw_max) {
+    } else if (tok.substr(0, 4) == "max=") {
+      if (!cappable) {
+        return fail(error, "'max=N' is not supported by " +
+                               std::string(algorithm_name(config.algorithm)));
+      }
+      if (saw_max) return fail(error, "duplicate 'max=N' token");
       const auto cap = parse_u32(tok.substr(4));
-      if (!cap || *cap == 0) return std::nullopt;
+      if (!cap || *cap == 0) {
+        return fail(error, "bad cap in " + quoted(tok) +
+                               " (want an integer >= 1)");
+      }
       config.max_pcbs = *cap;
       saw_max = true;
-    } else if (tok == "incremental" && growable && !saw_incremental) {
+    } else if (tok == "incremental") {
+      if (!growable) {
+        return fail(error, "'incremental' is not supported by " +
+                               std::string(algorithm_name(config.algorithm)));
+      }
+      if (saw_incremental) return fail(error, "duplicate 'incremental' token");
       config.incremental = true;
       saw_incremental = true;
     } else {
-      return std::nullopt;
+      return fail(error, "unknown token " + quoted(tok));
     }
   }
   return config;

@@ -25,6 +25,7 @@ enum class Algorithm : std::uint8_t {
   kFlat,          ///< open-addressing robin-hood table, fingerprint tags
   kFlat16,        ///< flat table with SIMD 16-slot group probing
   kCuckoo,        ///< 4-way bucketized cuckoo table, Cuckoo++ filters
+  kSharded,       ///< N RSS-steered shards, each wrapping an inner backend
 };
 
 struct DemuxConfig {
@@ -42,6 +43,10 @@ struct DemuxConfig {
   /// migration instead of a stop-the-world rebuild (see DESIGN.md
   /// "Incremental resize & degradation ladder").
   bool incremental = false;
+  // Sharded receive path (algorithm == kSharded only; see DESIGN.md
+  // "Sharded receive path").
+  std::uint32_t shards = 0;   ///< shard count (>= 1 when kSharded)
+  std::string inner_spec{};   ///< per-shard backend spec, re-parsed at build
 };
 
 /// Instantiates the configured demuxer.
@@ -60,12 +65,25 @@ struct DemuxConfig {
 ///                                            defaults to crc32c, since its
 ///                                            alt-bucket derivation needs a
 ///                                            mixing hash — see registry.cc)
+///   "sharded:N:<inner-spec>"                 (N RSS-steered shards, each an
+///                                            instance of the inner spec —
+///                                            any spec above; sharded itself
+///                                            cannot nest)
+///
+/// The count token, when an algorithm takes one, must come directly after
+/// the algorithm name; the hasher token and the option tokens may then
+/// appear in any order, each at most once. So "dynamic:incremental" and
+/// "flat:rehash:crc32c" are valid, while conflicting duplicates
+/// ("flat:incremental:incremental", two "max=N" tokens, two hasher
+/// tokens) are rejected — nesting specs under sharded makes silent
+/// last-wins unacceptable.
 ///
 /// A hasher token may carry a hex seed suffix, "hasher@1f2e" — the keyed
 /// family (seed 0 == "@0" == unkeyed, bit-identical to the plain name).
+/// A token may carry at most one "@"; "crc32@1f@2e" is rejected.
 /// hashed_mtf, as a deliberately frozen strawman, rejects seeds.
 ///
-/// Trailing option tokens, each at most once:
+/// Option tokens, each at most once:
 ///   "nocache"   sequent/rcu: disable the per-chain cache
 ///   "rehash"    sequent/flat/flat16/cuckoo: rehash with a fresh seed on
 ///               overload watermark
@@ -73,9 +91,17 @@ struct DemuxConfig {
 ///               N PCBs (N > 0)
 ///   "incremental"  dynamic/flat/flat16/cuckoo: bounded-pause incremental
 ///               resize with the memory-pressure degradation ladder
-/// Returns nullopt on any unrecognized token.
+/// Returns nullopt on any unrecognized, duplicate, or unsupported token.
 [[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
     std::string_view spec);
+
+/// As above, but on failure writes a human-readable reason into `*error`
+/// (when non-null) naming the offending token — "duplicate 'incremental'
+/// token", "'nocache' is not supported by flat", ... Callers that surface
+/// spec strings to users (benches, examples, nested sharded specs) use
+/// this overload.
+[[nodiscard]] std::optional<DemuxConfig> parse_demux_spec(
+    std::string_view spec, std::string* error);
 
 /// Parses a hasher name as printed by net::hasher_name().
 [[nodiscard]] std::optional<net::HasherKind> parse_hasher_name(

@@ -145,7 +145,10 @@ class Demuxer {
   [[nodiscard]] virtual std::string name() const = 0;
 
   [[nodiscard]] const DemuxStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
+  /// Virtual so aggregating backends reset their children's ledgers too —
+  /// otherwise the merged telemetry view and the parent stats() would
+  /// drift apart after a reset.
+  virtual void reset_stats() noexcept { stats_.reset(); }
 
   /// Hostile-traffic counters; all-zero for algorithms without overload
   /// machinery (the default).
@@ -168,18 +171,23 @@ class Demuxer {
   /// read time — they are the same ledger by definition, and keeping one
   /// copy means the default lookup path touches no telemetry state at all
   /// (the 2% overhead budget; see DESIGN.md "Observability").
-  [[nodiscard]] report::Telemetry telemetry() const {
+  ///
+  /// Virtual so aggregating backends (sharded) can return a merged view
+  /// built from their children; the merge happens into a fresh value on
+  /// every call, so repeated reads never re-add already-synced counters.
+  [[nodiscard]] virtual report::Telemetry telemetry() const {
     report::Telemetry t = *telemetry_;
     t.set_lookup_counters(stats_.lookups, stats_.found, stats_.cache_hits);
     return t;
   }
   /// Switches the registry's histograms on/off for this run (default off:
   /// the paper-faithful fast path pays one predictable branch only).
-  void enable_telemetry_histograms(bool on) noexcept {
+  /// Virtual so aggregating backends propagate the switch to every child.
+  virtual void enable_telemetry_histograms(bool on) noexcept {
     telemetry_histograms_ = on;
     telemetry_->enable_histograms(on);
   }
-  void reset_telemetry() noexcept { telemetry_->reset(); }
+  virtual void reset_telemetry() noexcept { telemetry_->reset(); }
 
   /// Sizes of the structure's natural partitions — hash-chain lengths for
   /// the chained algorithms, the single list length for the linear-scan

@@ -1,0 +1,259 @@
+#include "core/sharded_demuxer.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tcpdemux::core {
+
+ShardedDemuxer::ShardedDemuxer(const Options& options)
+    : steering_(options.steering),
+      indirection_(options.shards == 0 ? 1 : options.shards,
+                   options.indirection_entries) {
+  const std::uint32_t n = options.shards == 0 ? 1 : options.shards;
+  shards_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(make_demuxer(options.inner));
+  }
+}
+
+bool ShardedDemuxer::present_on(std::uint32_t s,
+                                const net::FlowKey& key) const {
+  // lookup_wildcard touches neither caches nor stats (contract, test-
+  // enforced), so this membership probe leaves the shard ledgers honest.
+  const LookupResult r = shards_[s]->lookup_wildcard(key);
+  return r.pcb != nullptr && r.pcb->key == key;
+}
+
+std::uint32_t ShardedDemuxer::owning_shard(const Pcb* pcb,
+                                           const net::FlowKey& key) const {
+  const std::uint32_t home = home_shard(key);
+  if (!misplaced_possible_) return home;
+  const LookupResult r = shards_[home]->lookup_wildcard(key);
+  if (r.pcb == pcb) return home;
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    if (s == home) continue;
+    if (shards_[s]->lookup_wildcard(key).pcb == pcb) return s;
+  }
+  return shard_count();
+}
+
+Pcb* ShardedDemuxer::insert(const net::FlowKey& key) {
+  const std::uint32_t home = home_shard(key);
+  if (misplaced_possible_) {
+    // Steering has drifted: the key may already live on the shard an
+    // earlier table steered it to. A home-shard-only duplicate check
+    // would then admit a second PCB for the same flow — the cross-shard
+    // no-duplicate-key invariant the validator enforces.
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      if (s != home && present_on(s, key)) return nullptr;
+    }
+  }
+  return shards_[home]->insert(key);
+}
+
+bool ShardedDemuxer::erase(const net::FlowKey& key) {
+  const std::uint32_t home = home_shard(key);
+  bool erased = shards_[home]->erase(key);
+  if (!erased && misplaced_possible_) {
+    for (std::uint32_t s = 0; s < shard_count() && !erased; ++s) {
+      if (s != home) erased = shards_[s]->erase(key);
+    }
+  }
+  // An empty fleet has no misplaced PCBs by definition: disarm the
+  // fallback path so steady-state cost returns to one shard per lookup.
+  if (erased && misplaced_possible_ && size() == 0) {
+    misplaced_possible_ = false;
+  }
+  return erased;
+}
+
+LookupResult ShardedDemuxer::lookup(const net::FlowKey& key,
+                                    SegmentKind kind) {
+  const std::uint32_t home = home_shard(key);
+  LookupResult r = shards_[home]->lookup(key, kind);
+  if (r.pcb == nullptr && misplaced_possible_) [[unlikely]] {
+    // Mis-steered flow: its PCB stayed on the shard a previous steering
+    // function homed it to. Sweep the other shards; each probe's examined
+    // PCBs are real work and are charged to this lookup.
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      if (s == home) continue;
+      const LookupResult probe = shards_[s]->lookup(key, kind);
+      r.examined += probe.examined;
+      if (probe.pcb != nullptr) {
+        r.pcb = probe.pcb;
+        r.cache_hit = probe.cache_hit;
+        ++cross_shard_hits_;
+        break;
+      }
+    }
+  }
+  // Parent accounting goes to stats_ only; the parent telemetry registry
+  // stays empty by design (telemetry() merges the shard registries, so a
+  // parent-side copy would be counted twice).
+  stats_.record(r);
+  return r;
+}
+
+void ShardedDemuxer::lookup_batch(std::span<const net::FlowKey> keys,
+                                  std::span<LookupResult> results,
+                                  SegmentKind kind) {
+  if (misplaced_possible_) [[unlikely]] {
+    // Fallback sweeps are per-key control flow; batching buys nothing.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      results[i] = lookup(keys[i], kind);
+    }
+    return;
+  }
+  // Partition the burst by home shard (stable within each shard, so each
+  // inner demuxer sees its subsequence in arrival order — per-shard stats
+  // match the scalar loop exactly), batch-probe each shard once, then
+  // scatter results back to arrival positions.
+  const std::size_t n = keys.size();
+  batch_shard_.resize(n);
+  std::vector<std::size_t> shard_n(shard_count(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_shard_[i] = home_shard(keys[i]);
+    ++shard_n[batch_shard_[i]];
+  }
+  batch_keys_.resize(n);
+  batch_results_.resize(n);
+  batch_index_.resize(n);
+  std::vector<std::size_t> offset(shard_count(), 0);
+  for (std::uint32_t s = 1; s < shard_count(); ++s) {
+    offset[s] = offset[s - 1] + shard_n[s - 1];
+  }
+  auto cursor = offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = cursor[batch_shard_[i]]++;
+    batch_keys_[slot] = keys[i];
+    batch_index_[slot] = static_cast<std::uint32_t>(i);
+  }
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    if (shard_n[s] == 0) continue;
+    shards_[s]->lookup_batch(
+        std::span<const net::FlowKey>(batch_keys_).subspan(offset[s],
+                                                           shard_n[s]),
+        std::span<LookupResult>(batch_results_).subspan(offset[s], shard_n[s]),
+        kind);
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    results[batch_index_[slot]] = batch_results_[slot];
+  }
+  for (std::size_t i = 0; i < n; ++i) stats_.record(results[i]);
+}
+
+void ShardedDemuxer::note_sent(Pcb* pcb) {
+  if (pcb == nullptr) return;
+  const std::uint32_t s = owning_shard(pcb, pcb->key);
+  if (s < shard_count()) shards_[s]->note_sent(pcb);
+}
+
+LookupResult ShardedDemuxer::lookup_wildcard(const net::FlowKey& key) {
+  // BSD best-match across the fleet: every shard may hold listeners, so
+  // all are consulted and the lowest-wildcard match wins. Neither parent
+  // nor shard stats move (wildcard contract).
+  LookupResult best{};
+  int best_score = -1;
+  for (const auto& shard : shards_) {
+    const LookupResult r = shard->lookup_wildcard(key);
+    best.examined += r.examined;
+    if (r.pcb == nullptr) continue;
+    const int score = r.pcb->key.match_score(key);
+    if (score >= 0 && (best_score < 0 || score < best_score)) {
+      best.pcb = r.pcb;
+      best_score = score;
+      if (score == 0) break;  // exact match cannot be beaten
+    }
+  }
+  return best;
+}
+
+std::size_t ShardedDemuxer::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::size_t ShardedDemuxer::memory_bytes() const {
+  std::size_t total = sizeof(*this) +
+                      indirection_.entries() * sizeof(std::uint32_t);
+  for (const auto& shard : shards_) total += shard->memory_bytes();
+  return total;
+}
+
+void ShardedDemuxer::for_each_pcb(
+    const std::function<void(const Pcb&)>& fn) const {
+  for (const auto& shard : shards_) shard->for_each_pcb(fn);
+}
+
+std::string ShardedDemuxer::name() const {
+  return "sharded(" + std::to_string(shard_count()) + "x" +
+         shards_[0]->name() + ")";
+}
+
+ResilienceStats ShardedDemuxer::resilience() const {
+  ResilienceStats total;
+  for (const auto& shard : shards_) {
+    const ResilienceStats r = shard->resilience();
+    total.overload_rehashes += r.overload_rehashes;
+    total.inserts_shed += r.inserts_shed;
+    total.watermark = std::max(total.watermark, r.watermark);
+    total.watermark_limit = std::max(total.watermark_limit, r.watermark_limit);
+  }
+  return total;
+}
+
+bool ShardedDemuxer::migration_step() {
+  bool remaining = false;
+  for (const auto& shard : shards_) remaining |= shard->migration_step();
+  return remaining;
+}
+
+std::vector<std::size_t> ShardedDemuxer::occupancy() const {
+  // One entry per shard: interval_sample's occ_skew then reads directly
+  // as cross-shard imbalance (the steering-quality telemetry the paper's
+  // shared-table analysis has no analogue for).
+  std::vector<std::size_t> occ(shard_count());
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    occ[s] = shards_[s]->size();
+  }
+  return occ;
+}
+
+report::Telemetry ShardedDemuxer::telemetry() const {
+  report::Telemetry merged;
+  merged.enable_histograms(telemetry_histograms_);
+  for (const auto& shard : shards_) {
+    merged.merge_from(shard->telemetry());
+  }
+  return merged;
+}
+
+void ShardedDemuxer::enable_telemetry_histograms(bool on) noexcept {
+  telemetry_histograms_ = on;
+  for (const auto& shard : shards_) shard->enable_telemetry_histograms(on);
+}
+
+void ShardedDemuxer::reset_telemetry() noexcept {
+  for (const auto& shard : shards_) shard->reset_telemetry();
+}
+
+void ShardedDemuxer::reset_stats() noexcept {
+  Demuxer::reset_stats();
+  // Shard ledgers feed the merged telemetry view; resetting only the
+  // parent would leave telemetry() reporting lookups stats() forgot.
+  for (const auto& shard : shards_) shard->reset_stats();
+}
+
+void ShardedDemuxer::set_indirection_entry(std::uint32_t index,
+                                           std::uint32_t queue) {
+  indirection_.set_entry(index, queue % shard_count());
+  if (size() != 0) misplaced_possible_ = true;
+}
+
+void ShardedDemuxer::rotate_steering_seed() {
+  steering_.seed = net::next_seed(steering_.seed);
+  if (size() != 0) misplaced_possible_ = true;
+}
+
+}  // namespace tcpdemux::core

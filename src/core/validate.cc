@@ -18,6 +18,7 @@
 #include "core/rcu_demuxer.h"
 #include "core/send_receive_cache.h"
 #include "core/sequent_hash.h"
+#include "core/sharded_demuxer.h"
 
 namespace tcpdemux::core {
 namespace {
@@ -751,7 +752,53 @@ ValidationReport StructuralValidator::validate(const CuckooDemuxer& demuxer) {
   return report;
 }
 
+ValidationReport StructuralValidator::validate(const ShardedDemuxer& demuxer) {
+  ValidationReport report;
+  Errors errors(report);
+
+  // Each shard is a full registry backend: recurse through the type
+  // dispatcher so a shard's inner corruption surfaces with its shard index.
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < demuxer.shard_count(); ++s) {
+    const Demuxer& shard = demuxer.shard(s);
+    const ValidationReport inner = validate_demuxer(shard);
+    for (const std::string& e : inner.errors) {
+      errors.add("shard ", s, ": ", e);
+    }
+    total += shard.size();
+  }
+  if (total != demuxer.size()) {
+    errors.add("sharded: sum of shard sizes ", total, " != size() ",
+               demuxer.size());
+  }
+
+  // Cross-shard invariants: no key resident twice anywhere in the fleet,
+  // and — while steering has never drifted — every PCB on exactly the
+  // shard its key steers to (a wrong-shard resident would be unreachable
+  // via the fast path, a silent connection loss).
+  std::unordered_set<net::FlowKey> seen;
+  seen.reserve(demuxer.size());
+  for (std::uint32_t s = 0; s < demuxer.shard_count(); ++s) {
+    demuxer.shard(s).for_each_pcb([&](const Pcb& pcb) {
+      if (!seen.insert(pcb.key).second) {
+        errors.add("sharded: key ", pcb.key.to_string(),
+                   " resident on more than one shard");
+      }
+      if (!demuxer.misplaced_possible_ &&
+          demuxer.home_shard(pcb.key) != s) {
+        errors.add("sharded: key ", pcb.key.to_string(), " on shard ", s,
+                   " but steering homes it on shard ",
+                   demuxer.home_shard(pcb.key));
+      }
+    });
+  }
+  return report;
+}
+
 ValidationReport validate_demuxer(const Demuxer& demuxer) {
+  if (const auto* d = dynamic_cast<const ShardedDemuxer*>(&demuxer)) {
+    return StructuralValidator::validate(*d);
+  }
   if (const auto* d = dynamic_cast<const BsdListDemuxer*>(&demuxer)) {
     return StructuralValidator::validate(*d);
   }

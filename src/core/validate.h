@@ -41,6 +41,7 @@ class ConnectionIdDemuxer;
 class RcuSequentDemuxer;
 class FlatDemuxer;
 class CuckooDemuxer;
+class ShardedDemuxer;
 class Demuxer;
 struct Pcb;
 
@@ -75,6 +76,12 @@ class StructuralValidator {
   /// registered in its primary bucket's filter, every bit backed by a
   /// nonzero count), occupancy vs size() vs load-factor bound.
   static ValidationReport validate(const CuckooDemuxer& demuxer);
+  /// Sharded fleet: every shard's inner structure (recursive, via
+  /// validate_demuxer), sum-of-shard-sizes vs size(), the cross-shard
+  /// no-duplicate-key invariant, and — while steering has not drifted
+  /// (misplaced_possible() false) — every PCB resident on exactly the
+  /// shard its key steers to.
+  static ValidationReport validate(const ShardedDemuxer& demuxer);
 };
 
 /// Validates a registry-created demuxer by dynamic type. Reports an error

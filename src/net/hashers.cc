@@ -311,6 +311,16 @@ std::uint32_t hash_flow(HasherKind kind, const FlowKey& key) noexcept {
   return 0;
 }
 
+std::array<std::uint8_t, 12> rss_flow_input(const FlowKey& key) noexcept {
+  return rss_input(key);
+}
+
+std::uint32_t seeded_hash_mix(std::uint32_t hash, std::uint32_t seed) noexcept {
+  std::uint64_t state = 0x5eeded00ULL ^ seed;
+  const std::uint64_t z = splitmix64(state);
+  return mix32_avalanche(hash ^ static_cast<std::uint32_t>(z ^ (z >> 32)));
+}
+
 std::uint32_t hash_flow(const HashSpec& spec, const FlowKey& key) noexcept {
   if (spec.seed == 0) {
     return hash_flow(spec.kind, key);  // bit-identical to the unkeyed family
@@ -321,10 +331,7 @@ std::uint32_t hash_flow(const HashSpec& spec, const FlowKey& key) noexcept {
   // Seeded post-mix for the legacy hashers: randomizes chain/slot placement
   // (defeating chain-targeting floods) but NOT full-32-bit-hash collisions —
   // see the header comment for the threat-model boundary.
-  std::uint64_t state = 0x5eeded00ULL ^ spec.seed;
-  const std::uint64_t z = splitmix64(state);
-  return mix32_avalanche(hash_flow(spec.kind, key) ^
-                         static_cast<std::uint32_t>(z ^ (z >> 32)));
+  return seeded_hash_mix(hash_flow(spec.kind, key), spec.seed);
 }
 
 std::string hash_spec_name(const HashSpec& spec) {

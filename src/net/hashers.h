@@ -157,6 +157,22 @@ struct HashSpec {
 /// The canonical 40-byte RSS verification key from the Microsoft RSS spec.
 [[nodiscard]] std::span<const std::uint8_t> rss_default_key() noexcept;
 
+/// Serialized RSS input for a TCP/IPv4 flow: source address, destination
+/// address, source port, destination port — from the *packet's*
+/// perspective (source = our foreign half). This is the byte string both
+/// Toeplitz paths hash; exposed so differential tests can feed the
+/// identical input to the key-schedule table and the caller-key oracle.
+[[nodiscard]] std::array<std::uint8_t, 12> rss_flow_input(
+    const FlowKey& key) noexcept;
+
+/// The seeded post-mix every non-SipHash hasher applies when
+/// HashSpec::seed != 0: mix32_avalanche(h ^ f(seed)), f = one splitmix64
+/// step over the seed. Exposed so tests can compose the keyed table path
+/// from the unkeyed oracle and prove both Toeplitz paths stay bit-identical
+/// under @hexseed rotation.
+[[nodiscard]] std::uint32_t seeded_hash_mix(std::uint32_t hash,
+                                            std::uint32_t seed) noexcept;
+
 }  // namespace tcpdemux::net
 
 #endif  // TCPDEMUX_NET_HASHERS_H_

@@ -1,0 +1,23 @@
+#include "net/rss.h"
+
+#include <bit>
+
+namespace tcpdemux::net {
+
+RssIndirectionTable::RssIndirectionTable(std::uint32_t queues,
+                                        std::uint32_t entries)
+    : queues_(queues == 0 ? 1 : queues) {
+  std::uint32_t want = entries < queues_ ? queues_ : entries;
+  want = std::bit_ceil(want);
+  mask_ = want - 1;
+  table_.resize(want);
+  rebalance();
+}
+
+void RssIndirectionTable::rebalance() noexcept {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    table_[i] = static_cast<std::uint32_t>(i % queues_);
+  }
+}
+
+}  // namespace tcpdemux::net

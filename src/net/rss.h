@@ -1,0 +1,85 @@
+// RSS indirection table: the NIC-side map from a Toeplitz flow hash to a
+// receive queue (= CPU shard).
+//
+// Real receive-side scaling (Microsoft RSS spec; Linux ethtool -X) never
+// computes `hash % nqueues` in hardware. The NIC masks the low bits of the
+// 32-bit Toeplitz hash and indexes a small host-programmable table of
+// queue numbers (128 entries on most hardware). That indirection is what
+// makes rebalancing possible without touching the hash key: the host
+// rewrites table entries, not flow state. It is also exactly where
+// mis-steering enters a sharded stack — a rewritten entry redirects live
+// flows mid-connection, so packets for a PCB homed on shard A start
+// arriving at shard B. core/sharded_demuxer and sim/nic_dispatch both
+// build on this type; keeping it in net/ (below core in the include DAG)
+// lets both sides share one steering definition.
+#ifndef TCPDEMUX_NET_RSS_H_
+#define TCPDEMUX_NET_RSS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "net/hashers.h"
+
+namespace tcpdemux::net {
+
+/// Hash -> queue indirection table. Entry count is a power of two so the
+/// hardware-faithful `hash & (entries - 1)` mask applies; the default 128
+/// matches common NICs. Queue values are filled round-robin over
+/// `queues`, the spec's default distribution.
+class RssIndirectionTable {
+ public:
+  static constexpr std::uint32_t kDefaultEntries = 128;
+
+  /// `queues` >= 1; `entries` rounded up to the next power of two and to
+  /// at least `queues` so every queue appears at least once.
+  explicit RssIndirectionTable(std::uint32_t queues,
+                               std::uint32_t entries = kDefaultEntries);
+
+  [[nodiscard]] std::uint32_t queues() const noexcept { return queues_; }
+  [[nodiscard]] std::uint32_t entries() const noexcept {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+
+  /// The queue the NIC steers a frame with this 32-bit flow hash to.
+  [[nodiscard]] std::uint32_t queue_for(std::uint32_t hash) const noexcept {
+    return table_[hash & mask_];
+  }
+
+  [[nodiscard]] std::uint32_t entry(std::uint32_t index) const noexcept {
+    return table_[index & mask_];
+  }
+
+  /// Host-side rewrite of one entry (ethtool -X weight change, flow
+  /// director override, ...). `queue` must be < queues().
+  void set_entry(std::uint32_t index, std::uint32_t queue) noexcept {
+    table_[index & mask_] = queue;
+  }
+
+  /// Restores the round-robin default distribution.
+  void rebalance() noexcept;
+
+  [[nodiscard]] std::span<const std::uint32_t> raw() const noexcept {
+    return table_;
+  }
+
+ private:
+  std::uint32_t queues_;
+  std::uint32_t mask_;
+  std::vector<std::uint32_t> table_;
+};
+
+/// Steering decision used by the sharded demuxer and the simulated NIC:
+/// Toeplitz (or any HashSpec) over the flow key, then the indirection
+/// table. Both sides must call this one function so "home shard" means
+/// the same thing everywhere.
+[[nodiscard]] inline std::uint32_t rss_steer(
+    const HashSpec& spec, const FlowKey& key,
+    const RssIndirectionTable& table) noexcept {
+  return table.queue_for(hash_flow(spec, key));
+}
+
+}  // namespace tcpdemux::net
+
+#endif  // TCPDEMUX_NET_RSS_H_

@@ -75,6 +75,18 @@ class Log2Histogram {
   /// true interval max is not recoverable from cumulative state).
   [[nodiscard]] Log2Histogram since(const Log2Histogram& earlier) const;
 
+  /// Adds `other`'s contents into this histogram: buckets elementwise,
+  /// sum exactly, max as the larger of the two. Merging the histograms of
+  /// a disjoint split of one sample stream is bit-identical to having
+  /// recorded the whole stream into a single histogram (count, sum, max,
+  /// every bucket, and therefore every nearest-rank percentile) — the
+  /// property the sharded aggregation path depends on.
+  void merge_from(const Log2Histogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
   void reset() noexcept { *this = Log2Histogram{}; }
 
  private:
@@ -186,6 +198,35 @@ class Telemetry {
   }
   [[nodiscard]] const Log2Histogram& migration_debt() const noexcept {
     return migration_debt_;
+  }
+
+  /// Accumulates `other`'s counters and histograms into this registry.
+  ///
+  /// This is the one sanctioned way to aggregate N per-shard registries
+  /// into a fleet view. The contract that makes it safe: the caller
+  /// merges *synced snapshots* (each shard's telemetry() return value,
+  /// whose lookup counters were just overwritten from that shard's
+  /// DemuxStats ledger via set_lookup_counters) into a *fresh* target.
+  /// Merging into persistent state across repeated reads would re-add
+  /// already-synced counters — the aggregation double-count bug this
+  /// method's regression test pins down (see telemetry_test.cc
+  /// MergeIsIdempotentAcrossRepeatedReads).
+  void merge_from(const Telemetry& other) noexcept {
+    counters_.lookups += other.counters_.lookups;
+    counters_.found += other.counters_.found;
+    counters_.cache_hits += other.counters_.cache_hits;
+    counters_.inserts += other.counters_.inserts;
+    counters_.erases += other.counters_.erases;
+    counters_.inserts_shed += other.counters_.inserts_shed;
+    counters_.rehashes += other.counters_.rehashes;
+    counters_.resizes_started += other.counters_.resizes_started;
+    counters_.resizes_completed += other.counters_.resizes_completed;
+    counters_.resizes_deferred += other.counters_.resizes_deferred;
+    counters_.resize_steps += other.counters_.resize_steps;
+    examined_.merge_from(other.examined_);
+    probe_length_.merge_from(other.probe_length_);
+    resize_work_.merge_from(other.resize_work_);
+    migration_debt_.merge_from(other.migration_debt_);
   }
 
   void reset() noexcept {

@@ -1,0 +1,265 @@
+#include "sim/nic_dispatch.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "net/headers.h"
+#include "tcp/tcp_machine.h"
+
+namespace tcpdemux::sim {
+namespace {
+
+enum class FrameKind : std::uint8_t {
+  kData,  ///< in-order data segment (ACK flag set, payload attached)
+  kAck,   ///< pure acknowledgement (also the handshake's final ACK)
+  kFin,   ///< client FIN|ACK
+};
+
+struct PendingFrame {
+  std::uint32_t conn = 0;
+  FrameKind kind = FrameKind::kData;
+};
+
+core::SegmentKind segment_kind(FrameKind kind) noexcept {
+  return kind == FrameKind::kData ? core::SegmentKind::kData
+                                  : core::SegmentKind::kAck;
+}
+
+}  // namespace
+
+NicDispatch::NicDispatch(core::ShardedDemuxer& demuxer, Options options)
+    : demuxer_(demuxer),
+      options_(options),
+      nic_steering_(demuxer.steering()),
+      nic_table_(demuxer.shard_count(), demuxer.indirection().entries()) {
+  sync_with_host();
+}
+
+void NicDispatch::sync_with_host() {
+  nic_steering_ = demuxer_.steering();
+  const auto host = demuxer_.indirection().raw();
+  for (std::uint32_t i = 0; i < nic_table_.entries(); ++i) {
+    nic_table_.set_entry(i, host[i]);
+  }
+}
+
+NicDispatch::Result NicDispatch::run(const workloads::Workload& workload) {
+  Result result;
+  const std::uint32_t shards = demuxer_.shard_count();
+  result.shard.resize(shards);
+
+  // Per-run state. PCB pointers are owned by the demuxer; an entry goes
+  // null at close. conn_home_ records the shard the stack *placed* the PCB
+  // on — the redirector's routes map — which stays correct even after
+  // steering drift, because PCBs never migrate.
+  std::vector<core::Pcb*> conn_pcb(workload.trace.connections, nullptr);
+  std::vector<std::uint32_t> conn_home(workload.trace.connections, 0);
+  std::vector<std::uint32_t> conn_pending(workload.trace.connections, 0);
+  std::vector<std::deque<PendingFrame>> inbox(shards);
+
+  // One TCP machine per shard, as per-core stacks would have. The send
+  // callback is the server's transmit path; segments it emits are counted
+  // but not re-demultiplexed (they leave, not arrive).
+  std::vector<tcp::TcpMachine> machines;
+  machines.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    machines.emplace_back(
+        [&result](core::Pcb&, const tcp::Emit&) { ++result.server_emits; });
+  }
+
+  auto note_skew = [&] {
+    const std::size_t total = demuxer_.size();
+    if (total == 0) return;
+    const auto occ = demuxer_.occupancy();
+    const std::size_t worst = *std::max_element(occ.begin(), occ.end());
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(occ.size());
+    const double skew = static_cast<double>(worst) / mean;
+    result.peak_occ_skew = std::max(result.peak_occ_skew, skew);
+  };
+
+  // Builds the frame's header from live PCB state (in-order semantics:
+  // the client's next seq is exactly what we expect next) and runs the
+  // owning shard's machine over it.
+  auto process_frame = [&](std::uint32_t shard_idx, std::uint32_t conn,
+                           FrameKind kind, core::Pcb& pcb) {
+    const net::FlowKey& key = workload.keys[conn];
+    net::TcpHeader seg;
+    seg.src_port = key.foreign_port;
+    seg.dst_port = key.local_port;
+    seg.seq = pcb.rcv_nxt;
+    seg.ack = pcb.snd_nxt;
+    seg.set(net::TcpFlag::kAck);
+    std::uint32_t payload = 0;
+    if (kind == FrameKind::kData) payload = options_.payload_len;
+    if (kind == FrameKind::kFin) seg.set(net::TcpFlag::kFin);
+    machines[shard_idx].process(pcb, seg, payload);
+  };
+
+  auto drain_inbox = [&](std::uint32_t s) {
+    while (!inbox[s].empty()) {
+      const PendingFrame f = inbox[s].front();
+      inbox[s].pop_front();
+      ++result.shard[s].handoffs_in;
+      if (conn_pending[f.conn] > 0) --conn_pending[f.conn];
+      const net::FlowKey& key = workload.keys[f.conn];
+      const core::LookupResult r =
+          demuxer_.shard(s).lookup(key, segment_kind(f.kind));
+      if (r.pcb == nullptr) {
+        ++result.lost;  // routes map said s, but no PCB — a real loss
+        continue;
+      }
+      process_frame(s, f.conn, f.kind, *r.pcb);
+    }
+  };
+  auto drain_all = [&] {
+    for (std::uint32_t s = 0; s < shards; ++s) drain_inbox(s);
+  };
+  // Ordering barrier: before any state-dependent step for `conn`, its
+  // handed-off frames must land.
+  auto drain_conn = [&](std::uint32_t conn) {
+    if (conn_pending[conn] > 0) drain_inbox(conn_home[conn]);
+  };
+
+  // One inbound frame through the NIC: steer by the NIC's table, look up
+  // on the steered shard, hand off to the owning shard on a miss.
+  auto deliver = [&](std::uint32_t conn, FrameKind kind) {
+    const net::FlowKey& key = workload.keys[conn];
+    const std::uint32_t q = nic_queue_for(key);
+    ++result.frames;
+    ++result.shard[q].frames;
+    if ((result.frames % options_.drain_interval) == 0) {
+      drain_all();
+      note_skew();
+    }
+    core::Pcb* pcb = conn_pcb[conn];
+    if (pcb == nullptr) {
+      ++result.lost;  // frame for a connection the trace already closed
+      return;
+    }
+    const std::uint32_t dest = conn_home[conn];
+    if (q == dest && conn_pending[conn] == 0) {
+      const core::LookupResult r = demuxer_.shard(q).lookup(
+          key, segment_kind(kind));
+      if (r.pcb != nullptr) {
+        process_frame(q, conn, kind, *r.pcb);
+        return;
+      }
+      ++result.lost;  // resident shard lost its PCB — structural bug
+      return;
+    }
+    // Mis-steered — or correctly steered but ordered behind this
+    // connection's still-queued handoffs, which must not be overtaken.
+    if (q != dest) ++result.missteers;
+    if (inbox[dest].size() >= options_.handoff_capacity) {
+      ++result.handoff_drops;  // backpressure: the frame is gone
+      return;
+    }
+    inbox[dest].push_back(PendingFrame{conn, kind});
+    ++conn_pending[conn];
+    ++result.handoffs;
+    const std::uint64_t depth = inbox[dest].size();
+    result.max_handoff_depth = std::max(result.max_handoff_depth, depth);
+    result.shard[dest].max_inbox_depth =
+        std::max(result.shard[dest].max_inbox_depth, depth);
+  };
+
+  // Control plane: SYN accepted into the listen path. The stack (not the
+  // NIC) places the PCB — on the shard the HOST steering homes the key to.
+  auto accept = [&](std::uint32_t conn) -> bool {
+    const net::FlowKey& key = workload.keys[conn];
+    core::Pcb* pcb = demuxer_.insert(key);
+    if (pcb == nullptr) {
+      ++result.duplicate_inserts;
+      return false;
+    }
+    const std::uint32_t home = demuxer_.home_shard(key);
+    conn_pcb[conn] = pcb;
+    conn_home[conn] = home;
+    net::TcpHeader syn;
+    syn.src_port = key.foreign_port;
+    syn.dst_port = key.local_port;
+    syn.seq = 0x40000000u + conn * 64000u;  // deterministic client ISN
+    syn.set(net::TcpFlag::kSyn);
+    machines[home].open_passive(*pcb, syn);
+    return true;
+  };
+
+  // Pre-established connections (first trace event is not kOpen) come up
+  // before replay, handshake included, without NIC frames — they existed
+  // before the NIC started counting.
+  {
+    std::vector<bool> first_seen(workload.trace.connections, false);
+    std::vector<bool> pre_established(workload.trace.connections, false);
+    for (const TraceEvent& e : workload.trace.events) {
+      if (!first_seen[e.conn]) {
+        first_seen[e.conn] = true;
+        pre_established[e.conn] = e.kind != TraceEventKind::kOpen;
+      }
+    }
+    for (std::uint32_t c = 0; c < workload.trace.connections; ++c) {
+      if (!pre_established[c]) continue;
+      if (!accept(c)) continue;
+      process_frame(conn_home[c], c, FrameKind::kAck, *conn_pcb[c]);
+    }
+  }
+
+  for (const TraceEvent& e : workload.trace.events) {
+    switch (e.kind) {
+      case TraceEventKind::kOpen: {
+        // SYN frame: steered by the NIC like any other frame (a wrong
+        // table entry mis-steers handshakes too), but accepted by the
+        // shared listen path regardless of where it landed.
+        const net::FlowKey& key = workload.keys[e.conn];
+        const std::uint32_t q = nic_queue_for(key);
+        ++result.frames;
+        ++result.shard[q].frames;
+        if (!accept(e.conn)) break;
+        ++result.opens;
+        if (q != conn_home[e.conn]) ++result.missteers;
+        // Handshake-completing ACK, via the normal steered data path.
+        deliver(e.conn, FrameKind::kAck);
+        break;
+      }
+      case TraceEventKind::kArrivalData:
+        deliver(e.conn, FrameKind::kData);
+        break;
+      case TraceEventKind::kArrivalAck:
+        deliver(e.conn, FrameKind::kAck);
+        break;
+      case TraceEventKind::kTransmit: {
+        core::Pcb* pcb = conn_pcb[e.conn];
+        if (pcb == nullptr) break;
+        drain_conn(e.conn);
+        ++result.transmits;
+        machines[conn_home[e.conn]].send_data(*pcb, options_.payload_len);
+        demuxer_.note_sent(pcb);
+        break;
+      }
+      case TraceEventKind::kClose: {
+        core::Pcb* pcb = conn_pcb[e.conn];
+        if (pcb == nullptr) break;
+        // Client FIN, then the server application's close, then the
+        // client's ACK of our FIN — each step gated on the previous one
+        // having actually been processed (force-drain the inbox in
+        // between, as a real stack's ordering would).
+        deliver(e.conn, FrameKind::kFin);
+        drain_conn(e.conn);
+        const std::uint32_t home = conn_home[e.conn];
+        machines[home].close(*pcb);
+        deliver(e.conn, FrameKind::kAck);
+        drain_conn(e.conn);
+        if (pcb->state != core::TcpState::kClosed) ++result.dirty_closes;
+        conn_pcb[e.conn] = nullptr;
+        demuxer_.erase(workload.keys[e.conn]);
+        ++result.closes;
+        break;
+      }
+    }
+  }
+  drain_all();
+  note_skew();
+  return result;
+}
+
+}  // namespace tcpdemux::sim

@@ -1,0 +1,119 @@
+// Simulated NIC receive-side scaling in front of a sharded demuxer.
+//
+// The missing half of core/ShardedDemuxer's story is the device: hardware
+// computes the Toeplitz hash over each arriving frame's 4-tuple, masks it
+// into the indirection table, and DMA-steers the frame to that queue's
+// core — before any host code runs. This class plays that NIC against a
+// ShardedDemuxer and runs real per-shard TCP machines over whatever
+// arrives, which is exactly where mis-steering becomes observable:
+//
+//   * the NIC keeps its OWN copy of the indirection table and steering
+//     seed. The host reprogramming a live NIC is not atomic with its own
+//     table update (ethtool -X races in-flight frames), and a deliberately
+//     planted wrong entry models a buggy driver or a migrated connection.
+//     A frame whose steered queue does not hold its PCB is a *mis-steer*;
+//   * mis-steered frames are not dropped — the receiving shard forwards
+//     them through a bounded per-shard handoff inbox to the shard that
+//     owns the PCB (IncludeOS tcp_smp's guide()-to-owning-CPU redirector,
+//     SNIPPETS.md snippet 2). Inboxes drain every `drain_interval` frames
+//     and whenever ordering demands it, so queue depth is a real measured
+//     quantity, not always-zero bookkeeping;
+//   * a full inbox drops the frame (handoff_drops) — the backpressure a
+//     bounded queue exists to make visible.
+//
+// run() replays a sim workload (churn, NAT population, TPC/A, ...) frame
+// by frame: kOpen becomes SYN + handshake-ACK frames, kClose becomes
+// FIN + final-ACK frames, data/ack arrivals become in-order segments whose
+// headers are built from live PCB state. The Result reports the NIC-side
+// truth — frames, mis-steers, handoff traffic, peak queue depth, peak
+// cross-shard occupancy skew — which tests check against independently
+// computed ground truth.
+#ifndef TCPDEMUX_SIM_NIC_DISPATCH_H_
+#define TCPDEMUX_SIM_NIC_DISPATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sharded_demuxer.h"
+#include "net/rss.h"
+#include "sim/workloads/workload.h"
+
+namespace tcpdemux::sim {
+
+class NicDispatch {
+ public:
+  struct Options {
+    /// Per-shard handoff inbox bound; a mis-steered frame arriving at a
+    /// full inbox is dropped and counted.
+    std::size_t handoff_capacity = 1024;
+    /// Frames between periodic whole-fleet inbox drains.
+    std::uint32_t drain_interval = 64;
+    /// Payload bytes per data segment.
+    std::uint32_t payload_len = 100;
+  };
+
+  struct ShardStats {
+    std::uint64_t frames = 0;       ///< frames the NIC steered to this queue
+    std::uint64_t handoffs_in = 0;  ///< frames arriving via this shard's inbox
+    std::uint64_t max_inbox_depth = 0;
+  };
+
+  struct Result {
+    std::uint64_t frames = 0;     ///< inbound frames the NIC steered
+    std::uint64_t missteers = 0;  ///< frames steered to a non-owning shard
+    std::uint64_t handoffs = 0;   ///< mis-steered frames enqueued for handoff
+    std::uint64_t handoff_drops = 0;  ///< handoffs refused (inbox full)
+    std::uint64_t max_handoff_depth = 0;  ///< deepest any inbox got
+    std::uint64_t lost = 0;  ///< frames resolving to no PCB anywhere (want 0)
+    std::uint64_t duplicate_inserts = 0;  ///< SYNs for resident keys (want 0)
+    std::uint64_t opens = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t dirty_closes = 0;  ///< closes not reaching CLOSED (want 0)
+    std::uint64_t transmits = 0;
+    std::uint64_t server_emits = 0;  ///< segments the TCP machines sent
+    double peak_occ_skew = 0.0;  ///< worst cross-shard occupancy skew seen
+    std::vector<ShardStats> shard;
+
+    [[nodiscard]] double missteer_rate() const noexcept {
+      return frames == 0 ? 0.0
+                         : static_cast<double>(missteers) /
+                               static_cast<double>(frames);
+    }
+  };
+
+  /// `demuxer` is the host stack (not owned; must outlive this). The NIC
+  /// table starts as an exact copy of the host's.
+  explicit NicDispatch(core::ShardedDemuxer& demuxer)
+      : NicDispatch(demuxer, Options()) {}
+  NicDispatch(core::ShardedDemuxer& demuxer, Options options);
+
+  /// NIC-side steering (may disagree with the host after set_nic_entry
+  /// or a host-side seed rotation the NIC has not been re-programmed for).
+  [[nodiscard]] std::uint32_t nic_queue_for(
+      const net::FlowKey& key) const noexcept {
+    return net::rss_steer(nic_steering_, key, nic_table_);
+  }
+
+  /// Plants a NIC-side table rewrite the host tables do not see: every
+  /// flow whose hash masks to `index` now lands on `queue`, mis-steered.
+  void set_nic_entry(std::uint32_t index, std::uint32_t queue) {
+    nic_table_.set_entry(index, queue % demuxer_.shard_count());
+  }
+
+  /// Re-programs the NIC from the host's current table and seed.
+  void sync_with_host();
+
+  /// Replays `workload` through the NIC + shards. Resets no demuxer state:
+  /// callers wanting a clean ledger reset the demuxer first.
+  Result run(const workloads::Workload& workload);
+
+ private:
+  core::ShardedDemuxer& demuxer_;
+  Options options_;
+  net::HashSpec nic_steering_;
+  net::RssIndirectionTable nic_table_;
+};
+
+}  // namespace tcpdemux::sim
+
+#endif  // TCPDEMUX_SIM_NIC_DISPATCH_H_

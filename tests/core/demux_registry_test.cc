@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 namespace tcpdemux::core {
 namespace {
 
@@ -222,6 +225,116 @@ TEST(Registry, ConfiguredDemuxerReflectsSpec) {
   ASSERT_TRUE(config.has_value());
   const auto d = make_demuxer(*config);
   EXPECT_EQ(d->name(), "sequent(h=31,jenkins)");
+}
+
+// --- grammar hardening: conflicting duplicates are named errors ------------
+//
+// Nesting specs under "sharded:N:<inner>" makes silent last-wins (or a
+// bare nullopt) unacceptable: a typo deep inside a composed spec must
+// come back with the offending token named.
+
+std::string parse_error(std::string_view spec) {
+  std::string error;
+  EXPECT_FALSE(parse_demux_spec(spec, &error).has_value()) << spec;
+  return error;
+}
+
+TEST(Registry, ParseRejectsDuplicateOptionTokensInEveryFamily) {
+  // One duplicated-token probe per option, across the families that
+  // accept it; all must fail, none may silently keep either copy.
+  EXPECT_FALSE(parse_demux_spec("flat:incremental:incremental").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat16:64:incremental:incremental").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:incremental:incremental").has_value());
+  EXPECT_FALSE(parse_demux_spec("dynamic:incremental:incremental").has_value());
+  EXPECT_FALSE(parse_demux_spec("sequent:19:max=5:max=9").has_value());
+  EXPECT_FALSE(parse_demux_spec("dynamic:5:max=5:max=5").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:max=100:max=200").has_value());
+  EXPECT_FALSE(parse_demux_spec("sequent:rehash:rehash").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat16:rehash:rehash").has_value());
+  EXPECT_FALSE(parse_demux_spec("sequent:nocache:nocache").has_value());
+  EXPECT_FALSE(parse_demux_spec("rcu:19:nocache:nocache").has_value());
+}
+
+TEST(Registry, ParseRejectsDuplicateHasherTokens) {
+  EXPECT_FALSE(parse_demux_spec("sequent:19:crc32:jenkins").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:crc32:crc32").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:64:crc32c@1:crc32c@2").has_value());
+  EXPECT_FALSE(parse_demux_spec("rcu:19:xor_fold:siphash@5eed").has_value());
+  EXPECT_EQ(parse_error("flat:64:crc32:crc32"),
+            "duplicate hasher token 'crc32'");
+}
+
+TEST(Registry, ParseRejectsMisplacedCountToken) {
+  // The count is positional; a number after a non-count token is a
+  // different mistake than an unknown token and says so.
+  EXPECT_FALSE(parse_demux_spec("sequent:crc32:19").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:rehash:64").has_value());
+  EXPECT_EQ(parse_error("sequent:crc32:19"),
+            "count token '19' must come directly after the algorithm name");
+}
+
+TEST(Registry, ParseAcceptsHasherAndOptionsInAnyOrder) {
+  // The flip side of positional counts: everything after the count slot
+  // may come in any order. "dynamic:incremental" (option in the count
+  // slot) used to be rejected outright.
+  const auto dynamic = parse_demux_spec("dynamic:incremental");
+  ASSERT_TRUE(dynamic.has_value());
+  EXPECT_TRUE(dynamic->incremental);
+  const auto flat = parse_demux_spec("flat:rehash:crc32c");
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_TRUE(flat->rehash_on_overload);
+  EXPECT_EQ(flat->hasher, net::HasherKind::kCrc32c);
+  const auto sequent = parse_demux_spec("sequent:nocache:crc32");
+  ASSERT_TRUE(sequent.has_value());
+  EXPECT_FALSE(sequent->per_chain_cache);
+  const auto capped = parse_demux_spec("flat:64:max=100:crc32:incremental");
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->flat_capacity, 64u);
+  EXPECT_EQ(capped->max_pcbs, 100u);
+  EXPECT_TRUE(capped->incremental);
+}
+
+TEST(Registry, ParseRejectsMangledSeedSuffixes) {
+  EXPECT_FALSE(parse_demux_spec("sequent:19:crc32@1f@2e").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:crc32@").has_value());
+  EXPECT_FALSE(parse_demux_spec("flat:64:crc32@123456789").has_value());
+  EXPECT_FALSE(parse_demux_spec("cuckoo:64:siphash@zz").has_value());
+  EXPECT_EQ(parse_error("sequent:19:crc32@1f@2e"),
+            "bad seed suffix in 'crc32@1f@2e' (want one '@' and 1-8 hex digits)");
+}
+
+TEST(Registry, ParseShardedGrammar) {
+  const auto ok = parse_demux_spec("sharded:4:flat16:64:crc32");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->algorithm, Algorithm::kSharded);
+  EXPECT_EQ(ok->shards, 4u);
+  EXPECT_EQ(ok->inner_spec, "flat16:64:crc32");
+
+  EXPECT_FALSE(parse_demux_spec("sharded").has_value());
+  EXPECT_FALSE(parse_demux_spec("sharded:4").has_value());
+  EXPECT_FALSE(parse_demux_spec("sharded:0:flat").has_value());
+  EXPECT_FALSE(parse_demux_spec("sharded:abc:flat").has_value());
+  EXPECT_FALSE(parse_demux_spec("sharded:2:sharded:2:flat").has_value());
+  EXPECT_FALSE(parse_demux_spec("sharded:2:quantum").has_value());
+  EXPECT_EQ(parse_error("sharded:2:sharded:2:flat"),
+            "sharded cannot nest another sharded spec");
+}
+
+TEST(Registry, ErrorOverloadNamesTheOffendingToken) {
+  EXPECT_EQ(parse_error("flat:incremental:incremental"),
+            "duplicate 'incremental' token");
+  EXPECT_EQ(parse_error("sequent:19:max=5:max=9"), "duplicate 'max=N' token");
+  EXPECT_EQ(parse_error("flat:64:nocache"), "'nocache' is not supported by flat");
+  EXPECT_EQ(parse_error("sequent:19:turbo"), "unknown token 'turbo'");
+  EXPECT_EQ(parse_error("mtf:incremental"), "mtf takes no ':' parameters");
+  // Inner-spec failures surface wrapped, so a bad token three levels into
+  // a sharded spec still names itself.
+  const std::string nested = parse_error("sharded:2:flat:64:max=1:max=2");
+  EXPECT_NE(nested.find("bad inner spec 'flat:64:max=1:max=2'"),
+            std::string::npos)
+      << nested;
+  EXPECT_NE(nested.find("duplicate 'max=N' token"), std::string::npos)
+      << nested;
 }
 
 }  // namespace

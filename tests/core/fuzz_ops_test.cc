@@ -289,7 +289,12 @@ INSTANTIATE_TEST_SUITE_P(
                       // steps); every growing backend runs it.
                       "dynamic:5:crc32:incremental", "flat:64:incremental",
                       "flat16:64:incremental",
-                      "cuckoo:64:crc32c:incremental"),
+                      "cuckoo:64:crc32c:incremental",
+                      // Sharded fleet: per-shard structures, the cross-shard
+                      // no-duplicate-key invariant, and the merged telemetry
+                      // ledger must all stay bit-exact under the op mix.
+                      "sharded:4:flat16", "sharded:2:sequent:19:crc32",
+                      "sharded:3:dynamic:5:crc32:incremental"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return sanitize_spec_name(info.param);
     });
@@ -317,7 +322,11 @@ INSTANTIATE_TEST_SUITE_P(
                       "dynamic:5:xor_fold:incremental",
                       "flat:64:xor_fold:incremental",
                       "flat16:64:xor_fold:rehash:incremental",
-                      "cuckoo:64:siphash@5eed:incremental"),
+                      "cuckoo:64:siphash@5eed:incremental",
+                      // Sharded under the collided pool: Toeplitz steering
+                      // keeps spreading keys whose inner hash collapses.
+                      "sharded:4:flat:64:xor_fold",
+                      "sharded:2:sequent:19:siphash@5eed"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       return sanitize_spec_name(info.param);
     });

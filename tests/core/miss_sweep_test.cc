@@ -36,6 +36,8 @@ const char* kSpecs[] = {
     "flat16:256",    "flat16:256:crc32c",
     "cuckoo:256",    "cuckoo:256:crc32c",
     "cuckoo:256:siphash@5eed",
+    "sharded:4:flat:256",
+    "sharded:2:sequent:19:crc32",
 };
 
 constexpr std::uint32_t kPresent = 200;

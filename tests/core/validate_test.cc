@@ -23,6 +23,7 @@
 #include "core/rcu_demuxer.h"
 #include "core/send_receive_cache.h"
 #include "core/sequent_hash.h"
+#include "core/sharded_demuxer.h"
 #include "net/flow_key.h"
 
 namespace tcpdemux::core {
@@ -49,7 +50,8 @@ TEST(ValidateTest, EveryRegistrySpecValidatesCleanAfterMixedOps) {
                          "hashed_mtf", "dynamic:5",   "rcu",
                          "rcu:7:crc32:nocache", "flat", "flat:64:crc32",
                          "flat16", "flat16:64:crc32", "cuckoo",
-                         "cuckoo:64:crc32", "cuckoo:64:siphash@5eed"};
+                         "cuckoo:64:crc32", "cuckoo:64:siphash@5eed",
+                         "sharded:4:flat16", "sharded:2:sequent:19:crc32"};
   for (const char* spec : specs) {
     SCOPED_TRACE(spec);
     const auto config = parse_demux_spec(spec);
@@ -67,7 +69,7 @@ TEST(ValidateTest, EveryRegistrySpecValidatesCleanAfterMixedOps) {
 TEST(ValidateTest, EmptyStructuresValidateClean) {
   const char* specs[] = {"bsd", "mtf", "srcache", "connection_id",
                          "sequent", "hashed_mtf", "dynamic", "rcu", "flat",
-                         "flat16", "cuckoo"};
+                         "flat16", "cuckoo", "sharded:4:flat16"};
   for (const char* spec : specs) {
     SCOPED_TRACE(spec);
     const auto demuxer = make_demuxer(*parse_demux_spec(spec));
@@ -410,6 +412,59 @@ TEST(ValidateTest, CuckooResidentOutsideItsTwoBucketsIsReported) {
   }
   ASSERT_TRUE(planted) << "no empty slot broke the two-bucket invariant";
   ValidatorTestAccess::cuckoo_move_slot(demuxer, to, from);
+  EXPECT_TRUE(StructuralValidator::validate(demuxer).ok());
+}
+
+TEST(ValidateTest, ShardedDuplicateKeyAcrossShardsIsReported) {
+  ShardedDemuxer demuxer(
+      ShardedDemuxer::Options{4, *parse_demux_spec("flat16:64")});
+  populate(demuxer, 24);
+  // Plant the cross-shard corruption no single shard can see: a key that
+  // is resident on two shards at once. Each shard stays internally
+  // consistent, so only the aggregate no-duplicate-key sweep catches it.
+  const net::FlowKey dup = key(0);
+  const std::uint32_t home = demuxer.home_shard(dup);
+  const std::uint32_t other = (home + 1) % demuxer.shard_count();
+  ASSERT_NE(demuxer.shard(other).insert(dup), nullptr);
+  const ValidationReport report = StructuralValidator::validate(demuxer);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("more than one shard"), std::string::npos)
+      << report.to_string();
+  ASSERT_TRUE(demuxer.shard(other).erase(dup));
+  EXPECT_TRUE(StructuralValidator::validate(demuxer).ok());
+}
+
+TEST(ValidateTest, ShardedResidentOffItsHomeShardIsReported) {
+  ShardedDemuxer demuxer(
+      ShardedDemuxer::Options{4, *parse_demux_spec("sequent:19:crc32")});
+  populate(demuxer, 24);
+  // A PCB on a shard its steering hash does not select is a placement bug
+  // while steering is stable (misplaced_possible() == false).
+  const net::FlowKey stray = key(1000);
+  const std::uint32_t home = demuxer.home_shard(stray);
+  const std::uint32_t wrong = (home + 1) % demuxer.shard_count();
+  ASSERT_NE(demuxer.shard(wrong).insert(stray), nullptr);
+  ASSERT_FALSE(demuxer.misplaced_possible());
+  const ValidationReport report = StructuralValidator::validate(demuxer);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(demuxer.shard(wrong).erase(stray));
+  EXPECT_TRUE(StructuralValidator::validate(demuxer).ok());
+}
+
+TEST(ValidateTest, ShardedInnerCorruptionSurfacesWithShardPrefix) {
+  ShardedDemuxer demuxer(
+      ShardedDemuxer::Options{2, *parse_demux_spec("sequent:19:crc32")});
+  populate(demuxer, 32);
+  // Per-shard recursion: corrupt one inner structure and expect the
+  // aggregate report to name the shard.
+  auto& inner = static_cast<SequentDemuxer&>(demuxer.shard(0));
+  std::size_t& size = ValidatorTestAccess::size(inner);
+  ++size;
+  const ValidationReport report = StructuralValidator::validate(demuxer);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("shard 0"), std::string::npos)
+      << report.to_string();
+  --size;
   EXPECT_TRUE(StructuralValidator::validate(demuxer).ok());
 }
 

@@ -167,6 +167,97 @@ TEST(Toeplitz, KeyScheduleTableMatchesBitOracleOnRandomFlows) {
   }
 }
 
+TEST(Toeplitz, RssFlowInputSerializesPacketPerspective) {
+  // rss_flow_input is the byte string both Toeplitz paths hash: source
+  // address, destination address, source port, destination port, with the
+  // stored key's foreign half as the packet's source.
+  const RssVector& v = kRssVectors[0];
+  const FlowKey key{v.dst, v.dst_port, v.src, v.src_port};
+  const std::array<std::uint8_t, 12> in = rss_flow_input(key);
+  const std::uint32_t s = v.src.value();
+  const std::uint32_t d = v.dst.value();
+  EXPECT_EQ(in[0], s >> 24);
+  EXPECT_EQ(in[3], s & 0xff);
+  EXPECT_EQ(in[4], d >> 24);
+  EXPECT_EQ(in[7], d & 0xff);
+  EXPECT_EQ(in[8], v.src_port >> 8);
+  EXPECT_EQ(in[9], v.src_port & 0xff);
+  EXPECT_EQ(in[10], v.dst_port >> 8);
+  EXPECT_EQ(in[11], v.dst_port & 0xff);
+  EXPECT_EQ(toeplitz_hash(in, rss_default_key()), v.expected_tcp);
+}
+
+TEST(Toeplitz, KeyedTablePathMatchesCallerKeyOracleOnMicrosoftVectors) {
+  // The keyed table path is seeded_hash_mix over the unkeyed key-schedule
+  // hash; the oracle composes the same post-mix over the bit-at-a-time
+  // caller-key toeplitz_hash. Both paths must stay bit-identical under
+  // every @hexseed, including seed 0 (== the unkeyed function exactly).
+  for (const std::uint32_t seed : {0x0u, 0x1u, 0x5eedu, 0x1f2e3d4cu,
+                                   0xffffffffu}) {
+    for (const RssVector& v : kRssVectors) {
+      const FlowKey key{v.dst, v.dst_port, v.src, v.src_port};
+      const std::uint32_t table =
+          hash_flow(HashSpec{HasherKind::kToeplitz, seed}, key);
+      const std::uint32_t oracle_unkeyed =
+          toeplitz_hash(rss_flow_input(key), rss_default_key());
+      const std::uint32_t oracle =
+          seed == 0 ? oracle_unkeyed : seeded_hash_mix(oracle_unkeyed, seed);
+      EXPECT_EQ(table, oracle)
+          << std::hex << "seed " << seed << " " << v.src.to_string();
+      if (seed == 0) {
+        EXPECT_EQ(table, v.expected_tcp);
+      }
+    }
+  }
+}
+
+TEST(Toeplitz, KeyedPathsAgreeUnderSeedRotationOnRandomFlows) {
+  // @hexseed rotation as the rehash path drives it (next_seed chain), over
+  // random keys: the table path and the composed caller-key oracle must
+  // never diverge, or a seed rotation would silently re-steer flows
+  // differently in the two implementations.
+  std::mt19937_64 rng(0x5eed);
+  std::uint32_t seed = 0x1u;
+  for (int round = 0; round < 500; ++round) {
+    if (round % 50 == 0) seed = next_seed(seed);
+    const FlowKey key{
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+    };
+    const std::uint32_t unkeyed =
+        toeplitz_hash(rss_flow_input(key), rss_default_key());
+    ASSERT_EQ(hash_flow(HashSpec{HasherKind::kToeplitz, seed}, key),
+              seeded_hash_mix(unkeyed, seed))
+        << "round " << round;
+    // And the seeded family really is a different family: some flow in
+    // every rotation must move (checked in aggregate below).
+  }
+}
+
+TEST(Toeplitz, SeedRotationActuallyMovesFlows) {
+  // A rotation that never changed any hash would make the keyed family
+  // pointless; check a healthy fraction of flows re-steer across 8 shards.
+  std::mt19937_64 rng(7);
+  int moved = 0;
+  const int total = 256;
+  for (int i = 0; i < total; ++i) {
+    const FlowKey key{
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+        Ipv4Addr(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng()),
+    };
+    const std::uint32_t before =
+        hash_flow(HashSpec{HasherKind::kToeplitz, 0x5eed}, key) % 8;
+    const std::uint32_t after =
+        hash_flow(HashSpec{HasherKind::kToeplitz, next_seed(0x5eed)}, key) % 8;
+    if (before != after) ++moved;
+  }
+  EXPECT_GT(moved, total / 2);
+}
+
 TEST(Hashers, AllKindsHaveDistinctNames) {
   std::unordered_set<std::string_view> names;
   for (const HasherKind kind : kAllHashers) {

@@ -1,0 +1,78 @@
+// RssIndirectionTable: the hardware-faithful hash -> queue mask-and-index
+// step, the rebalance default, and the steering composition rss_steer.
+#include "net/rss.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tcpdemux::net {
+namespace {
+
+TEST(RssIndirectionTable, DefaultsMatchCommonHardware) {
+  const RssIndirectionTable table(4);
+  EXPECT_EQ(table.entries(), RssIndirectionTable::kDefaultEntries);
+  EXPECT_EQ(table.queues(), 4u);
+  // Round-robin default: entry i -> i % queues, so the mask alone decides.
+  for (std::uint32_t i = 0; i < table.entries(); ++i) {
+    EXPECT_EQ(table.entry(i), i % 4);
+  }
+}
+
+TEST(RssIndirectionTable, EntriesRoundUpToPowerOfTwoAndQueues) {
+  EXPECT_EQ(RssIndirectionTable(4, 100).entries(), 128u);
+  EXPECT_EQ(RssIndirectionTable(4, 128).entries(), 128u);
+  EXPECT_EQ(RssIndirectionTable(4, 1).entries(), 4u);   // >= queues
+  EXPECT_EQ(RssIndirectionTable(3, 1).entries(), 4u);   // and a power of two
+  EXPECT_EQ(RssIndirectionTable(1, 1).entries(), 1u);
+}
+
+TEST(RssIndirectionTable, QueueForMasksLowBits) {
+  const RssIndirectionTable table(4, 8);
+  ASSERT_EQ(table.entries(), 8u);
+  for (const std::uint32_t hash : {0x0u, 0x7u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(table.queue_for(hash), table.entry(hash & 7u)) << hash;
+  }
+}
+
+TEST(RssIndirectionTable, SetEntryRedirectsExactlyThoseHashes) {
+  RssIndirectionTable table(4, 8);
+  const std::uint32_t before = table.entry(3);
+  table.set_entry(3, (before + 1) % 4);
+  for (std::uint32_t hash = 0; hash < 64; ++hash) {
+    const std::uint32_t expected =
+        (hash & 7u) == 3u ? (before + 1) % 4 : table.entry(hash & 7u);
+    EXPECT_EQ(table.queue_for(hash), expected) << hash;
+  }
+  table.rebalance();
+  EXPECT_EQ(table.entry(3), 3u % 4);
+}
+
+TEST(RssSteer, ComposesHashAndTable) {
+  const RssIndirectionTable table(4);
+  const HashSpec spec{HasherKind::kToeplitz, 0};
+  const FlowKey key{Ipv4Addr(10, 0, 0, 1), 1521, Ipv4Addr(10, 2, 3, 4), 40000};
+  EXPECT_EQ(rss_steer(spec, key, table),
+            table.queue_for(hash_flow(spec, key)));
+  EXPECT_LT(rss_steer(spec, key, table), table.queues());
+}
+
+TEST(RssSteer, SpreadsAPopulationAcrossAllQueues) {
+  const RssIndirectionTable table(8);
+  const HashSpec spec{HasherKind::kToeplitz, 0};
+  std::vector<std::uint32_t> hits(8, 0);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const FlowKey key{Ipv4Addr(10, 0, 0, 1), 1521,
+                      Ipv4Addr(10, 2, static_cast<std::uint8_t>(i >> 8),
+                               static_cast<std::uint8_t>(i & 0xff)),
+                      static_cast<std::uint16_t>(10000 + i)};
+    ++hits[rss_steer(spec, key, table)];
+  }
+  for (std::uint32_t q = 0; q < 8; ++q) {
+    EXPECT_GT(hits[q], 100u) << "queue " << q << " starved";
+  }
+}
+
+}  // namespace
+}  // namespace tcpdemux::net

@@ -187,5 +187,132 @@ TEST(TelemetryJson, SeriesCsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("bsd,4,4,1.5"), std::string::npos);
 }
 
+TEST(Log2Histogram, MergeOfDisjointSplitsEqualsWhole) {
+  // The property the sharded aggregation path rests on: recording a sample
+  // stream split across N histograms and merging them back is bit-identical
+  // to recording the whole stream into one histogram — count, sum, max,
+  // every bucket, and therefore every nearest-rank percentile.
+  constexpr std::size_t kShards = 4;
+  Log2Histogram whole;
+  Log2Histogram parts[kShards];
+  std::uint64_t state = 0x243f6a8885a308d3ULL;  // deterministic xorshift
+  for (int i = 0; i < 5000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    // Spread across 9 octaves so many buckets populate, including 0.
+    const std::uint64_t value = state >> (55 - (i % 9));
+    whole.add(value);
+    parts[state % kShards].add(value);
+  }
+  Log2Histogram merged;
+  for (const Log2Histogram& p : parts) merged.merge_from(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.sum(), whole.sum());
+  EXPECT_EQ(merged.max(), whole.max());
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    EXPECT_EQ(merged.bucket(b), whole.bucket(b)) << "bucket " << b;
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.percentile_upper(q), whole.percentile_upper(q)) << q;
+  }
+}
+
+TEST(Log2Histogram, MergeFromEmptyAndIntoEmpty) {
+  Log2Histogram loaded;
+  loaded.add(5);
+  loaded.add(9);
+  Log2Histogram empty;
+  loaded.merge_from(empty);  // no-op
+  EXPECT_EQ(loaded.count(), 2u);
+  EXPECT_EQ(loaded.sum(), 14u);
+  EXPECT_EQ(loaded.max(), 9u);
+  Log2Histogram target;
+  target.merge_from(loaded);  // copy-equivalent
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.sum(), 14u);
+  EXPECT_EQ(target.max(), 9u);
+  EXPECT_EQ(target.percentile_upper(1.0), loaded.percentile_upper(1.0));
+}
+
+TEST(Telemetry, MergeFromAccumulatesEveryCounterAndHistogram) {
+  Telemetry a;
+  a.enable_histograms(true);
+  a.on_lookup(3, true, false);
+  a.on_lookup(1, true, true);
+  a.on_insert();
+  a.on_erase();
+  a.on_shed();
+  a.on_rehash();
+  a.on_resize_start();
+  a.on_resize_step(8, 24);
+  a.on_resize_complete();
+
+  Telemetry b;
+  b.enable_histograms(true);
+  b.on_lookup(7, false, false);
+  b.on_insert();
+  b.on_insert();
+  b.on_resize_defer();
+
+  Telemetry merged;
+  merged.enable_histograms(true);
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.counters().lookups, 3u);
+  EXPECT_EQ(merged.counters().found, 2u);
+  EXPECT_EQ(merged.counters().cache_hits, 1u);
+  EXPECT_EQ(merged.counters().inserts, 3u);
+  EXPECT_EQ(merged.counters().erases, 1u);
+  EXPECT_EQ(merged.counters().inserts_shed, 1u);
+  EXPECT_EQ(merged.counters().rehashes, 1u);
+  EXPECT_EQ(merged.counters().resizes_started, 1u);
+  EXPECT_EQ(merged.counters().resizes_completed, 1u);
+  EXPECT_EQ(merged.counters().resizes_deferred, 1u);
+  EXPECT_EQ(merged.counters().resize_steps, 1u);
+  EXPECT_EQ(merged.examined().count(), 3u);
+  EXPECT_EQ(merged.examined().sum(), 11u);
+  EXPECT_EQ(merged.probe_length().count(), 2u);  // cache hit excluded
+  EXPECT_EQ(merged.resize_work().sum(), 8u);
+  EXPECT_EQ(merged.migration_debt().sum(), 24u);
+}
+
+TEST(Telemetry, MergeIsIdempotentAcrossRepeatedReads) {
+  // The shard-aggregation double-count regression. Per-shard registries
+  // sync their lookup counters from the owning demuxer's ledger on every
+  // telemetry() read (set_lookup_counters overwrites — reads are
+  // idempotent per shard). The fleet view must merge those snapshots into
+  // a FRESH target per read; merging into persistent parent state re-adds
+  // every synced counter on each read and drifts without bound.
+  Telemetry shard[3];
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    // What a shard's telemetry() returns: ledger-synced lookup counters.
+    shard[s].set_lookup_counters(100 * (s + 1), 60 * (s + 1), 10 * (s + 1));
+    shard[s].on_insert();
+  }
+  const auto read_fleet = [&shard] {
+    Telemetry fleet;  // fresh target per read — the fix
+    for (const Telemetry& s : shard) fleet.merge_from(s);
+    return fleet;
+  };
+  const Telemetry first = read_fleet();
+  const Telemetry second = read_fleet();
+  EXPECT_EQ(first.counters().lookups, 600u);
+  EXPECT_EQ(first.counters().found, 360u);
+  EXPECT_EQ(first.counters().cache_hits, 60u);
+  EXPECT_EQ(first.counters().inserts, 3u);
+  EXPECT_EQ(second.counters().lookups, first.counters().lookups);
+  EXPECT_EQ(second.counters().found, first.counters().found);
+  EXPECT_EQ(second.counters().inserts, first.counters().inserts);
+
+  // The bug shape this pins down: a persistent accumulator doubles on the
+  // second read. Kept as a demonstration that the assertion above is not
+  // vacuous — this is exactly what merging into parent state produces.
+  Telemetry sticky;
+  for (const Telemetry& s : shard) sticky.merge_from(s);
+  for (const Telemetry& s : shard) sticky.merge_from(s);
+  EXPECT_EQ(sticky.counters().lookups, 1200u);  // double-counted
+}
+
 }  // namespace
 }  // namespace tcpdemux::report
